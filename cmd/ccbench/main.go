@@ -1,0 +1,63 @@
+// Command ccbench runs the reproduction experiments (DESIGN.md §2) and
+// prints their tables as markdown. The full suite regenerates every
+// figure and analytic result of the paper:
+//
+//	ccbench -exp all            # everything (minutes)
+//	ccbench -exp T45 -seed 7    # one experiment
+//	ccbench -list               # list experiment IDs
+//	ccbench -exp all -quick     # reduced sizes (smoke run)
+//
+// The process exits non-zero if any checked paper claim fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment ID or 'all'")
+		seed  = flag.Int64("seed", 1, "base random seed")
+		quick = flag.Bool("quick", false, "reduced sizes")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.What)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, id := range ids {
+		res, err := experiments.Run(strings.TrimSpace(id), cfg, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !res.Ok() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) had failing claims\n", failed)
+		os.Exit(1)
+	}
+}

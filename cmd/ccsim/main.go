@@ -1,0 +1,118 @@
+// Command ccsim runs one committee-coordination algorithm on one
+// topology and reports what happened: meetings convened, fairness and
+// concurrency statistics, and any specification violations caught by the
+// runtime monitors.
+//
+//	ccsim -alg cc2 -topo ring:10 -steps 20000
+//	ccsim -alg cc1 -topo fig1 -random-init          # snap-stabilization run
+//	ccsim -alg dining -topo triples:4               # related-work baseline
+//	ccsim -topo custom:'{0,1};{1,2,3};{3,4}' -alg cc3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		algName    = flag.String("alg", "cc2", "cc1 | cc2 | cc3 | dining | token-ring")
+		topo       = flag.String("topo", "fig1", "topology spec (see internal/hypergraph.Parse)")
+		steps      = flag.Int("steps", 10000, "max steps")
+		seed       = flag.Int64("seed", 1, "random seed")
+		disc       = flag.Int("disc", 2, "voluntary discussion length")
+		randomInit = flag.Bool("random-init", false, "start from an arbitrary configuration (CC only)")
+		daemonName = flag.String("daemon", "weakly-fair", "weakly-fair | synchronous | central | random")
+	)
+	flag.Parse()
+
+	h, err := hypergraph.Parse(*topo, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var d sim.Daemon
+	switch *daemonName {
+	case "weakly-fair":
+		d = &sim.WeaklyFair{MaxAge: 6}
+	case "synchronous":
+		d = sim.Synchronous{}
+	case "central":
+		d = &sim.Central{}
+	case "random":
+		d = sim.RandomSubset{P: 0.5}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown daemon %q\n", *daemonName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("topology: %s\n", h)
+	fmt.Printf("minMM=%d  MaxMin=%d  MaxHEdge=%d  Theorem5Bound=%d  Theorem8Bound=%d\n",
+		firstOf(h.MinMaximalMatching()), h.MaxMin(), h.MaxHEdge(), h.Theorem5Bound(), h.Theorem8Bound())
+
+	switch *algName {
+	case "cc1", "cc2", "cc3":
+		variant := map[string]core.Variant{"cc1": core.CC1, "cc2": core.CC2, "cc3": core.CC3}[*algName]
+		alg := core.New(variant, h, nil)
+		env := core.NewAlwaysClient(h.N(), *disc)
+		r := core.NewRunner(alg, d, env, *seed, *randomInit)
+		chk := r.Checker(0)
+		r.Run(*steps)
+		fmt.Printf("\n%s after %d steps (%d rounds):\n", variant, r.Engine.Steps(), r.Engine.Rounds())
+		fmt.Printf("  total convenes:    %d\n", r.TotalConvenes())
+		fmt.Printf("  per committee:     %v\n", r.Convenes)
+		fmt.Printf("  per professor:     %v\n", r.ProfMeetings)
+		fmt.Printf("  max wait (rounds): %v\n", r.MaxWaitRounds)
+		fmt.Printf("  mean concurrency:  %.2f (peak %d)\n", r.MeanConcurrency(), r.PeakConcurrency)
+		fmt.Printf("  meetings now:      %v\n", alg.Meetings(r.Config()))
+		report(chk.Violations)
+	case "dining", "token-ring":
+		kind := baseline.Dining
+		if *algName == "token-ring" {
+			kind = baseline.TokenRing
+		}
+		a := baseline.New(kind, h, *disc)
+		r := baseline.NewRunner(a, d, *seed)
+		chk := spec.NewChecker(a.Probe(), 0)
+		chk.Check(0, r.Engine.Config())
+		r.Engine.Observe(func(step int, cfg []baseline.BState, _ []sim.Exec) {
+			chk.Check(step, cfg)
+		})
+		r.Run(*steps)
+		fmt.Printf("\n%s after %d steps (%d rounds):\n", kind, r.Engine.Steps(), r.Engine.Rounds())
+		fmt.Printf("  total convenes:   %d\n", r.TotalConvenes())
+		fmt.Printf("  per committee:    %v\n", r.Convenes)
+		fmt.Printf("  per professor:    %v\n", r.ProfMeetings)
+		fmt.Printf("  mean concurrency: %.2f (peak %d)\n", r.MeanConcurrency(), r.PeakConcurrency)
+		report(chk.Violations)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+}
+
+func report(violations []spec.Violation) {
+	if len(violations) == 0 {
+		fmt.Println("  violations:        none")
+		return
+	}
+	fmt.Printf("  VIOLATIONS (%d):\n", len(violations))
+	for i, v := range violations {
+		if i == 10 {
+			fmt.Printf("    ... and %d more\n", len(violations)-10)
+			break
+		}
+		fmt.Printf("    %s\n", v)
+	}
+	os.Exit(1)
+}
+
+func firstOf(a int, _ []int) int { return a }

@@ -1,0 +1,72 @@
+// Faultdemo: snap-stabilization in action (paper §2.5).
+//
+// We run CC2 ∘ TC, then repeatedly blast transient faults — full state
+// corruption of random processes, duplicated tokens, scrambled meeting
+// pointers — and watch the system keep every post-fault meeting correct
+// with zero recovery delay: the runtime monitors (Exclusion,
+// Synchronization, Essential Discussion) stay silent, and meetings keep
+// convening. A self- but not snap-stabilizing algorithm could convene
+// bogus meetings while recovering; a non-stabilizing one (the dining
+// baseline) typically wedges or violates the spec.
+//
+//	go run ./examples/faultdemo
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+func main() {
+	h := hypergraph.Figure1()
+	fmt.Println("topology:", h)
+
+	alg := core.New(core.CC2, h, nil)
+	env := core.NewAlwaysClient(h.N(), 2)
+	runner := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, 3, false)
+	injector := fault.New(alg, 99)
+
+	runner.Run(1000)
+	fmt.Printf("warm-up: %d meetings in 1000 steps\n\n", runner.TotalConvenes())
+
+	kinds := []struct {
+		name string
+		hit  func() []int
+	}{
+		{"full-state corruption of 3 processes", func() []int { return injector.CorruptRandom(runner, 3) }},
+		{"token-layer corruption of every process", func() []int { return injector.CorruptTokens(runner, h.N()) }},
+		{"pointer/status corruption of 4 processes", func() []int { return injector.CorruptPointers(runner, 4) }},
+	}
+	for round, k := range kinds {
+		hit := k.hit()
+		monitor := runner.Checker(0) // judges only post-fault meetings
+		before := runner.TotalConvenes()
+		runner.Run(3000)
+		convened := runner.TotalConvenes() - before
+		fmt.Printf("fault burst %d: %s (processes %v)\n", round+1, k.name, hit)
+		fmt.Printf("  post-fault meetings convened: %d\n", convened)
+		fmt.Printf("  post-fault violations:        %d\n", len(monitor.Violations))
+		holders := alg.TC.Holders(tcLayer(runner.Config()))
+		fmt.Printf("  tokens in the system now:     %d (at %v)\n\n", len(holders), holders)
+		if len(monitor.Violations) > 0 {
+			fmt.Println("  UNEXPECTED:", monitor.Violations[0])
+		}
+	}
+
+	fmt.Println("snap-stabilization: every meeting convened after the last fault")
+	fmt.Println("satisfied Exclusion, Synchronization and the 2-Phase Discussion.")
+}
+
+func tcLayer(cfg []core.State) []tokenState {
+	out := make([]tokenState, len(cfg))
+	for i := range cfg {
+		out[i] = cfg[i].TC
+	}
+	return out
+}
+
+type tokenState = core.TokenState

@@ -1,0 +1,79 @@
+// Rendezvous: multiparty interaction scheduling for component-based
+// models (the paper's §1 motivation: distributed implementation of BIP /
+// CSP / Ada-style n-ary rendezvous).
+//
+// Components (processes) synchronize through named interactions
+// (committees): an interaction executes only when all its participants
+// are ready (Synchronization), conflicting interactions never overlap
+// (Exclusion = distributed mutual exclusion on shared components), every
+// participant performs its data transfer before anyone proceeds
+// (Essential Discussion), and — with CC3 — every *interaction* executes
+// infinitely often (Committee Fairness, §5.4), which is the scheduler
+// property component-based code generators need.
+//
+//	go run ./examples/rendezvous
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+type interaction struct {
+	name    string
+	parties hypergraph.Edge
+}
+
+func main() {
+	components := []string{"sensor0", "sensor1", "filter", "fusion", "logger", "actuator"}
+	interactions := []interaction{
+		{"sample0", hypergraph.Edge{0, 2}},  // sensor0 -> filter
+		{"sample1", hypergraph.Edge{1, 2}},  // sensor1 -> filter
+		{"fuse", hypergraph.Edge{2, 3}},     // filter -> fusion
+		{"log", hypergraph.Edge{3, 4}},      // fusion -> logger
+		{"act", hypergraph.Edge{3, 5}},      // fusion -> actuator
+		{"audit", hypergraph.Edge{0, 1, 4}}, // sensors + logger checkpoint
+	}
+	edges := make([]hypergraph.Edge, len(interactions))
+	for i, it := range interactions {
+		edges[i] = it.parties
+	}
+	h := hypergraph.MustNew(len(components), edges)
+
+	// CC3: every interaction is scheduled infinitely often.
+	alg := core.New(core.CC3, h, nil)
+	transfers := make([]int, len(interactions))
+	alg.OnEssential = func(p, e int) {
+		// The interaction body: each participant's data transfer happens
+		// inside the essential discussion, under mutual exclusion.
+		transfers[e]++
+	}
+	env := core.NewAlwaysClient(h.N(), 1)
+	runner := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, 11, false)
+	chk := runner.Checker(0)
+
+	shown := 0
+	runner.OnConvene(func(step, e int) {
+		if shown < 12 {
+			shown++
+			fmt.Printf("step %4d: interaction %-8s fires with", step, interactions[e].name)
+			for _, v := range h.Edge(e) {
+				fmt.Printf(" %s", components[v])
+			}
+			fmt.Println()
+		}
+	})
+	runner.Run(30000)
+
+	fmt.Printf("\nscheduler summary after %d steps:\n", runner.Engine.Steps())
+	for e, it := range interactions {
+		fmt.Printf("  %-8s fired %4d times, %4d participant transfers\n",
+			it.name, runner.Convenes[e], transfers[e])
+	}
+	fmt.Printf("  least-scheduled interaction fired %d times (committee fairness)\n",
+		runner.MinCommitteeConvenes())
+	fmt.Printf("  specification violations: %d\n", len(chk.Violations))
+}

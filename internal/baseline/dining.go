@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// The Chandy–Misra reduction [2]: each committee is a philosopher on the
+// conflict graph; neighbors share a fork; a hungry philosopher collects
+// all its forks and eats = the committee meeting convenes. Hygiene
+// (clean/dirty forks with the "yield dirty forks on request" rule) gives
+// freedom from starvation; the initial placement — every fork dirty, at
+// the lower-indexed committee — makes the precedence graph acyclic.
+
+// diningActions returns the committee-agent actions of the dining
+// baseline (professors use profActions).
+func (a *Alg) diningActions() []sim.Action[BState] {
+	forksComplete := func(cfg []BState, e int) bool {
+		st := &cfg[a.commNode(e)]
+		for i := range a.conflicts[e] {
+			if !st.Fork[i] {
+				return false
+			}
+		}
+		return true
+	}
+	actions := []sim.Action[BState]{
+		{
+			Name: "CHungry", // all members waiting: get hungry
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				return ok && cfg[p].Phase == CThinking && a.allMembersFree(cfg, e)
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				next.Phase = CHungry
+			},
+		},
+		{
+			Name: "CCalmDown", // members grabbed elsewhere: back to thinking
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				return ok && cfg[p].Phase == CHungry && !a.allMembersFree(cfg, e)
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				next.Phase = CThinking
+				// Hygiene invariant: a thinking philosopher holds only
+				// dirty forks (clean forks are never granted, so keeping
+				// one while thinking would deadlock the neighbor).
+				for i := range next.Dirty {
+					if next.Fork[i] {
+						next.Dirty[i] = true
+					}
+				}
+			},
+		},
+		{
+			Name: "CAsk", // request every missing fork
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				if !ok || cfg[p].Phase != CHungry {
+					return false
+				}
+				for i := range a.conflicts[e] {
+					if !cfg[p].Fork[i] && !cfg[p].Asked[i] {
+						return true
+					}
+				}
+				return false
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				e, _ := a.isComm(p)
+				for i := range a.conflicts[e] {
+					if !cfg[p].Fork[i] {
+						next.Asked[i] = true
+					}
+				}
+			},
+		},
+		{
+			Name: "CGrant", // hygiene: yield dirty forks to requesters (unless eating)
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				if !ok || cfg[p].Phase == CGather || cfg[p].Phase == CSession {
+					return false
+				}
+				for i, d := range a.conflicts[e] {
+					if cfg[p].Fork[i] && cfg[p].Dirty[i] && cfg[a.commNode(d)].Asked[a.cpos[d][e]] {
+						return true
+					}
+				}
+				return false
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				e, _ := a.isComm(p)
+				for i, d := range a.conflicts[e] {
+					if cfg[p].Fork[i] && cfg[p].Dirty[i] && cfg[a.commNode(d)].Asked[a.cpos[d][e]] {
+						next.Fork[i] = false
+						next.Dirty[i] = false
+					}
+				}
+			},
+		},
+		{
+			Name: "CTake", // pick up a granted fork (lower index wins races)
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				if !ok {
+					return false
+				}
+				for i, d := range a.conflicts[e] {
+					if a.canTake(cfg, e, i, d) {
+						return true
+					}
+				}
+				return false
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				e, _ := a.isComm(p)
+				for i, d := range a.conflicts[e] {
+					if a.canTake(cfg, e, i, d) {
+						next.Fork[i] = true
+						next.Dirty[i] = false // forks are cleaned when handed over
+						next.Asked[i] = false
+					}
+				}
+			},
+		},
+		{
+			Name: "CEat", // all forks + all members free: the meeting convenes
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				return ok && cfg[p].Phase == CHungry && forksComplete(cfg, e) &&
+					a.allMembersFree(cfg, e) && !a.conflictBusy(cfg, e)
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				next.Phase = CGather
+				for i := range next.Dirty {
+					if next.Fork[i] {
+						next.Dirty[i] = true // eating soils the forks
+					}
+				}
+			},
+		},
+	}
+	return append(actions, a.commonCommitteeActions(nil)...)
+}
+
+// canTake: the fork shared with d is in flight (neither side holds it),
+// e requested it, and the race tiebreak favors e (lower index, or the
+// other side did not also request).
+func (a *Alg) canTake(cfg []BState, e, i, d int) bool {
+	st := &cfg[a.commNode(e)]
+	if st.Fork[i] || !st.Asked[i] {
+		return false
+	}
+	other := &cfg[a.commNode(d)]
+	j := a.cpos[d][e]
+	if other.Fork[j] {
+		return false
+	}
+	return e < d || !other.Asked[j]
+}
+
+// diningInit returns the legitimate initial state: professors idle;
+// every fork dirty at the lower-indexed committee (acyclic precedence).
+func (a *Alg) diningInit(p int) BState {
+	s := BState{Club: -1}
+	if e, ok := a.isComm(p); ok {
+		k := len(a.conflicts[e])
+		s.Fork = make([]bool, k)
+		s.Dirty = make([]bool, k)
+		s.Asked = make([]bool, k)
+		for i, d := range a.conflicts[e] {
+			if e < d {
+				s.Fork[i] = true
+				s.Dirty[i] = true
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// The Bagrodia-style circulating-token baseline [3]: a single token
+// visits the committees in index order; only the token holder may
+// convene its committee, which serializes convene decisions and yields
+// the lowest concurrency of the distributed algorithms (exactly the
+// weakness §3.1 attributes to the token mechanism among conflicting
+// committees — here applied to all committees for the worst case).
+//
+// The token handover uses a two-step handshake (Handing flag) so that a
+// committee only relinquishes the token after its successor took it.
+
+// ringNext returns the committee after e in ring order.
+func (a *Alg) ringNext(e int) int { return (e + 1) % a.H.M() }
+
+func (a *Alg) ringPrev(e int) int { return (e + a.H.M() - 1) % a.H.M() }
+
+func (a *Alg) tokenRingActions() []sim.Action[BState] {
+	canConvene := func(cfg []BState, e int) bool {
+		return a.allMembersFree(cfg, e) && !a.conflictBusy(cfg, e)
+	}
+	actions := []sim.Action[BState]{
+		{
+			Name: "CConvene", // token holder convenes if possible
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				return ok && cfg[p].Phase == CThinking && cfg[p].HasTok && !cfg[p].Handing &&
+					canConvene(cfg, e)
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				next.Phase = CGather
+			},
+		},
+		{
+			Name: "CPassStart", // cannot (or need not) convene: start handover
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				if !ok || !cfg[p].HasTok || cfg[p].Handing {
+					return false
+				}
+				switch cfg[p].Phase {
+				case CThinking:
+					return !canConvene(cfg, e)
+				case CSession:
+					return true // meeting is running; move on
+				}
+				return false
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				next.Handing = true
+			},
+		},
+		{
+			Name: "CTakeTok", // successor picks the token up
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				if !ok || cfg[p].HasTok {
+					return false
+				}
+				pred := a.commNode(a.ringPrev(e))
+				return cfg[pred].HasTok && cfg[pred].Handing
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				next.HasTok = true
+			},
+		},
+		{
+			Name: "CPassEnd", // successor holds it: drop ours
+			Guard: func(cfg []BState, p int) bool {
+				e, ok := a.isComm(p)
+				if !ok || !cfg[p].HasTok || !cfg[p].Handing {
+					return false
+				}
+				return cfg[a.commNode(a.ringNext(e))].HasTok
+			},
+			Body: func(cfg []BState, p int, next *BState, _ *rand.Rand) {
+				next.HasTok = false
+				next.Handing = false
+			},
+		},
+	}
+	return append(actions, a.commonCommitteeActions(nil)...)
+}
+
+// tokenRingInit: professors idle; the token starts at committee 0.
+func (a *Alg) tokenRingInit(p int) BState {
+	s := BState{Club: -1}
+	if e, ok := a.isComm(p); ok && e == 0 {
+		s.HasTok = true
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// This file transcribes Algorithm 1 (CC1) of the paper. All macro and
+// predicate names match the paper's; comments quote the definitions.
+
+// freeEdges1 — FreeEdges_p = {ε ∈ E_p | ∀q ∈ ε : S_q = looking}.
+func (a *Alg) freeEdges1(cfg []State, p int) []int {
+	var out []int
+	for _, e := range a.H.EdgesOf(p) {
+		if a.allMembers(cfg, e, func(q int) bool { return cfg[q].S == Looking }) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// cands1 — FreeNodes_p = {q | ∃ε ∈ FreeEdges_p : q ∈ ε};
+// TFreeNodes_p = {q ∈ FreeNodes_p | T_q};
+// Cands_p = TFreeNodes_p if non-empty, else FreeNodes_p.
+func (a *Alg) cands1(cfg []State, p int) []int {
+	free := a.freeEdges1(cfg, p)
+	seen := map[int]bool{}
+	var freeNodes []int
+	for _, e := range free {
+		for _, q := range a.H.Edge(e) {
+			if !seen[q] {
+				seen[q] = true
+				freeNodes = append(freeNodes, q)
+			}
+		}
+	}
+	var tnodes []int
+	for _, q := range freeNodes {
+		if cfg[q].T {
+			tnodes = append(tnodes, q)
+		}
+	}
+	if len(tnodes) > 0 {
+		return tnodes
+	}
+	return freeNodes
+}
+
+// localMax1 — LocalMax(p) ≡ p = max(Cands_p) (by identifier).
+func (a *Alg) localMax1(cfg []State, p int) bool {
+	cands := a.cands1(cfg, p)
+	if len(cands) == 0 {
+		return false
+	}
+	return a.maxByID(cands) == p
+}
+
+// maxToFreeEdge1 — MaxToFreeEdge(p) ≡ (FreeEdges_p ≠ ∅) ∧ LocalMax(p) ∧
+// ¬Ready(p) ∧ (P_p ∉ FreeEdges_p).
+func (a *Alg) maxToFreeEdge1(cfg []State, p int) bool {
+	free := a.freeEdges1(cfg, p)
+	if len(free) == 0 || !a.localMax1(cfg, p) || a.Ready(cfg, p) {
+		return false
+	}
+	return !containsEdge(free, cfg[p].P)
+}
+
+// joinLocalMax1 — JoinLocalMax(p) ≡ (FreeEdges_p ≠ ∅) ∧ ¬LocalMax(p) ∧
+// ¬Ready(p) ∧ (∃ε ∈ FreeEdges_p : (P_max(Cands_p) = ε ∧ P_p ≠ ε)).
+func (a *Alg) joinLocalMax1(cfg []State, p int) bool {
+	free := a.freeEdges1(cfg, p)
+	if len(free) == 0 || a.localMax1(cfg, p) || a.Ready(cfg, p) {
+		return false
+	}
+	mc := a.maxByID(a.cands1(cfg, p))
+	target := cfg[mc].P
+	return containsEdge(free, target) && cfg[p].P != target
+}
+
+// leaveMeeting1 — LeaveMeeting(p) ≡ ∃ε ∈ E_p :
+// ((P_p = ε) ∧ (∀q ∈ ε : ((P_q = ε) ⇒ (S_q = done)))).
+func (a *Alg) leaveMeeting1(cfg []State, p int) bool {
+	e := cfg[p].P
+	if e == NoEdge || !containsEdge(a.H.EdgesOf(p), e) {
+		return false
+	}
+	return a.allMembers(cfg, e, func(q int) bool {
+		return cfg[q].P != e || cfg[q].S == Done
+	})
+}
+
+// useless1 — Useless(p) ≡ Token(p) ∧ [(S_p = idle) ∨
+// (S_p = looking ∧ FreeEdges_p = ∅)].
+func (a *Alg) useless1(cfg []State, p int) bool {
+	if !a.Token(cfg, p) {
+		return false
+	}
+	if cfg[p].S == Idle {
+		return true
+	}
+	return cfg[p].S == Looking && len(a.freeEdges1(cfg, p)) == 0
+}
+
+// Correct1 — Correct(p) ≡ [(S_p = idle) ⇒ (P_p = ⊥)] ∧
+// [(S_p = waiting) ⇒ Ready(p) ∨ Meeting(p)] ∧
+// [(S_p = done) ⇒ Meeting(p) ∨ LeaveMeeting(p)].
+func (a *Alg) Correct1(cfg []State, p int) bool {
+	switch cfg[p].S {
+	case Idle:
+		return cfg[p].P == NoEdge
+	case Waiting:
+		return a.Ready(cfg, p) || a.Meeting(cfg, p)
+	case Done:
+		return a.Meeting(cfg, p) || a.leaveMeeting1(cfg, p)
+	}
+	return true
+}
+
+// cc1Actions returns Algorithm 1's action list in the paper's code order
+// (Step1 first, Stab2 last; the engine gives priority to later entries).
+func (a *Alg) cc1Actions() []sim.Action[State] {
+	return []sim.Action[State]{
+		{
+			Name: "Step1", // RequestIn(p) ∧ S_p = idle → S_p := looking; P_p := ⊥
+			Guard: func(cfg []State, p int) bool {
+				return a.Env.RequestIn(p) && cfg[p].S == Idle
+			},
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				next.S = Looking
+				next.P = NoEdge
+			},
+		},
+		{
+			Name:  "Step21", // MaxToFreeEdge(p) → P_p := ε ∈ FreeEdges_p
+			Guard: func(cfg []State, p int) bool { return a.maxToFreeEdge1(cfg, p) },
+			Body: func(cfg []State, p int, next *State, rng *rand.Rand) {
+				free := a.freeEdges1(cfg, p)
+				next.P = free[0]
+				if a.Choose != nil {
+					next.P = a.Choose(p, free, rng)
+				}
+			},
+		},
+		{
+			Name:  "Step22", // JoinLocalMax(p) → P_p := P_max(Cands_p)
+			Guard: func(cfg []State, p int) bool { return a.joinLocalMax1(cfg, p) },
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				mc := a.maxByID(a.cands1(cfg, p))
+				next.P = cfg[mc].P
+			},
+		},
+		{
+			Name:  "Token1", // Token(p) ≠ T_p → T_p := Token(p)
+			Guard: func(cfg []State, p int) bool { return a.Token(cfg, p) != cfg[p].T },
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				next.T = a.Token(cfg, p)
+			},
+		},
+		{
+			Name:  "Token2", // Useless(p) → ReleaseToken_p; T_p := false
+			Guard: func(cfg []State, p int) bool { return a.useless1(cfg, p) },
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				a.releaseToken(cfg, p, next)
+				next.T = false
+			},
+		},
+		{
+			Name: "Step31", // Ready(p) ∧ S_p = looking → S_p := waiting
+			Guard: func(cfg []State, p int) bool {
+				return a.Ready(cfg, p) && cfg[p].S == Looking
+			},
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				next.S = Waiting
+			},
+		},
+		{
+			Name: "Step32", // Meeting(p) ∧ S_p = waiting → 〈Essential〉; S_p := done
+			Guard: func(cfg []State, p int) bool {
+				return a.Meeting(cfg, p) && cfg[p].S == Waiting
+			},
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				if a.OnEssential != nil {
+					a.OnEssential(p, cfg[p].P)
+				}
+				next.S = Done
+			},
+		},
+		{
+			Name: "Step4", // LeaveMeeting(p) ∧ RequestOut(p) → leave
+			Guard: func(cfg []State, p int) bool {
+				return a.leaveMeeting1(cfg, p) && a.Env.RequestOut(p)
+			},
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				next.S = Idle
+				next.P = NoEdge
+				if a.Token(cfg, p) {
+					a.releaseToken(cfg, p, next)
+				}
+				next.T = false
+			},
+		},
+		{
+			Name: "Stab1", // ¬Correct(p) ∧ S_p = idle → P_p := ⊥
+			Guard: func(cfg []State, p int) bool {
+				return !a.Correct1(cfg, p) && cfg[p].S == Idle
+			},
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				next.P = NoEdge
+			},
+		},
+		{
+			Name: "Stab2", // ¬Correct(p) ∧ S_p ≠ idle → S_p := looking; P_p := ⊥
+			Guard: func(cfg []State, p int) bool {
+				return !a.Correct1(cfg, p) && cfg[p].S != Idle
+			},
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				next.S = Looking
+				next.P = NoEdge
+			},
+		},
+	}
+}
+
+func containsEdge(edges []int, e int) bool {
+	for _, x := range edges {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}

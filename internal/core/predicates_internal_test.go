@@ -1,0 +1,407 @@
+package core
+
+// White-box unit tests for the macro and predicate formulas of
+// Algorithms 1 and 2, checked against hand-built configurations of the
+// paper's own examples. These pin the exact formula semantics the
+// engine-level tests rely on.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// mkAlg builds an Alg without environment (predicates don't consult it).
+func mkAlg(v Variant, h *hypergraph.H) *Alg { return New(v, h, nil) }
+
+// blank returns an all-Looking configuration with no pointers.
+func blank(n int) []State {
+	cfg := make([]State, n)
+	for i := range cfg {
+		cfg[i] = State{S: Looking, P: NoEdge}
+	}
+	return cfg
+}
+
+func TestFreeEdges1(t *testing.T) {
+	h := hypergraph.Figure1() // e0={0,1} e1={0,1,2,3} e2={1,3,4} e3={2,5} e4={3,5}
+	a := mkAlg(CC1, h)
+	cfg := blank(6)
+	// Everyone looking: every edge is free.
+	for p := 0; p < 6; p++ {
+		if got := a.freeEdges1(cfg, p); !reflect.DeepEqual(got, h.EdgesOf(p)) {
+			t.Fatalf("freeEdges1(%d) = %v, want %v", p, got, h.EdgesOf(p))
+		}
+	}
+	// Professor 3 goes waiting: every edge containing 3 stops being free.
+	cfg[3].S = Waiting
+	want := map[int][]int{
+		0: {0}, // e1 contains 3
+		1: {0}, // e1, e2 contain 3
+		2: {3}, // e1 contains 3
+		3: nil, // all of 3's edges contain 3
+		4: nil, // e2 contains 3
+		5: {3}, // e4 contains 3
+	}
+	for p, w := range want {
+		if got := a.freeEdges1(cfg, p); !reflect.DeepEqual(got, w) {
+			t.Fatalf("freeEdges1(%d) after 3 waits = %v, want %v", p, got, w)
+		}
+	}
+}
+
+func TestCands1TokenPreference(t *testing.T) {
+	h := hypergraph.Figure1()
+	a := mkAlg(CC1, h)
+	cfg := blank(6)
+	// No token mirror set: Cands = FreeNodes of 0's free edges
+	// (e0={0,1}, e1={0,1,2,3} — e2={1,3,4} is not incident to 0).
+	if cands := a.cands1(cfg, 0); !reflect.DeepEqual(sortedCopy(cands), []int{0, 1, 2, 3}) {
+		t.Fatalf("cands1(0) = %v, want {0,1,2,3}", cands)
+	}
+	// Without tokens, the identifier max of 0's candidate set is vertex 3
+	// (id 4); vertex 0 itself is not a local max. Vertex 5 (id 6) is the
+	// max of its own neighborhood {2,3,5}.
+	if a.maxByID(a.cands1(cfg, 0)) != 3 || a.localMax1(cfg, 0) {
+		t.Fatal("identifier max of Cands_0 must be vertex 3")
+	}
+	if !a.localMax1(cfg, 5) {
+		t.Fatal("vertex 5 is the max of its own neighborhood")
+	}
+	// Token mirror at vertex 2: TFreeNodes = {2} takes precedence in every
+	// neighborhood that can see it.
+	cfg[2].T = true
+	if got := a.cands1(cfg, 0); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("cands1 with T_2 = %v, want [2]", got)
+	}
+	if a.localMax1(cfg, 3) {
+		t.Fatal("vertex 3 must defer to the free token holder in its neighborhood")
+	}
+	if !a.localMax1(cfg, 2) {
+		t.Fatal("token holder must be the local max")
+	}
+	// Vertex 4's neighborhood (free edge e2={1,3,4}) cannot see vertex 2's
+	// token: its Cands stay {1,3,4} and 4 is its own local max.
+	if !a.localMax1(cfg, 4) {
+		t.Fatal("token preference is per-neighborhood")
+	}
+}
+
+func TestReadyMeetingLeaveMeeting1(t *testing.T) {
+	h := hypergraph.Figure2() // e0={0,1} e1={0,2,4} e2={2,3}
+	a := mkAlg(CC1, h)
+	cfg := blank(5)
+
+	// Ready: both members point e0, looking.
+	cfg[0].P, cfg[1].P = 0, 0
+	for _, p := range []int{0, 1} {
+		if !a.Ready(cfg, p) {
+			t.Fatalf("Ready(%d) should hold", p)
+		}
+	}
+	if a.Meeting(cfg, 0) {
+		t.Fatal("no meeting while members are looking")
+	}
+
+	// Meeting: members waiting.
+	cfg[0].S, cfg[1].S = Waiting, Waiting
+	if !a.Meeting(cfg, 0) || !a.EdgeMeets(cfg, 0) {
+		t.Fatal("meeting should hold with members waiting+pointing")
+	}
+	// Ready still holds (looking-or-waiting).
+	if !a.Ready(cfg, 0) {
+		t.Fatal("Ready holds for waiting members too")
+	}
+	// LeaveMeeting requires everyone pointing to be done.
+	if a.leaveMeeting1(cfg, 0) {
+		t.Fatal("cannot leave before essential discussion")
+	}
+	cfg[0].S, cfg[1].S = Done, Done
+	if !a.leaveMeeting1(cfg, 0) || !a.leaveMeeting1(cfg, 1) {
+		t.Fatal("LeaveMeeting should hold with all pointing members done")
+	}
+	// One member departs: the other may still leave (P_q = ε ⇒ done).
+	cfg[1].S, cfg[1].P = Idle, NoEdge
+	if !a.leaveMeeting1(cfg, 0) {
+		t.Fatal("LeaveMeeting holds after a member already left")
+	}
+	// But not with a pointer to an edge p is not in.
+	cfg[0].P = 2 // e2 = {2,3}, vertex 0 not a member
+	if a.leaveMeeting1(cfg, 0) {
+		t.Fatal("LeaveMeeting must ignore non-incident pointers")
+	}
+}
+
+func TestCorrect1Cases(t *testing.T) {
+	h := hypergraph.Figure2()
+	a := mkAlg(CC1, h)
+	cfg := blank(5)
+
+	// Looking is always correct, any pointer.
+	cfg[0].P = 1
+	if !a.Correct1(cfg, 0) {
+		t.Fatal("looking must be correct")
+	}
+	// Idle with a pointer is incorrect.
+	cfg[0].S, cfg[0].P = Idle, 1
+	if a.Correct1(cfg, 0) {
+		t.Fatal("idle with pointer must be incorrect")
+	}
+	cfg[0].P = NoEdge
+	if !a.Correct1(cfg, 0) {
+		t.Fatal("idle with ⊥ is correct")
+	}
+	// Waiting without Ready/Meeting is incorrect.
+	cfg[0].S, cfg[0].P = Waiting, 0
+	if a.Correct1(cfg, 0) {
+		t.Fatal("waiting without support must be incorrect")
+	}
+	cfg[1].P = 0 // now Ready(0) holds
+	if !a.Correct1(cfg, 0) {
+		t.Fatal("waiting with Ready must be correct")
+	}
+	// Done with the partner gone entirely (P=⊥) is still correct — the
+	// LeaveMeeting disjunct covers a terminated meeting.
+	cfg[0].S, cfg[0].P = Done, 0
+	cfg[1].S, cfg[1].P = Looking, NoEdge
+	if !a.Correct1(cfg, 0) {
+		t.Fatal("done in a terminated meeting satisfies LeaveMeeting")
+	}
+	// But done with a partner still pointing-and-looking is incorrect:
+	// neither Meeting (partner not waiting/done) nor LeaveMeeting
+	// (pointing partner not done).
+	cfg[1].P = 0
+	if a.Correct1(cfg, 0) {
+		t.Fatal("done with a looking pointing partner must be incorrect")
+	}
+}
+
+func TestUseless1(t *testing.T) {
+	h := hypergraph.Figure2()
+	a := mkAlg(CC1, h)
+	cfg := blank(5)
+	for p := range cfg {
+		cfg[p].TC = a.TC.LegitState(p)
+	}
+	holder := a.TC.Holders(tcOf(cfg))[0]
+
+	// Holder looking with free edges: not useless.
+	if a.useless1(cfg, holder) {
+		t.Fatal("holder with free edges is not useless")
+	}
+	// Holder idle: useless.
+	cfg[holder].S = Idle
+	cfg[holder].P = NoEdge
+	if !a.useless1(cfg, holder) {
+		t.Fatal("idle holder is useless")
+	}
+	// Holder looking but no free edges (everyone else busy): useless.
+	cfg[holder].S = Looking
+	for p := range cfg {
+		if p != holder {
+			cfg[p].S = Done
+		}
+	}
+	if !a.useless1(cfg, holder) {
+		t.Fatal("holder with no free edges is useless")
+	}
+	// Non-holders are never useless.
+	for p := range cfg {
+		if p != holder && a.useless1(cfg, p) {
+			t.Fatalf("non-holder %d reported useless", p)
+		}
+	}
+}
+
+func TestCC2LockedAndTPointing(t *testing.T) {
+	h := hypergraph.Figure4() // e0={0,1,4,7} e1={2,3,4} e2={5,6,8} e3={7,8}
+	a := mkAlg(CC2, h)
+	cfg := blank(9)
+	// Token holder vertex 0 points e0 and mirrors T.
+	cfg[0].P, cfg[0].T = 0, true
+	// Members of e0 are locked; others are not.
+	for _, p := range []int{0, 1, 4, 7} {
+		if !a.locked(cfg, p) {
+			t.Fatalf("member %d of the token committee must be locked", p)
+		}
+		if got := a.tPointingEdges(cfg, p); !reflect.DeepEqual(got, []int{0}) {
+			t.Fatalf("tPointingEdges(%d) = %v", p, got)
+		}
+	}
+	for _, p := range []int{2, 3, 5, 6, 8} {
+		if a.locked(cfg, p) {
+			t.Fatalf("non-member %d must not be locked", p)
+		}
+	}
+	// Figure 4's point: once lock bits are published, {8,9} (e3) is not a
+	// free edge for vertex 8, but {6,7,9} (e2) is.
+	cfg[7].L = true // professor 8 publishes its lock
+	free := a.freeEdges2(cfg, 8)
+	if !reflect.DeepEqual(free, []int{2}) {
+		t.Fatalf("freeEdges2(8) = %v, want [2] ({6,7,9})", free)
+	}
+	// The token holder itself never satisfies MaxToFreeEdge/JoinLocalMax.
+	if a.maxToFreeEdge2(cfg, 0) || a.joinLocalMax2(cfg, 0) {
+		t.Fatal("token-related guards must exclude the holder")
+	}
+}
+
+func TestCC2JoinTokenTarget(t *testing.T) {
+	h := hypergraph.Figure4()
+	a := mkAlg(CC2, h)
+	cfg := blank(9)
+	cfg[0].P, cfg[0].T = 0, true // holder at vertex 0 points e0
+	if e := a.joinTokenTarget(cfg, 1); e != 0 {
+		t.Fatalf("joinTokenTarget(1) = %d, want e0", e)
+	}
+	// Two transient holders: the greater identifier wins. Vertex 7 (id 8)
+	// claims e3.
+	cfg[7].P, cfg[7].T = 3, true
+	if e := a.joinTokenTarget(cfg, 8); e != 3 {
+		t.Fatalf("joinTokenTarget(8) = %d, want e3 (holder id 8 > id 1)", e)
+	}
+	// Vertex 8 is in e2 and e3 but not e0; vertex 4 is in e0 and e1.
+	if e := a.joinTokenTarget(cfg, 4); e != 0 {
+		t.Fatalf("joinTokenTarget(4) = %d, want e0", e)
+	}
+	// A done holder does not attract joiners.
+	cfg[7].S = Done
+	if e := a.joinTokenTarget(cfg, 8); e != NoEdge {
+		t.Fatalf("done holders must not attract: got %d", e)
+	}
+}
+
+func TestCC2LeaveMeetingRequiresDoneSelf(t *testing.T) {
+	h := hypergraph.Figure2()
+	a := mkAlg(CC2, h)
+	cfg := blank(5)
+	cfg[0].P, cfg[1].P = 0, 0
+	cfg[0].S, cfg[1].S = Done, Done
+	if !a.leaveMeeting2(cfg, 0) {
+		t.Fatal("LeaveMeeting2 should hold with all done")
+	}
+	// CC2's formula: members still waiting block the leave.
+	cfg[1].S = Waiting
+	if a.leaveMeeting2(cfg, 0) {
+		t.Fatal("a waiting member blocks leaving")
+	}
+	// ... and the leaver itself must be done.
+	cfg[0].S, cfg[1].S = Waiting, Done
+	if a.leaveMeeting2(cfg, 0) {
+		t.Fatal("only done professors may leave")
+	}
+}
+
+func TestCC3CursorBehaviour(t *testing.T) {
+	h := hypergraph.Figure1()
+	a := mkAlg(CC3, h)
+	cfg := blank(6)
+	for p := range cfg {
+		cfg[p].TC = a.TC.LegitState(p)
+	}
+	holder := a.TC.Holders(tcOf(cfg))[0] // vertex 0
+	if holder != 0 {
+		t.Fatalf("legit holder = %d, want 0", holder)
+	}
+	// Vertex 0's committees: e0={0,1}, e1={0,1,2,3}. The CC3 target is
+	// E_p[R] regardless of committee size.
+	cfg[0].R = 1
+	if e := a.tokenTarget(cfg, 0, nil); e != 1 {
+		t.Fatalf("CC3 target with R=1 is %d, want e1", e)
+	}
+	if !a.tokenWants(cfg, 0) {
+		t.Fatal("holder should want to point at its cursor committee")
+	}
+	cfg[0].P = 1
+	if a.tokenWants(cfg, 0) {
+		t.Fatal("holder already points at the cursor committee")
+	}
+	// Corrupted cursors normalize.
+	if normCursor(-7, 3) < 0 || normCursor(-7, 3) > 2 {
+		t.Fatal("normCursor out of range")
+	}
+	if normCursor(5, 0) != 0 {
+		t.Fatal("normCursor with no edges must be 0")
+	}
+	// CC2 on the same state targets the *smallest* committee (e0).
+	a2 := mkAlg(CC2, h)
+	cfg[0].P = NoEdge
+	if e := a2.tokenTarget(cfg, 0, nil); e != 0 {
+		t.Fatalf("CC2 target = %d, want min edge e0", e)
+	}
+}
+
+func TestProgramActionOrder(t *testing.T) {
+	// The composed program's priority structure: Stab last (highest), TC
+	// block just below, CC actions in paper order below that.
+	for _, v := range []Variant{CC1, CC2, CC3} {
+		a := mkAlg(v, hypergraph.Figure1())
+		a.Env = NewAlwaysClient(6, 1)
+		prog := a.Program(false)
+		names := make([]string, len(prog.Actions))
+		for i, act := range prog.Actions {
+			names[i] = act.Name
+		}
+		last := names[len(names)-1]
+		if v == CC1 && last != "Stab2" {
+			t.Fatalf("%v: last action = %s, want Stab2 (priority)", v, last)
+		}
+		if v != CC1 && last != "Stab" {
+			t.Fatalf("%v: last action = %s, want Stab (priority)", v, last)
+		}
+		// TC-LE is directly below the Stab block.
+		stabCount := 1
+		if v == CC1 {
+			stabCount = 2
+		}
+		if got := names[len(names)-stabCount-1]; got != "TC-LE" {
+			t.Fatalf("%v: action below Stab = %s, want TC-LE", v, got)
+		}
+		if names[0] == "TC-Resume" {
+			t.Fatalf("%v: TC actions must not be the lowest priority", v)
+		}
+	}
+}
+
+func TestRandomStateDomains(t *testing.T) {
+	h := hypergraph.Figure1()
+	for _, v := range []Variant{CC1, CC2, CC3} {
+		a := mkAlg(v, h)
+		rng := newRand(5)
+		for i := 0; i < 200; i++ {
+			for p := 0; p < h.N(); p++ {
+				s := a.RandomState(p, rng)
+				if v != CC1 && s.S == Idle {
+					t.Fatalf("%v: random state produced idle", v)
+				}
+				if s.P != NoEdge && !containsEdge(h.EdgesOf(p), s.P) {
+					t.Fatalf("pointer %d outside E_%d", s.P, p)
+				}
+				if m := len(h.EdgesOf(p)); m > 0 && (s.R < 0 || s.R >= m) {
+					t.Fatalf("cursor %d outside [0,%d)", s.R, m)
+				}
+			}
+		}
+	}
+}
+
+func tcOf(cfg []State) []TokenState {
+	out := make([]TokenState, len(cfg))
+	for i := range cfg {
+		out[i] = cfg[i].TC
+	}
+	return out
+}
+
+func sortedCopy(xs []int) []int {
+	c := append([]int(nil), xs...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	return c
+}
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Probe adapts the algorithm to the spec monitors: the abstract
+// predicates of §4.2 mapping the implementation statuses onto the
+// original problem's professor states.
+func (a *Alg) Probe() spec.Probe[State] {
+	return spec.Probe[State]{
+		H:     a.H,
+		Meets: func(cfg []State, e int) bool { return a.EdgeMeets(cfg, e) },
+		Waiting: func(cfg []State, p int) bool {
+			return a.WaitingAbstract(cfg, p)
+		},
+		Done: func(cfg []State, p int) bool { return cfg[p].S == Done },
+	}
+}
+
+// Checker builds a spec.Checker wired to a Runner: it validates the
+// initial configuration and every subsequent step.
+func (r *Runner) Checker(progressWindow int) *spec.Checker[State] {
+	c := spec.NewChecker(r.Alg.Probe(), progressWindow)
+	c.Check(0, r.Engine.Config())
+	r.Engine.Observe(func(step int, cfg []State, _ []sim.Exec) {
+		c.Check(step, cfg)
+	})
+	return c
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// Correct dispatches to the variant's Correct(p) predicate (Lemmas 3/8:
+// once Correct(p) holds it holds forever; Corollaries 3/5: it holds for
+// every process after at most one round).
+func (a *Alg) Correct(cfg []State, p int) bool {
+	if a.Variant == CC1 {
+		return a.Correct1(cfg, p)
+	}
+	return a.Correct2(cfg, p)
+}
+
+// AllCorrect reports whether every process satisfies Correct.
+func (a *Alg) AllCorrect(cfg []State) bool {
+	for p := range cfg {
+		if !a.Correct(cfg, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// tcActions returns TC's autonomous actions: leader election, the
+// (Vis, Des) normalization, the chain corrections (which destroy
+// spurious tokens without moving the real one — Property 1's "TC
+// stabilizes independently of the activations of T"), and the Join/
+// Resume halves of a token handover (which only complete passes already
+// initiated by a CC-level ReleaseToken). They sit *above* the ordinary
+// CC actions — so a process whose TC layer is inconsistent repairs it
+// before conducting committee business, realizing the paper's fair
+// composition (a process can have some CC action enabled forever, which
+// would otherwise starve its TC actions) — but *below* Stab1/Stab2,
+// which must remain "the priority actions" the paper's proofs rely on
+// (Corollaries 3/5: Correct(p) within one round). TC actions are
+// enabled only while the TC layer is inconsistent or a handover is in
+// flight, so they cannot starve the CC layer either.
+func (a *Alg) tcActions() []sim.Action[State] {
+	type tcAct struct {
+		name    string
+		enabled func(token.View, int) bool
+		body    func(token.View, int, *token.State)
+	}
+	acts := []tcAct{
+		{"TC-Resume", a.TC.ResumeEnabled, a.TC.ResumeBody},
+		{"TC-Join", a.TC.JoinEnabled, a.TC.JoinBody},
+		{"TC-ChainFix", a.TC.ChainFixEnabled, a.TC.ChainFixBody},
+		{"TC-Norm", a.TC.NormEnabled, a.TC.NormBody},
+		{"TC-LE", a.TC.LeaderEnabled, a.TC.LeaderBody},
+	}
+	out := make([]sim.Action[State], len(acts))
+	for i, act := range acts {
+		act := act
+		out[i] = sim.Action[State]{
+			Name: act.name,
+			Guard: func(cfg []State, p int) bool {
+				return act.enabled(tcView(cfg), p)
+			},
+			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
+				act.body(tcView(cfg), p, &next.TC)
+			},
+		}
+	}
+	return out
+}
+
+// Program assembles the composed CC ∘ TC guarded-action program. Action
+// priority is positional (later = higher, §2.2): the CC actions appear
+// in the paper's code order with Stab last (highest), and TC's actions
+// sit below the whole CC list. randomInit selects arbitrary initial
+// configurations (snap-stabilization experiments) versus the canonical
+// fault-free one.
+func (a *Alg) Program(randomInit bool) *sim.Program[State] {
+	if a.Env == nil {
+		panic("core: Alg.Env must be set before Program()")
+	}
+	var cc []sim.Action[State]
+	nStab := 0
+	if a.Variant == CC1 {
+		cc = a.cc1Actions()
+		nStab = 2 // Stab1, Stab2
+	} else {
+		cc = a.cc2Actions()
+		nStab = 1 // Stab
+	}
+	split := len(cc) - nStab
+	actions := make([]sim.Action[State], 0, len(cc)+5)
+	actions = append(actions, cc[:split]...)
+	actions = append(actions, a.tcActions()...)
+	actions = append(actions, cc[split:]...)
+	return &sim.Program[State]{
+		NumProcs: a.H.N(),
+		Actions:  actions,
+		Init: func(p int, rng *rand.Rand) State {
+			if randomInit {
+				return a.RandomState(p, rng)
+			}
+			return a.LegitState(p)
+		},
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+// Reproduction of Remark 2 and Remark 4: the guards of the Step actions
+// are mutually exclusive at each professor, in every reachable (and even
+// arbitrary) configuration. The proofs use this to identify "the"
+// enabled Step action of a process.
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+// cc1StepGuards evaluates the six guards of Remark 2 for process p.
+func cc1StepGuards(a *Alg, cfg []State, p int) []bool {
+	reqIn := a.Env.RequestIn(p)
+	reqOut := a.Env.RequestOut(p)
+	return []bool{
+		reqIn && cfg[p].S == Idle,                // Step1
+		a.maxToFreeEdge1(cfg, p),                 // Step21
+		a.joinLocalMax1(cfg, p),                  // Step22
+		a.Ready(cfg, p) && cfg[p].S == Looking,   // Step31
+		a.Meeting(cfg, p) && cfg[p].S == Waiting, // Step32
+		a.leaveMeeting1(cfg, p) && reqOut,        // Step4
+	}
+}
+
+// cc2StepGuards evaluates the seven guards of Remark 4 for process p.
+func cc2StepGuards(a *Alg, cfg []State, p int) []bool {
+	reqOut := a.Env.RequestOut(p)
+	return []bool{
+		a.tokenHolderToEdge(cfg, p),              // Step11
+		a.joinTokenHolder(cfg, p),                // Step12
+		a.maxToFreeEdge2(cfg, p),                 // Step13
+		a.joinLocalMax2(cfg, p),                  // Step14
+		a.Ready(cfg, p) && cfg[p].S == Looking,   // Step2
+		a.Meeting(cfg, p) && cfg[p].S == Waiting, // Step3
+		a.leaveMeeting2(cfg, p) && reqOut,        // Step4
+	}
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRemark2GuardsMutuallyExclusive(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		h := hypergraph.Figure1()
+		alg := New(CC1, h, nil)
+		env := NewAlwaysClient(h.N(), 2)
+		r := NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed, true)
+		for i := 0; i < 500; i++ {
+			cfg := r.Config()
+			for p := 0; p < h.N(); p++ {
+				if n := countTrue(cc1StepGuards(alg, cfg, p)); n > 1 {
+					t.Fatalf("seed %d step %d: %d Step guards enabled at process %d (Remark 2)",
+						seed, i, n, p)
+				}
+			}
+			if r.Run(1) == 0 {
+				break
+			}
+		}
+	}
+}
+
+func TestRemark4GuardsMutuallyExclusive(t *testing.T) {
+	for _, variant := range []Variant{CC2, CC3} {
+		for seed := int64(0); seed < 4; seed++ {
+			h := hypergraph.Figure4()
+			alg := New(variant, h, nil)
+			env := NewAlwaysClient(h.N(), 2)
+			r := NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed, true)
+			for i := 0; i < 500; i++ {
+				cfg := r.Config()
+				for p := 0; p < h.N(); p++ {
+					if n := countTrue(cc2StepGuards(alg, cfg, p)); n > 1 {
+						t.Fatalf("%v seed %d step %d: %d Step guards enabled at process %d (Remark 4)",
+							variant, seed, i, n, p)
+					}
+				}
+				if r.Run(1) == 0 {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Remark 3: a waiting process that is not Correct stays waiting (at
+// least) until it satisfies Correct — its only enabled CC action is a
+// Stab action, which resets it to looking, and that is exactly the
+// transition the remark allows ("it remains waiting until..."): the
+// abstract waiting state covers both looking and waiting.
+func TestRemark3WaitingStaysAbstractWaiting(t *testing.T) {
+	h := hypergraph.Figure1()
+	alg := New(CC1, h, nil)
+	env := NewAlwaysClient(h.N(), 2)
+	r := NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, 11, true)
+	for i := 0; i < 400; i++ {
+		cfg := r.Config()
+		type snap struct{ incorrectWaiting bool }
+		before := make([]snap, h.N())
+		for p := 0; p < h.N(); p++ {
+			before[p].incorrectWaiting = alg.WaitingAbstract(cfg, p) && !alg.Correct(cfg, p)
+		}
+		if r.Run(1) == 0 {
+			break
+		}
+		cfg = r.Config()
+		for p := 0; p < h.N(); p++ {
+			if before[p].incorrectWaiting && !alg.WaitingAbstract(cfg, p) {
+				t.Fatalf("step %d: incorrect waiting process %d left the abstract waiting state (S=%v)",
+					i, p, cfg[p].S)
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// Runner wires an Alg, an Env and a sim.Engine together and tracks the
+// meeting-level events (convene/terminate) and the statistics used by
+// the paper's complexity measures: per-committee convene counts,
+// per-professor participation counts and waiting times in rounds
+// (Definition 6 / Theorem 6), and the number of concurrently held
+// meetings (Definitions 2 and 5).
+type Runner struct {
+	Alg    *Alg
+	Env    Env
+	Engine *sim.Engine[State]
+
+	// Statistics (cumulative over the run).
+	Convenes        []int // per committee: number of convene events
+	Terminates      []int // per committee: number of terminate events
+	ProfMeetings    []int // per professor: meetings participated in
+	MaxWaitRounds   []int // per professor: max rounds between participations
+	lastMeetRound   []int
+	SumConcurrency  int64 // sum over steps of |meetings| (for the mean)
+	PeakConcurrency int
+	stepsSampled    int64
+
+	prevMeets []bool
+
+	onConvene   []func(step, e int)
+	onTerminate []func(step, e int)
+}
+
+// NewRunner builds a Runner. randomInit selects an arbitrary initial
+// configuration (the snap-stabilization setting) versus the canonical
+// fault-free one. The Env is installed into the Alg.
+func NewRunner(alg *Alg, d sim.Daemon, env Env, seed int64, randomInit bool) *Runner {
+	alg.Env = env
+	prog := alg.Program(randomInit)
+	eng := sim.NewEngine(prog, d, seed)
+	r := &Runner{
+		Alg:           alg,
+		Env:           env,
+		Engine:        eng,
+		Convenes:      make([]int, alg.H.M()),
+		Terminates:    make([]int, alg.H.M()),
+		ProfMeetings:  make([]int, alg.H.N()),
+		MaxWaitRounds: make([]int, alg.H.N()),
+		lastMeetRound: make([]int, alg.H.N()),
+		prevMeets:     make([]bool, alg.H.M()),
+	}
+	env.Update(eng.Config(), 0)
+	r.snapshotMeets(eng.Config())
+	eng.Observe(func(step int, cfg []State, _ []sim.Exec) {
+		r.afterStep(step, cfg)
+	})
+	return r
+}
+
+// OnConvene registers a callback fired when a committee meeting convenes
+// (it meets in the new configuration but did not in the previous one).
+func (r *Runner) OnConvene(fn func(step, e int)) { r.onConvene = append(r.onConvene, fn) }
+
+// OnTerminate registers a callback fired when a meeting terminates.
+func (r *Runner) OnTerminate(fn func(step, e int)) { r.onTerminate = append(r.onTerminate, fn) }
+
+func (r *Runner) snapshotMeets(cfg []State) {
+	for e := 0; e < r.Alg.H.M(); e++ {
+		r.prevMeets[e] = r.Alg.EdgeMeets(cfg, e)
+	}
+}
+
+func (r *Runner) afterStep(step int, cfg []State) {
+	round := r.Engine.Rounds()
+	concurrent := 0
+	for e := 0; e < r.Alg.H.M(); e++ {
+		meets := r.Alg.EdgeMeets(cfg, e)
+		if meets {
+			concurrent++
+		}
+		switch {
+		case meets && !r.prevMeets[e]:
+			r.Convenes[e]++
+			for _, p := range r.Alg.H.Edge(e) {
+				r.ProfMeetings[p]++
+				if gap := round - r.lastMeetRound[p]; gap > r.MaxWaitRounds[p] {
+					r.MaxWaitRounds[p] = gap
+				}
+				r.lastMeetRound[p] = round
+			}
+			for _, fn := range r.onConvene {
+				fn(step, e)
+			}
+		case !meets && r.prevMeets[e]:
+			r.Terminates[e]++
+			for _, fn := range r.onTerminate {
+				fn(step, e)
+			}
+		}
+		r.prevMeets[e] = meets
+	}
+	if concurrent > r.PeakConcurrency {
+		r.PeakConcurrency = concurrent
+	}
+	r.SumConcurrency += int64(concurrent)
+	r.stepsSampled++
+	r.Env.Update(cfg, step)
+}
+
+// MeanConcurrency returns the average number of simultaneously meeting
+// committees per step.
+func (r *Runner) MeanConcurrency() float64 {
+	if r.stepsSampled == 0 {
+		return 0
+	}
+	return float64(r.SumConcurrency) / float64(r.stepsSampled)
+}
+
+// TotalConvenes returns the total number of convene events.
+func (r *Runner) TotalConvenes() int {
+	t := 0
+	for _, c := range r.Convenes {
+		t += c
+	}
+	return t
+}
+
+// IdleTicks bounds how many environment "ticks" the runner performs when
+// no guarded action is enabled. In the paper's model the application's
+// RequestIn/RequestOut inputs evolve with real time, independent of
+// algorithm steps; the simulator realizes this by letting the environment
+// advance (e.g., discussion timers expiring, request arrivals) while the
+// algorithm is blocked on inputs. A configuration that stays terminal
+// through IdleTicks environment updates is genuinely quiescent (which is
+// exactly the Definition 5 situation under infinite meetings, where the
+// environment never re-enables anything).
+var IdleTicks = 128
+
+// stepOrTick performs one engine step; if nothing is enabled it lets the
+// environment advance until an action enables. It reports false only at
+// true quiescence.
+func (r *Runner) stepOrTick() bool {
+	if r.Engine.Step() != nil {
+		return true
+	}
+	for i := 0; i < IdleTicks; i++ {
+		r.Env.Update(r.Engine.Config(), r.Engine.Steps())
+		if !r.Engine.Terminal() {
+			return r.Engine.Step() != nil
+		}
+	}
+	return false
+}
+
+// Step executes one engine step (nil means no action was enabled; use
+// Run/RunUntil for env-tick-aware execution).
+func (r *Runner) Step() []sim.Exec { return r.Engine.Step() }
+
+// Run executes at most maxSteps steps, letting the environment advance
+// across input-blocked configurations. Returns the steps executed.
+func (r *Runner) Run(maxSteps int) int {
+	start := r.Engine.Steps()
+	for r.Engine.Steps()-start < maxSteps {
+		if !r.stepOrTick() {
+			break
+		}
+	}
+	return r.Engine.Steps() - start
+}
+
+// RunUntil executes steps (env-tick-aware) until pred holds, quiescence,
+// or maxSteps. Reports whether pred held.
+func (r *Runner) RunUntil(maxSteps int, pred func(cfg []State) bool) bool {
+	start := r.Engine.Steps()
+	for {
+		if pred(r.Engine.Config()) {
+			return true
+		}
+		if r.Engine.Steps()-start >= maxSteps {
+			return false
+		}
+		if !r.stepOrTick() {
+			return pred(r.Engine.Config())
+		}
+	}
+}
+
+// RunRounds executes whole rounds (env-tick-aware), stopping after the
+// given number of additional rounds, quiescence, or maxSteps steps.
+func (r *Runner) RunRounds(rounds, maxSteps int) int {
+	startRound, startStep := r.Engine.Rounds(), r.Engine.Steps()
+	for r.Engine.Rounds()-startRound < rounds && r.Engine.Steps()-startStep < maxSteps {
+		if !r.stepOrTick() {
+			break
+		}
+	}
+	return r.Engine.Rounds() - startRound
+}
+
+// Config returns the current configuration.
+func (r *Runner) Config() []State { return r.Engine.Config() }
+
+// MinProfMeetings returns the minimum per-professor participation count —
+// the fairness witness (> 0 for every window under Professor Fairness).
+// Professors incident to no committee are skipped.
+func (r *Runner) MinProfMeetings() int {
+	min := -1
+	for p, c := range r.ProfMeetings {
+		if len(r.Alg.H.EdgesOf(p)) == 0 {
+			continue
+		}
+		if min == -1 || c < min {
+			min = c
+		}
+	}
+	if min == -1 {
+		return 0
+	}
+	return min
+}
+
+// MinCommitteeConvenes returns the minimum per-committee convene count —
+// the Committee Fairness witness (Definition 4).
+func (r *Runner) MinCommitteeConvenes() int {
+	min := -1
+	for _, c := range r.Convenes {
+		if min == -1 || c < min {
+			min = c
+		}
+	}
+	if min == -1 {
+		return 0
+	}
+	return min
+}

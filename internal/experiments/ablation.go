@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// EXP-ABL — ablations of the paper's explicit design choices:
+//
+//  1. CC2's token holders select a *smallest* incident committee; the
+//     paper says the restriction "is used only to slightly enhance the
+//     concurrency" (§5.1). We measure the degree of fair concurrency
+//     with and without it on topologies mixing small and large
+//     committees: without the restriction the holder may camp on a big
+//     committee, blocking more professors and lowering the quiescent
+//     meeting count.
+//  2. The nondeterministic committee choice in Step21/Step13 ("P_p := ε
+//     such that ε ∈ FreeEdges_p") — deterministic first-index versus
+//     uniformly random — to confirm liveness does not hinge on the
+//     choice strategy.
+func init() {
+	register(Experiment{
+		ID:   "ABL",
+		What: "Ablations: CC2 min-size committee rule; free-edge choice strategy",
+		RunFn: func(cfg Config) *Result {
+			res := &Result{ID: "ABL"}
+			samples, steps := 16, 80000
+			if cfg.Quick {
+				samples, steps = 8, 40000
+			}
+
+			// Mixed-size topologies where min-size has something to do:
+			// a small committee and a large one share each token stop.
+			mixed := []family{
+				{"figure1", hypergraph.Figure1()},
+				{"figure4", hypergraph.Figure4()},
+				{"triples+pairs", hypergraph.MustNew(8, []hypergraph.Edge{
+					{0, 1}, {1, 2, 3, 4}, {4, 5}, {5, 6, 7}, {0, 7},
+				})},
+			}
+			t := &Table{
+				Title: "Ablation 1: CC2 token target = MinEdges vs any incident committee",
+				Note: "Degree of fair concurrency (min/mean quiescent meetings over random " +
+					"starts). The paper predicts the min-size rule helps concurrency.",
+				Header: []string{"topology", "min (MinEdges)", "mean (MinEdges)", "min (any)", "mean (any)"},
+			}
+			var sumWith, sumWithout float64
+			for _, f := range mixed {
+				withMin := metrics.DegreeOfFairConcurrency(core.CC2, f.h, samples, steps, cfg.Seed, false)
+				without := measureNoMinSize(f.h, samples, steps, cfg.Seed)
+				t.AddRow(f.name, withMin.Min, withMin.Mean, without.Min, without.Mean)
+				if withMin.Quiesced == 0 || without.Quiesced == 0 {
+					res.failf("%s: runs did not quiesce (min=%d/%d)", f.name, withMin.Quiesced, without.Quiesced)
+				}
+				sumWith += withMin.Mean
+				sumWithout += without.Mean
+				// Sanity: the ablated variant must still satisfy the
+				// Theorem 5 bound (the proof never uses the min rule).
+				if without.Quiesced > 0 && without.Min < f.h.Theorem5Bound() {
+					res.failf("%s: ablated CC2 fell below the Theorem 5 bound", f.name)
+				}
+			}
+			// The paper only claims a *slight* enhancement (§5.1); with a
+			// finite sample the reproduction claim is one-sided with a
+			// noise margin: across the mixed topologies the min-size rule
+			// must not be worse, and usually shows a visible edge.
+			if sumWithout > sumWith+0.10 {
+				res.failf("min-size rule hurt aggregate concurrency (%.2f with vs %.2f without)", sumWith, sumWithout)
+			}
+
+			// Ablation 2: choice strategy.
+			t2 := &Table{
+				Title:  "Ablation 2: free-edge choice (Step21/Step13) — first-index vs random",
+				Header: []string{"algorithm", "topology", "choice", "convenes/100 rounds", "min meetings/prof"},
+			}
+			tsteps := 30000
+			if cfg.Quick {
+				tsteps = 12000
+			}
+			for _, variant := range []core.Variant{core.CC1, core.CC2} {
+				for _, f := range []family{{"ring8", hypergraph.CommitteeRing(8)}, {"figure1", hypergraph.Figure1()}} {
+					for _, choice := range []struct {
+						name string
+						fn   core.ChoiceFunc
+					}{{"first", core.ChooseFirst}, {"random", core.ChooseRandom}} {
+						alg := core.New(variant, f.h, nil)
+						alg.Choose = choice.fn
+						env := core.NewAlwaysClient(f.h.N(), 2)
+						r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed, false)
+						r.Run(tsteps)
+						per100 := 0.0
+						if rr := r.Engine.Rounds(); rr > 0 {
+							per100 = 100 * float64(r.TotalConvenes()) / float64(rr)
+						}
+						t2.AddRow(variant.String(), f.name, choice.name, per100, r.MinProfMeetings())
+						if r.TotalConvenes() == 0 {
+							res.failf("%v/%s/%s: no meetings", variant, f.name, choice.name)
+						}
+						if variant == core.CC2 && r.MinProfMeetings() == 0 {
+							res.failf("%v/%s/%s: fairness lost under this choice strategy", variant, f.name, choice.name)
+						}
+					}
+				}
+			}
+			res.Tables = []*Table{t, t2}
+			return res
+		},
+	})
+}
+
+func measureNoMinSize(h *hypergraph.H, samples, maxSteps int, seed int64) metrics.Concurrency {
+	res := metrics.Concurrency{Samples: samples, Min: -1}
+	sum := 0
+	for i := 0; i < samples; i++ {
+		alg := core.New(core.CC2, h, nil)
+		alg.NoMinSize = true
+		env := core.NewInfiniteMeetings(alg, nil)
+		r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed+int64(i), true)
+		r.Run(maxSteps)
+		if !r.Engine.Terminal() {
+			continue
+		}
+		res.Quiesced++
+		k := len(alg.Meetings(r.Config()))
+		sum += k
+		if res.Min == -1 || k < res.Min {
+			res.Min = k
+		}
+		if k > res.Max {
+			res.Max = k
+		}
+	}
+	if res.Quiesced > 0 {
+		res.Mean = float64(sum) / float64(res.Quiesced)
+	}
+	if res.Min == -1 {
+		res.Min = 0
+	}
+	return res
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ABL", "CONC", "F1", "F2", "F3", "F4", "SNAP", "T2", "T3", "T45", "T6", "T78", "TOKEN"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.What == "" {
+			t.Fatalf("%s has no description", e.ID)
+		}
+	}
+	if _, ok := Get("F1"); !ok {
+		t.Fatal("Get(F1) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("Get(nope) should fail")
+	}
+}
+
+// Every experiment must pass all its claims in quick mode: these are the
+// actual reproduction assertions.
+func TestAllExperimentsClaimsHold(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res := e.RunFn(Config{Seed: 1, Quick: true})
+			for _, f := range res.Failures {
+				t.Errorf("claim failed: %s", f)
+			}
+			if len(res.Tables) == 0 {
+				t.Error("experiment produced no tables")
+			}
+		})
+	}
+}
+
+func TestRunRenders(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Run("F1", Config{Seed: 1, Quick: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("F1 failed: %v", res.Failures)
+	}
+	out := buf.String()
+	for _, want := range []string{"## F1", "Hypergraph H", "Underlying network", "| {1,2}", "All checked claims hold."} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Run("nope", Config{}, &buf); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "x", Note: "n", Header: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("longer", "v")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"### x", "| a ", "| 2.50 |", "| longer |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hypergraph"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// EXP-SNAP — §2.5: snap-stabilization under mid-run fault bursts, with
+// the non-stabilizing baselines as a negative control (their runs from
+// corrupted states produce violations or wedge — which is exactly what
+// the monitors and the comparison are for).
+func init() {
+	register(Experiment{
+		ID:   "SNAP",
+		What: "§2.5: snap-stabilization vs non-stabilizing baselines under faults",
+		RunFn: func(cfg Config) *Result {
+			res := &Result{ID: "SNAP"}
+			bursts, stepsPer := 5, 1500
+			if cfg.Quick {
+				bursts, stepsPer = 3, 800
+			}
+			h := hypergraph.Figure1()
+			t := &Table{
+				Title: "Fault bursts (3 random processes fully corrupted per burst)",
+				Note: "Snap-stabilizing algorithms: zero violations among meetings convened " +
+					"after each burst, and meetings keep convening. Baselines (negative " +
+					"control): corruption yields violations and/or a wedged system.",
+				Header: []string{"system", "bursts", "violations", "convenes after faults", "recovered"},
+			}
+			for _, variant := range []core.Variant{core.CC1, core.CC2, core.CC3} {
+				alg := core.New(variant, h, nil)
+				env := core.NewAlwaysClient(h.N(), 2)
+				r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed, false)
+				inj := fault.New(alg, cfg.Seed+100)
+				viol, convs := 0, 0
+				recovered := true
+				r.Run(stepsPer)
+				for b := 0; b < bursts; b++ {
+					inj.CorruptRandom(r, 3)
+					chk := r.Checker(0)
+					before := r.TotalConvenes()
+					r.Run(stepsPer)
+					viol += len(chk.Violations)
+					got := r.TotalConvenes() - before
+					convs += got
+					if got == 0 {
+						recovered = false
+					}
+				}
+				t.AddRow(variant.String(), bursts, viol, convs, recovered)
+				if viol > 0 {
+					res.failf("%v: %d violations after faults", variant, viol)
+				}
+				if !recovered {
+					res.failf("%v: a burst wedged the system", variant)
+				}
+			}
+			// Negative control: corrupt the dining baseline's state.
+			for _, kind := range []baseline.Kind{baseline.Dining, baseline.TokenRing} {
+				a := baseline.New(kind, h, 2)
+				r := baseline.NewRunner(a, &sim.WeaklyFair{MaxAge: 6}, cfg.Seed)
+				chk := spec.NewChecker(a.Probe(), 0)
+				chk.Check(0, r.Engine.Config())
+				r.Engine.Observe(func(step int, c []baseline.BState, _ []sim.Exec) {
+					chk.Check(step, c)
+				})
+				r.Run(stepsPer)
+				// Corrupt: scramble clubs, phases and fork state.
+				rng := r.Engine.RNG()
+				for i := 0; i < 6; i++ {
+					p := rng.Intn(a.NumProcs())
+					r.Engine.MutateProc(p, func(dst *baseline.BState) {
+						if p < h.N() {
+							dst.S = uint8(rng.Intn(3))
+							if eps := h.EdgesOf(p); len(eps) > 0 && rng.Intn(2) == 0 {
+								dst.Club = eps[rng.Intn(len(eps))]
+							} else {
+								dst.Club = -1
+							}
+						} else {
+							dst.Phase = uint8(rng.Intn(4))
+							for j := range dst.Fork {
+								dst.Fork[j] = rng.Intn(2) == 0
+								dst.Dirty[j] = rng.Intn(2) == 0
+							}
+							dst.HasTok = rng.Intn(2) == 0
+						}
+					})
+				}
+				before := r.TotalConvenes()
+				violBefore := len(chk.Violations)
+				r.Run(4 * stepsPer)
+				broke := len(chk.Violations) > violBefore
+				wedged := r.TotalConvenes() == before
+				t.AddRow(kind.String()+" (corrupted)", 1, len(chk.Violations)-violBefore,
+					r.TotalConvenes()-before, !wedged)
+				if !broke && !wedged {
+					// Not a reproduction failure per se — corruption can be
+					// harmless — but across seeds at least the contrast
+					// should be visible; record as informational only.
+					_ = broke
+				}
+			}
+			res.Tables = []*Table{t}
+			return res
+		},
+	})
+}
+
+// EXP-TOKEN — Property 1: TC convergence.
+func init() {
+	register(Experiment{
+		ID:   "TOKEN",
+		What: "Property 1: token-circulation stabilization",
+		RunFn: func(cfg Config) *Result {
+			res := &Result{ID: "TOKEN"}
+			samples, maxSteps := 10, 30000
+			if cfg.Quick {
+				samples, maxSteps = 4, 20000
+			}
+			t := &Table{
+				Title: "TC stabilization from random states (CC1 as release driver)",
+				Note: "Steps until leader election + chain corrections converge and a " +
+					"single token remains; spurious initial tokens are destroyed autonomously.",
+				Header: []string{"topology", "n", "converged", "max spurious tokens at start", "mean steps", "max steps"},
+			}
+			for _, f := range []family{
+				{"path6", hypergraph.CommitteePath(6)},
+				{"ring8", hypergraph.CommitteeRing(8)},
+				{"figure1", hypergraph.Figure1()},
+				{"figure3", hypergraph.Figure3()},
+				{"ring16", hypergraph.CommitteeRing(16)},
+			} {
+				if cfg.Quick && f.h.N() > 10 {
+					continue
+				}
+				m := metrics.TokenConvergence(f.h, samples, maxSteps, cfg.Seed)
+				t.AddRow(f.name, f.h.N(), fmt.Sprintf("%d/%d", m.Converged, m.Samples),
+					m.MaxHoldersStart, m.MeanSteps, m.MaxSteps)
+				if m.Converged != m.Samples {
+					res.failf("%s: only %d/%d runs converged", f.name, m.Converged, m.Samples)
+				}
+			}
+			res.Tables = []*Table{t}
+			return res
+		},
+	})
+}
+
+// EXP-CONC — the algorithm comparison (the paper's §1/§6 motivation):
+// CC1 maximizes concurrency; CC2/CC3 trade it for fairness; the token
+// ring serializes; the oracle upper-bounds everyone.
+func init() {
+	register(Experiment{
+		ID:   "CONC",
+		What: "Concurrency & throughput: CC1/CC2/CC3 vs baselines vs oracle",
+		RunFn: func(cfg Config) *Result {
+			res := &Result{ID: "CONC"}
+			steps := 40000
+			if cfg.Quick {
+				steps = 12000
+			}
+			topologies := []family{
+				{"ring12", hypergraph.CommitteeRing(12)},
+				{"disjoint4x2", hypergraph.DisjointCommittees(4, 2)},
+				{"figure1", hypergraph.Figure1()},
+				{"grid3x3", hypergraph.Grid(3, 3)},
+			}
+			if cfg.Quick {
+				topologies = topologies[:2]
+			}
+			var tables []*Table
+			for _, f := range topologies {
+				t := &Table{
+					Title:  fmt.Sprintf("Comparison on %s (n=%d, |E|=%d, disc=2)", f.name, f.h.N(), f.h.M()),
+					Header: []string{"algorithm", "convenes/100 rounds", "mean conc", "peak conc", "min meetings/prof"},
+				}
+				profiles := map[string]metrics.Throughput{}
+				for _, variant := range []core.Variant{core.CC1, core.CC2, core.CC3} {
+					p := metrics.MeasureThroughput(variant, f.h, 2, steps, cfg.Seed, false)
+					profiles[variant.String()] = p
+					t.AddRow(variant.String(), p.ConvenesPer100R, p.MeanConcurrency, p.PeakConcurrency, p.MinProfMeetings)
+				}
+				for _, kind := range []baseline.Kind{baseline.Dining, baseline.TokenRing} {
+					p := baseline.Profile(kind, f.h, 2, steps, cfg.Seed)
+					profiles[kind.String()] = p
+					t.AddRow(kind.String(), p.ConvenesPer100R, p.MeanConcurrency, p.PeakConcurrency, p.MinProfMeetings)
+				}
+				po := baseline.Oracle(f.h, 2, steps/10, cfg.Seed)
+				profiles["oracle"] = po
+				t.AddRow("oracle (upper bound)", po.ConvenesPer100R, po.MeanConcurrency, po.PeakConcurrency, "-")
+				tables = append(tables, t)
+
+				// Shape checks (who wins): on conflict-free topologies the
+				// token ring must trail CC1; the oracle bounds everyone's
+				// mean concurrency.
+				if f.name == "disjoint4x2" {
+					if profiles["CC1"].MeanConcurrency <= profiles["token-ring"].MeanConcurrency {
+						res.failf("%s: CC1 (%f) did not beat the token ring (%f)", f.name,
+							profiles["CC1"].MeanConcurrency, profiles["token-ring"].MeanConcurrency)
+					}
+				}
+				for name, p := range profiles {
+					if name != "oracle" && p.MeanConcurrency > po.MeanConcurrency*1.05 {
+						res.failf("%s: %s mean concurrency %f exceeds the oracle %f", f.name, name,
+							p.MeanConcurrency, po.MeanConcurrency)
+					}
+				}
+				for _, name := range []string{"CC1", "CC2", "CC3", "dining", "token-ring"} {
+					if profiles[name].Convenes == 0 {
+						res.failf("%s: %s convened nothing", f.name, name)
+					}
+				}
+			}
+
+			// Worst-case concurrency: under never-terminating meetings CC1
+			// saturates to a *maximal* matching (Definition 2), while the
+			// fair algorithms may stall below it — their guarantee is only
+			// the Theorem 5/8 degree. This is the measurable cost of
+			// fairness (Theorem 1's trade-off).
+			wc := &Table{
+				Title: "Worst-case saturation under infinite meetings (min over random starts)",
+				Note: "CC1's saturated meeting sets are maximal matchings (≥ minMM); " +
+					"CC2/CC3 may quiesce lower, bounded by the degree of fair concurrency.",
+				Header: []string{"topology", "minMM", "CC1 min saturated", "CC2 min quiescent", "CC3 min quiescent"},
+			}
+			samples := 8
+			if cfg.Quick {
+				samples = 3
+			}
+			for _, f := range []family{
+				{"ring8", hypergraph.CommitteeRing(8)},
+				{"path7", hypergraph.CommitteePath(7)},
+			} {
+				minMM, _ := f.h.MinMaximalMatching()
+				cc1Min := -1
+				for s := 0; s < samples; s++ {
+					alg := core.New(core.CC1, f.h, nil)
+					env := core.NewInfiniteMeetings(alg, nil)
+					r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed+int64(s), false)
+					ok := r.RunUntil(40000, func(c []core.State) bool {
+						return len(piSet(alg, c)) == 0 && len(alg.Meetings(c)) > 0
+					})
+					if !ok {
+						res.failf("%s seed %d: CC1 did not saturate", f.name, s)
+						continue
+					}
+					if k := len(alg.Meetings(r.Config())); cc1Min == -1 || k < cc1Min {
+						cc1Min = k
+					}
+				}
+				m2 := metrics.DegreeOfFairConcurrency(core.CC2, f.h, samples, 60000, cfg.Seed, false)
+				m3 := metrics.DegreeOfFairConcurrency(core.CC3, f.h, samples, 60000, cfg.Seed, false)
+				wc.AddRow(f.name, minMM, cc1Min, m2.Min, m3.Min)
+				if cc1Min < minMM {
+					res.failf("%s: CC1 saturated below minMM (%d < %d): not a maximal matching", f.name, cc1Min, minMM)
+				}
+				if m2.Quiesced > 0 && m2.Min < m2.Bound {
+					res.failf("%s: CC2 quiesced below its Theorem 5 bound", f.name)
+				}
+			}
+			tables = append(tables, wc)
+			res.Tables = tables
+			return res
+		},
+	})
+}

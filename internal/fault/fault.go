@@ -1,0 +1,81 @@
+// Package fault injects transient faults (paper §2.5) into a running
+// CC ∘ TC system: arbitrary, domain-respecting corruption of any subset
+// of process variables. Snap-stabilization demands that every meeting
+// convened after the last injected fault satisfies the full
+// specification, with no recovery delay — the EXP-SNAP experiment drives
+// these injectors and checks exactly that.
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Injector corrupts process states of a core runner.
+type Injector struct {
+	Alg *core.Alg
+	Rng *rand.Rand
+}
+
+// New builds an injector with its own randomness stream.
+func New(alg *core.Alg, seed int64) *Injector {
+	return &Injector{Alg: alg, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// CorruptProcess replaces process p's entire state (CC and TC layers)
+// with a fresh uniformly random one.
+func (in *Injector) CorruptProcess(r *core.Runner, p int) {
+	s := in.Alg.RandomState(p, in.Rng)
+	r.Engine.MutateProc(p, func(dst *core.State) { *dst = s })
+}
+
+// CorruptRandom corrupts k distinct random processes.
+func (in *Injector) CorruptRandom(r *core.Runner, k int) []int {
+	n := in.Alg.H.N()
+	if k > n {
+		k = n
+	}
+	perm := in.Rng.Perm(n)[:k]
+	for _, p := range perm {
+		in.CorruptProcess(r, p)
+	}
+	return perm
+}
+
+// CorruptPointers scrambles only the edge pointers and statuses of k
+// random processes, leaving the TC layer intact — the "inconsistent
+// meeting state" fault class.
+func (in *Injector) CorruptPointers(r *core.Runner, k int) []int {
+	n := in.Alg.H.N()
+	if k > n {
+		k = n
+	}
+	perm := in.Rng.Perm(n)[:k]
+	for _, p := range perm {
+		p := p
+		r.Engine.MutateProc(p, func(dst *core.State) {
+			s := in.Alg.RandomState(p, in.Rng)
+			dst.S, dst.P, dst.T, dst.L = s.S, s.P, s.T, s.L
+		})
+	}
+	return perm
+}
+
+// CorruptTokens scrambles only the TC layer of k random processes — the
+// "duplicated/lost token" fault class that distinguishes Property 1's
+// autonomous stabilization.
+func (in *Injector) CorruptTokens(r *core.Runner, k int) []int {
+	n := in.Alg.H.N()
+	if k > n {
+		k = n
+	}
+	perm := in.Rng.Perm(n)[:k]
+	for _, p := range perm {
+		p := p
+		r.Engine.MutateProc(p, func(dst *core.State) {
+			dst.TC = in.Alg.TC.RandomState(p, in.Rng)
+		})
+	}
+	return perm
+}

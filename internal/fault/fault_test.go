@@ -1,0 +1,93 @@
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+func runner(v core.Variant, h *hypergraph.H, seed int64) *core.Runner {
+	alg := core.New(v, h, nil)
+	env := core.NewAlwaysClient(h.N(), 2)
+	return core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed, false)
+}
+
+func TestSnapStabilizationAcrossMidRunFaults(t *testing.T) {
+	// Run, corrupt mid-run, keep running: no safety violation may ever be
+	// observed for meetings convened while running (§2.5: every meeting
+	// convened after the faults satisfies the specification; the checker
+	// is reset at the fault point because during-fault meetings carry no
+	// guarantees).
+	for _, variant := range []core.Variant{core.CC1, core.CC2, core.CC3} {
+		h := hypergraph.Figure1()
+		r := runner(variant, h, 11)
+		inj := fault.New(r.Alg, 13)
+		r.Run(500)
+		for burst := 0; burst < 4; burst++ {
+			inj.CorruptRandom(r, 3)
+			chk := r.Checker(0) // post-fault monitor
+			r.Run(800)
+			if !chk.Ok() {
+				t.Fatalf("%v burst %d: %v", variant, burst, chk.Violations[0])
+			}
+			if r.TotalConvenes() == 0 {
+				t.Fatalf("%v burst %d: no meetings after faults", variant, burst)
+			}
+		}
+	}
+}
+
+func TestTokenLayerFaultsRecover(t *testing.T) {
+	h := hypergraph.Figure3()
+	r := runner(core.CC2, h, 21)
+	inj := fault.New(r.Alg, 23)
+	r.Run(400)
+	inj.CorruptTokens(r, h.N()) // scramble every TC state
+	// The chain corrections must re-establish a single token and meetings
+	// must keep convening.
+	before := r.TotalConvenes()
+	r.Run(6000)
+	if r.TotalConvenes()-before < 5 {
+		t.Fatalf("only %d meetings after total token corruption", r.TotalConvenes()-before)
+	}
+	holders := r.Alg.TC.Holders(tcStates(r))
+	if len(holders) > 1 {
+		t.Fatalf("multiple tokens persisted: %v", holders)
+	}
+}
+
+func TestPointerFaultsRepairedByStab(t *testing.T) {
+	h := hypergraph.CommitteeRing(6)
+	r := runner(core.CC1, h, 31)
+	inj := fault.New(r.Alg, 33)
+	r.Run(300)
+	inj.CorruptPointers(r, 4)
+	// Corollary 3: Correct(p) for all p within one round.
+	r.RunRounds(1, 100000)
+	if !r.Alg.AllCorrect(r.Config()) {
+		t.Fatal("Correct not restored within one round of the fault")
+	}
+}
+
+func TestCorruptRandomBounds(t *testing.T) {
+	h := hypergraph.CommitteePath(3)
+	r := runner(core.CC1, h, 41)
+	inj := fault.New(r.Alg, 43)
+	hit := inj.CorruptRandom(r, 99) // clamped to n
+	if len(hit) != h.N() {
+		t.Fatalf("corrupted %d processes, want %d", len(hit), h.N())
+	}
+}
+
+func tcStates(r *core.Runner) []token.State {
+	cfg := r.Config()
+	out := make([]token.State, len(cfg))
+	for i := range cfg {
+		out[i] = cfg[i].TC
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package hypergraph_test
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// The paper's running example: build Figure 1's hypergraph and inspect
+// the quantities of the §5.3 analysis.
+func Example() {
+	h := hypergraph.Figure1()
+	fmt.Println(h)
+	minMM, witness := h.MinMaximalMatching()
+	fmt.Println("minMM:", minMM, "witness:", witness)
+	fmt.Println("MaxMin:", h.MaxMin(), "MaxHEdge:", h.MaxHEdge())
+	fmt.Println("Theorem 5 bound:", h.Theorem5Bound())
+	fmt.Println("Theorem 8 bound:", h.Theorem8Bound())
+	exact, _ := h.MinAMM()
+	fmt.Println("min over MM∪AMM:", exact)
+	// Output:
+	// H(n=6, m=5): {0,1} {0,1,2,3} {1,3,4} {2,5} {3,5}
+	// minMM: 1 witness: [1]
+	// MaxMin: 3 MaxHEdge: 4
+	// Theorem 5 bound: 1
+	// Theorem 8 bound: 1
+	// min over MM∪AMM: 1
+}
+
+// Committees conflict exactly when they share a professor (§2.3).
+func ExampleEdge_Conflicts() {
+	a := hypergraph.Edge{0, 1, 2}
+	b := hypergraph.Edge{2, 3}
+	c := hypergraph.Edge{3, 4}
+	fmt.Println(a.Conflicts(b), b.Conflicts(c), a.Conflicts(c))
+	// Output: true true false
+}

@@ -1,0 +1,370 @@
+// Package hypergraph implements the distributed-system model of
+// "Snap-Stabilizing Committee Coordination" (Bonakdarpour, Devismes,
+// Petit): a simple self-loopless hypergraph H = (V, E) whose vertices are
+// processes (professors) and whose hyperedges are synchronization events
+// (committees), together with the underlying communication network G_H
+// and the matching-theoretic quantities used in the paper's Section 5.3
+// complexity analysis (maximal matchings, minMM, MaxMin, MaxHEdge,
+// Almost(ε, X), AMM and AMM').
+//
+// Vertices are indexed 0..N-1. Each vertex additionally carries a unique
+// identifier from a totally ordered set (paper §2.1); identifiers default
+// to the vertex index but may be permuted to study identifier-dependent
+// behaviour (the algorithms break ties by maximum identifier).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a committee: a set of member vertices, stored sorted ascending.
+type Edge []int
+
+// Contains reports whether vertex v is incident to the edge.
+func (e Edge) Contains(v int) bool {
+	for _, x := range e {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Conflicts reports whether two committees share a member (paper §2.3:
+// "two committees are conflicting iff their intersection is non-empty").
+func (e Edge) Conflicts(f Edge) bool {
+	i, j := 0, 0
+	for i < len(e) && j < len(f) {
+		switch {
+		case e[i] == f[j]:
+			return true
+		case e[i] < f[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+func (e Edge) clone() Edge {
+	c := make(Edge, len(e))
+	copy(c, e)
+	return c
+}
+
+func (e Edge) String() string {
+	parts := make([]string, len(e))
+	for i, v := range e {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// H is a simple self-loopless hypergraph over vertices 0..N-1.
+// It is immutable after construction by New.
+type H struct {
+	n     int
+	edges []Edge
+	ids   []int // ids[v] = identifier of vertex v; unique, totally ordered
+
+	incident  [][]int // incident[v] = sorted edge indices containing v (E_v)
+	neighbors [][]int // neighbors[v] = sorted vertex neighbors in G_H (N(v))
+}
+
+// New validates and builds a hypergraph. Every edge must have at least two
+// distinct members (paper §2.1 footnote 1), all members in [0, n).
+// Duplicate vertices inside an edge or duplicate edges are rejected.
+func New(n int, edges []Edge) (*H, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hypergraph: n must be >= 1, got %d", n)
+	}
+	h := &H{
+		n:         n,
+		edges:     make([]Edge, len(edges)),
+		ids:       make([]int, n),
+		incident:  make([][]int, n),
+		neighbors: make([][]int, n),
+	}
+	for v := 0; v < n; v++ {
+		h.ids[v] = v
+	}
+	seen := make(map[string]int, len(edges))
+	for i, e := range edges {
+		c := e.clone()
+		sort.Ints(c)
+		if len(c) < 2 {
+			return nil, fmt.Errorf("hypergraph: edge %d has %d members; committees need >= 2", i, len(c))
+		}
+		for j, v := range c {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("hypergraph: edge %d member %d out of range [0,%d)", i, v, n)
+			}
+			if j > 0 && c[j-1] == v {
+				return nil, fmt.Errorf("hypergraph: edge %d has duplicate member %d", i, v)
+			}
+		}
+		key := c.String()
+		if prev, dup := seen[key]; dup {
+			return nil, fmt.Errorf("hypergraph: edge %d duplicates edge %d (%s)", i, prev, key)
+		}
+		seen[key] = i
+		h.edges[i] = c
+	}
+	// Incidence lists.
+	for i, e := range h.edges {
+		for _, v := range e {
+			h.incident[v] = append(h.incident[v], i)
+		}
+	}
+	// Underlying communication network G_H (paper §2.1): u,v neighbors iff
+	// they are incident to a common hyperedge.
+	nbr := make([]map[int]bool, n)
+	for v := range nbr {
+		nbr[v] = make(map[int]bool)
+	}
+	for _, e := range h.edges {
+		for _, u := range e {
+			for _, v := range e {
+				if u != v {
+					nbr[u][v] = true
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for u := range nbr[v] {
+			h.neighbors[v] = append(h.neighbors[v], u)
+		}
+		sort.Ints(h.neighbors[v])
+	}
+	return h, nil
+}
+
+// MustNew is New that panics on error; for tests and fixed fixtures.
+func MustNew(n int, edges []Edge) *H {
+	h, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// WithIDs returns a copy of h whose vertex identifiers are ids (must be a
+// permutation-free slice of n unique values). The algorithms compare
+// processes by these identifiers.
+func (h *H) WithIDs(ids []int) (*H, error) {
+	if len(ids) != h.n {
+		return nil, fmt.Errorf("hypergraph: got %d ids for %d vertices", len(ids), h.n)
+	}
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("hypergraph: duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	c := *h
+	c.ids = append([]int(nil), ids...)
+	return &c, nil
+}
+
+// N returns the number of vertices (processes).
+func (h *H) N() int { return h.n }
+
+// M returns the number of hyperedges (committees).
+func (h *H) M() int { return len(h.edges) }
+
+// Edge returns the members of edge i (do not mutate).
+func (h *H) Edge(i int) Edge { return h.edges[i] }
+
+// Edges returns all edges (do not mutate).
+func (h *H) Edges() []Edge { return h.edges }
+
+// ID returns the identifier of vertex v.
+func (h *H) ID(v int) int { return h.ids[v] }
+
+// VertexByID returns the vertex whose identifier is id, or -1.
+func (h *H) VertexByID(id int) int {
+	for v, x := range h.ids {
+		if x == id {
+			return v
+		}
+	}
+	return -1
+}
+
+// EdgesOf returns the sorted indices of edges incident to v (E_v).
+func (h *H) EdgesOf(v int) []int { return h.incident[v] }
+
+// Neighbors returns the sorted neighbors of v in the underlying
+// communication network G_H (N(v)).
+func (h *H) Neighbors(v int) []int { return h.neighbors[v] }
+
+// Degree returns |N(v)| in G_H.
+func (h *H) Degree(v int) int { return len(h.neighbors[v]) }
+
+// MaxDegree returns the maximum degree in G_H.
+func (h *H) MaxDegree() int {
+	d := 0
+	for v := 0; v < h.n; v++ {
+		if len(h.neighbors[v]) > d {
+			d = len(h.neighbors[v])
+		}
+	}
+	return d
+}
+
+// UnderlyingEdges returns the edge set E_E of G_H as sorted pairs.
+func (h *H) UnderlyingEdges() [][2]int {
+	var out [][2]int
+	for v := 0; v < h.n; v++ {
+		for _, u := range h.neighbors[v] {
+			if v < u {
+				out = append(out, [2]int{v, u})
+			}
+		}
+	}
+	return out
+}
+
+// Connected reports whether G_H is connected (isolated vertices make the
+// system disconnected; the algorithms run per connected component).
+func (h *H) Connected() bool {
+	if h.n == 0 {
+		return true
+	}
+	return len(h.Component(0)) == h.n
+}
+
+// Component returns the sorted vertices of the connected component of v
+// in G_H.
+func (h *H) Component(v int) []int {
+	seen := make([]bool, h.n)
+	stack := []int{v}
+	seen[v] = true
+	var comp []int
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		comp = append(comp, x)
+		for _, u := range h.neighbors[x] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	sort.Ints(comp)
+	return comp
+}
+
+// Components returns all connected components of G_H.
+func (h *H) Components() [][]int {
+	seen := make([]bool, h.n)
+	var out [][]int
+	for v := 0; v < h.n; v++ {
+		if !seen[v] {
+			comp := h.Component(v)
+			for _, u := range comp {
+				seen[u] = true
+			}
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+// ConflictGraph returns, for each edge index, the sorted indices of
+// conflicting edges (sharing a member). Used by the dining-philosophers
+// baseline, where committees are the philosophers.
+func (h *H) ConflictGraph() [][]int {
+	m := len(h.edges)
+	out := make([][]int, m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if h.edges[i].Conflicts(h.edges[j]) {
+				out[i] = append(out[i], j)
+				out[j] = append(out[j], i)
+			}
+		}
+	}
+	return out
+}
+
+// MinEdges returns the indices of minimum-length edges incident to v
+// (MinEdges_p in Algorithm 2), sorted ascending. Empty if v is isolated.
+func (h *H) MinEdges(v int) []int {
+	min := -1
+	for _, ei := range h.incident[v] {
+		if min == -1 || len(h.edges[ei]) < min {
+			min = len(h.edges[ei])
+		}
+	}
+	var out []int
+	for _, ei := range h.incident[v] {
+		if len(h.edges[ei]) == min {
+			out = append(out, ei)
+		}
+	}
+	return out
+}
+
+// MaxMin returns max over vertices p of min over edges incident to p of
+// the edge length (the MaxMin quantity of Theorem 5). Vertices incident
+// to no edge are skipped. Returns 0 if there are no edges.
+func (h *H) MaxMin() int {
+	best := 0
+	for v := 0; v < h.n; v++ {
+		min := 0
+		for _, ei := range h.incident[v] {
+			if min == 0 || len(h.edges[ei]) < min {
+				min = len(h.edges[ei])
+			}
+		}
+		if min > best {
+			best = min
+		}
+	}
+	return best
+}
+
+// MaxHEdge returns the maximum hyperedge length (Theorem 8).
+func (h *H) MaxHEdge() int {
+	best := 0
+	for _, e := range h.edges {
+		if len(e) > best {
+			best = len(e)
+		}
+	}
+	return best
+}
+
+// String renders the hypergraph compactly.
+func (h *H) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "H(n=%d, m=%d):", h.n, len(h.edges))
+	for _, e := range h.edges {
+		b.WriteString(" ")
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// DOT renders the underlying communication network in Graphviz format,
+// with hyperedges listed in a comment. Useful for debugging topologies.
+func (h *H) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s\n", h.String())
+	fmt.Fprintf(&b, "graph %s {\n", name)
+	for v := 0; v < h.n; v++ {
+		fmt.Fprintf(&b, "  %d [label=\"%d\"];\n", v, h.ids[v])
+	}
+	for _, e := range h.UnderlyingEdges() {
+		fmt.Fprintf(&b, "  %d -- %d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,358 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+		ok    bool
+	}{
+		{"valid", 3, []Edge{{0, 1}, {1, 2}}, true},
+		{"singleton edge", 3, []Edge{{0}}, false},
+		{"empty edge", 3, []Edge{{}}, false},
+		{"out of range", 3, []Edge{{0, 3}}, false},
+		{"negative", 3, []Edge{{-1, 0}}, false},
+		{"duplicate member", 3, []Edge{{1, 1}}, false},
+		{"duplicate edge", 3, []Edge{{0, 1}, {1, 0}}, false},
+		{"zero vertices", 0, nil, false},
+		{"no edges ok", 2, nil, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.n, c.edges)
+			if (err == nil) != c.ok {
+				t.Fatalf("New(%d, %v): err=%v, want ok=%v", c.n, c.edges, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestEdgeSortedOnConstruction(t *testing.T) {
+	h := MustNew(4, []Edge{{3, 1, 0}})
+	got := h.Edge(0)
+	want := Edge{0, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("edge not sorted: got %v want %v", got, want)
+	}
+}
+
+func TestFigure1UnderlyingNetwork(t *testing.T) {
+	// Paper Figure 1(b): with 1-based ids,
+	// EE = {{1,2},{1,3},{1,4},{2,3},{2,4},{2,5},{3,4},{3,6},{4,5},{4,6}}.
+	h := Figure1()
+	want := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 5}, {3, 4}, {3, 5},
+	}
+	got := h.UnderlyingEdges()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Figure 1 underlying network mismatch:\n got %v\nwant %v", got, want)
+	}
+	if !h.Connected() {
+		t.Fatal("Figure 1 should be connected")
+	}
+	if h.N() != 6 || h.M() != 5 {
+		t.Fatalf("Figure 1 has n=%d m=%d, want 6/5", h.N(), h.M())
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	h := Figure1()
+	for v := 0; v < h.N(); v++ {
+		for _, u := range h.Neighbors(v) {
+			found := false
+			for _, w := range h.Neighbors(u) {
+				if w == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation asymmetric: %d in N(%d) but not vice versa", u, v)
+			}
+		}
+	}
+}
+
+func TestEdgesOfIncidence(t *testing.T) {
+	h := Figure1()
+	// Vertex 1 (id 2) belongs to {1,2},{1,2,3,4},{2,4,5} = edges 0,1,2.
+	want := []int{0, 1, 2}
+	if got := h.EdgesOf(1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("EdgesOf(1) = %v, want %v", got, want)
+	}
+	// Vertex 5 (id 6) belongs to edges 3 and 4.
+	want = []int{3, 4}
+	if got := h.EdgesOf(5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("EdgesOf(5) = %v, want %v", got, want)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	h := Figure1()
+	if !h.Edge(0).Conflicts(h.Edge(1)) {
+		t.Error("{1,2} and {1,2,3,4} should conflict")
+	}
+	if h.Edge(0).Conflicts(h.Edge(3)) {
+		t.Error("{1,2} and {3,6} should not conflict (0-based {0,1} vs {2,5})")
+	}
+}
+
+func TestConflictGraph(t *testing.T) {
+	h := Figure2() // edges {0,1},{0,2,4},{2,3}
+	cg := h.ConflictGraph()
+	want := [][]int{{1}, {0, 2}, {1}}
+	if !reflect.DeepEqual(cg, want) {
+		t.Fatalf("conflict graph = %v, want %v", cg, want)
+	}
+}
+
+func TestWithIDs(t *testing.T) {
+	h := MustNew(3, []Edge{{0, 1}, {1, 2}})
+	h2, err := h.WithIDs([]int{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.ID(2) != 30 || h.ID(2) != 2 {
+		t.Fatal("WithIDs should not mutate the receiver")
+	}
+	if h2.VertexByID(20) != 1 {
+		t.Fatalf("VertexByID(20) = %d, want 1", h2.VertexByID(20))
+	}
+	if h2.VertexByID(99) != -1 {
+		t.Fatal("VertexByID of unknown id should be -1")
+	}
+	if _, err := h.WithIDs([]int{1, 1, 2}); err == nil {
+		t.Fatal("duplicate ids should be rejected")
+	}
+	if _, err := h.WithIDs([]int{1, 2}); err == nil {
+		t.Fatal("wrong-length ids should be rejected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	h := MustNew(5, []Edge{{0, 1}, {2, 3}})
+	if h.Connected() {
+		t.Fatal("should be disconnected")
+	}
+	comps := h.Components()
+	if len(comps) != 3 {
+		t.Fatalf("want 3 components, got %v", comps)
+	}
+	want := [][]int{{0, 1}, {2, 3}, {4}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	t.Run("ring", func(t *testing.T) {
+		h := CommitteeRing(6)
+		if h.N() != 6 || h.M() != 6 || !h.Connected() {
+			t.Fatalf("bad ring: %v", h)
+		}
+		for v := 0; v < 6; v++ {
+			if d := h.Degree(v); d != 2 {
+				t.Fatalf("ring degree(%d) = %d", v, d)
+			}
+		}
+	})
+	t.Run("path", func(t *testing.T) {
+		h := CommitteePath(5)
+		if h.N() != 5 || h.M() != 4 || !h.Connected() {
+			t.Fatalf("bad path: %v", h)
+		}
+	})
+	t.Run("star", func(t *testing.T) {
+		h := Star(7)
+		if h.M() != 6 || h.Degree(0) != 6 || !h.Connected() {
+			t.Fatalf("bad star: %v", h)
+		}
+		// All committees pairwise conflict via the hub.
+		for i := 0; i < h.M(); i++ {
+			for j := i + 1; j < h.M(); j++ {
+				if !h.Edge(i).Conflicts(h.Edge(j)) {
+					t.Fatal("star committees must all conflict")
+				}
+			}
+		}
+	})
+	t.Run("complete", func(t *testing.T) {
+		h := CompletePairs(5)
+		if h.M() != 10 {
+			t.Fatalf("K5 has 10 edges, got %d", h.M())
+		}
+	})
+	t.Run("disjoint", func(t *testing.T) {
+		h := DisjointCommittees(4, 3)
+		if h.N() != 12 || h.M() != 4 {
+			t.Fatalf("bad disjoint: %v", h)
+		}
+		if h.Connected() {
+			t.Fatal("disjoint committees must be disconnected")
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if h.Edge(i).Conflicts(h.Edge(j)) {
+					t.Fatal("disjoint committees must not conflict")
+				}
+			}
+		}
+	})
+	t.Run("chain of triples", func(t *testing.T) {
+		h := ChainOfTriples(3)
+		if h.N() != 7 || h.M() != 3 || !h.Connected() {
+			t.Fatalf("bad chain: %v", h)
+		}
+	})
+	t.Run("grid", func(t *testing.T) {
+		h := Grid(3, 4)
+		if h.N() != 12 || h.M() != 3*3+2*4 || !h.Connected() {
+			t.Fatalf("bad grid: %v n=%d m=%d", h, h.N(), h.M())
+		}
+	})
+	t.Run("random k-uniform", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		h := RandomKUniform(12, 10, 3, rng)
+		if h.N() != 12 || h.M() != 10 {
+			t.Fatalf("bad random: n=%d m=%d", h.N(), h.M())
+		}
+		if !h.Connected() {
+			t.Fatal("RandomKUniform must be connected")
+		}
+		for _, e := range h.Edges() {
+			if len(e) != 3 {
+				t.Fatalf("edge %v not 3-uniform", e)
+			}
+		}
+	})
+	t.Run("random mixed", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		h := RandomMixed(10, 14, 4, rng)
+		if h.N() != 10 || h.M() != 14 || !h.Connected() {
+			t.Fatalf("bad mixed: n=%d m=%d", h.N(), h.M())
+		}
+		for _, e := range h.Edges() {
+			if len(e) < 2 || len(e) > 4 {
+				t.Fatalf("edge %v out of size range", e)
+			}
+		}
+	})
+}
+
+func TestRandomGeneratorsConnectedProperty(t *testing.T) {
+	// Property: for many seeds, generated hypergraphs are connected,
+	// distinct-edged, and in range.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(12)
+		k := 2 + rng.Intn(2)
+		minEdges := (n-1)/(k-1) + 1
+		m := minEdges + rng.Intn(6)
+		h := RandomKUniform(n, m, k, rng)
+		return h.Connected() && h.M() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperFixtures(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		h    *H
+		n, m int
+	}{
+		{"figure1", Figure1(), 6, 5},
+		{"figure2", Figure2(), 5, 3},
+		{"figure3", Figure3(), 10, 9},
+		{"figure4", Figure4(), 9, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.h.N() != tc.n || tc.h.M() != tc.m {
+				t.Fatalf("%s: n=%d m=%d, want %d/%d", tc.name, tc.h.N(), tc.h.M(), tc.n, tc.m)
+			}
+			if !tc.h.Connected() {
+				t.Fatalf("%s must be connected", tc.name)
+			}
+			// Identifiers are 1-based in the paper's figures.
+			if tc.h.ID(0) != 1 {
+				t.Fatalf("%s: id(0)=%d, want 1", tc.name, tc.h.ID(0))
+			}
+		})
+	}
+}
+
+func TestDOTAndString(t *testing.T) {
+	h := Figure2()
+	s := h.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	dot := h.DOT("fig2")
+	for _, want := range []string{"graph fig2", "0 -- 1", "label=\"5\""} {
+		if !contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestMinEdges(t *testing.T) {
+	h := Figure1()
+	// Vertex 0 (id 1): edges {0,1} (len 2) and {0,1,2,3} (len 4) -> MinEdges = [0].
+	if got := h.MinEdges(0); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("MinEdges(0) = %v", got)
+	}
+	// Vertex 3 (id 4): edges 1 (len 4), 2 (len 3), 4 (len 2) -> [4].
+	if got := h.MinEdges(3); !reflect.DeepEqual(got, []int{4}) {
+		t.Fatalf("MinEdges(3) = %v", got)
+	}
+	// Isolated vertex has no MinEdges.
+	h2 := MustNew(3, []Edge{{0, 1}})
+	if got := h2.MinEdges(2); got != nil {
+		t.Fatalf("MinEdges(isolated) = %v, want nil", got)
+	}
+}
+
+func TestMaxMinAndMaxHEdge(t *testing.T) {
+	h := Figure1()
+	// min edge length per vertex: v0:2 v1:2 v2:2 v3:2 v4:3 v5:2 -> MaxMin 3.
+	if got := h.MaxMin(); got != 3 {
+		t.Fatalf("MaxMin = %d, want 3", got)
+	}
+	if got := h.MaxHEdge(); got != 4 {
+		t.Fatalf("MaxHEdge = %d, want 4", got)
+	}
+	empty := MustNew(2, nil)
+	if empty.MaxMin() != 0 || empty.MaxHEdge() != 0 {
+		t.Fatal("empty hypergraph should have MaxMin = MaxHEdge = 0")
+	}
+}
+
+func TestDegreeHelpers(t *testing.T) {
+	h := Star(5)
+	if h.MaxDegree() != 4 {
+		t.Fatalf("star max degree = %d", h.MaxDegree())
+	}
+	sort.Ints(h.Neighbors(0)) // must already be sorted; just exercise
+	if h.Degree(1) != 1 {
+		t.Fatalf("leaf degree = %d", h.Degree(1))
+	}
+}

@@ -1,0 +1,52 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		spec string
+		n, m int
+	}{
+		{"fig1", 6, 5},
+		{"figure2", 5, 3},
+		{"fig3", 10, 9},
+		{"fig4", 9, 4},
+		{"ring:7", 7, 7},
+		{"path:5", 5, 4},
+		{"star:6", 6, 5},
+		{"complete:4", 4, 6},
+		{"triples:3", 7, 3},
+		{"disjoint:3,2", 6, 3},
+		{"grid:2,3", 6, 7},
+		{"kuniform:8,9,3", 8, 9},
+		{"mixed:6,8,3", 6, 8},
+		{"custom:{0,1};{1,2,3}", 4, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			h, err := Parse(c.spec, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.N() != c.n || h.M() != c.m {
+				t.Fatalf("%s: n=%d m=%d, want %d/%d", c.spec, h.N(), h.M(), c.n, c.m)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "nope", "ring:x", "ring:1,2", "grid:3",
+		"custom:", "custom:{a,b}", "kuniform:8,9,3" /* no rng */, "mixed:6,8,3",
+	} {
+		var rng *rand.Rand // nil: random families must error
+		if _, err := Parse(spec, rng); err == nil {
+			t.Fatalf("Parse(%q) should fail", spec)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package metrics implements the measurement procedures behind the
+// paper's complexity notions: the Degree of Fair Concurrency
+// (Definition 5, Theorems 4/5/7/8), the Waiting Time in rounds
+// (Definition 6, Theorem 6), throughput/concurrency profiles used by the
+// algorithm comparison, and the token-circulation convergence time
+// (Property 1). The experiment harness and the benchmark suite both
+// build their tables from these procedures.
+package metrics
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// Concurrency is the result of a Degree-of-Fair-Concurrency experiment.
+type Concurrency struct {
+	Samples   int     // runs attempted
+	Quiesced  int     // runs that reached a quiescent state
+	Min       int     // minimum quiescent meeting count (the measured degree)
+	Max       int     // maximum quiescent meeting count
+	Mean      float64 // mean quiescent meeting count
+	MinMM     int     // size of the smallest maximal matching
+	Bound     int     // analytic lower bound (Theorem 5 for CC2, 8 for CC3)
+	ExactMin  int     // exact min over MM∪AMM (CC2) or MM∪AMM' (CC3)
+	HaveExact bool
+}
+
+// DegreeOfFairConcurrency measures Definition 5 empirically: run the
+// fair algorithm with never-terminating meetings from `samples` random
+// arbitrary configurations until quiescence, and record how many
+// meetings hold in each quiescent state. exact additionally computes the
+// theorem's exact combinatorial minimum (exponential; only for small
+// topologies).
+func DegreeOfFairConcurrency(variant core.Variant, h *hypergraph.H, samples, maxSteps int, seed int64, exact bool) Concurrency {
+	res := Concurrency{Samples: samples, Min: -1}
+	res.MinMM, _ = h.MinMaximalMatching()
+	if variant == core.CC3 {
+		res.Bound = h.Theorem8Bound()
+	} else {
+		res.Bound = h.Theorem5Bound()
+	}
+	if exact {
+		if variant == core.CC3 {
+			res.ExactMin, _ = h.MinAMMPrime()
+		} else {
+			res.ExactMin, _ = h.MinAMM()
+		}
+		res.HaveExact = true
+	}
+	sum := 0
+	for i := 0; i < samples; i++ {
+		alg := core.New(variant, h, nil)
+		env := core.NewInfiniteMeetings(alg, nil)
+		r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed+int64(i), true)
+		r.Run(maxSteps)
+		if !r.Engine.Terminal() {
+			continue
+		}
+		res.Quiesced++
+		k := len(alg.Meetings(r.Config()))
+		sum += k
+		if res.Min == -1 || k < res.Min {
+			res.Min = k
+		}
+		if k > res.Max {
+			res.Max = k
+		}
+	}
+	if res.Quiesced > 0 {
+		res.Mean = float64(sum) / float64(res.Quiesced)
+	}
+	if res.Min == -1 {
+		res.Min = 0
+	}
+	return res
+}
+
+// Waiting is the result of a waiting-time experiment (Definition 6).
+type Waiting struct {
+	N           int
+	MaxDisc     int // voluntary-discussion length in steps
+	MaxRounds   int // max rounds any professor waited between meetings
+	MeanRounds  float64
+	Rounds      int // total rounds executed
+	Convenes    int
+	NormalizedN float64 // MaxRounds / (maxDisc * n): Theorem 6 predicts O(1)
+}
+
+// WaitingTime measures the maximum number of rounds a professor waits
+// between successive meeting participations under the fair algorithm,
+// from an arbitrary initial configuration (Theorem 6: O(maxDisc · n)).
+func WaitingTime(variant core.Variant, h *hypergraph.H, maxDisc, steps int, seed int64) Waiting {
+	alg := core.New(variant, h, nil)
+	env := core.NewAlwaysClient(h.N(), maxDisc)
+	r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed, true)
+	r.Run(steps)
+	res := Waiting{N: h.N(), MaxDisc: maxDisc, Rounds: r.Engine.Rounds(), Convenes: r.TotalConvenes()}
+	sum, cnt := 0, 0
+	for p := 0; p < h.N(); p++ {
+		if len(h.EdgesOf(p)) == 0 {
+			continue
+		}
+		w := r.MaxWaitRounds[p]
+		sum += w
+		cnt++
+		if w > res.MaxRounds {
+			res.MaxRounds = w
+		}
+	}
+	if cnt > 0 {
+		res.MeanRounds = float64(sum) / float64(cnt)
+	}
+	if h.N() > 0 && maxDisc > 0 {
+		res.NormalizedN = float64(res.MaxRounds) / float64(maxDisc*h.N())
+	}
+	return res
+}
+
+// Throughput is the comparison profile of one algorithm on one topology.
+type Throughput struct {
+	Steps            int
+	Rounds           int
+	Convenes         int
+	ConvenesPer100R  float64
+	MeanConcurrency  float64
+	PeakConcurrency  int
+	MinProfMeetings  int
+	MinCommMeetings  int
+	MaxMatchingScale float64 // mean concurrency / max matching size
+}
+
+// MeasureThroughput runs a CC variant for the given number of steps and
+// collects the comparison profile.
+func MeasureThroughput(variant core.Variant, h *hypergraph.H, disc, steps int, seed int64, randomInit bool) Throughput {
+	alg := core.New(variant, h, nil)
+	env := core.NewAlwaysClient(h.N(), disc)
+	r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed, randomInit)
+	r.Run(steps)
+	return profileFromRunner(r, h)
+}
+
+func profileFromRunner(r *core.Runner, h *hypergraph.H) Throughput {
+	res := Throughput{
+		Steps:           r.Engine.Steps(),
+		Rounds:          r.Engine.Rounds(),
+		Convenes:        r.TotalConvenes(),
+		MeanConcurrency: r.MeanConcurrency(),
+		PeakConcurrency: r.PeakConcurrency,
+		MinProfMeetings: r.MinProfMeetings(),
+		MinCommMeetings: r.MinCommitteeConvenes(),
+	}
+	if res.Rounds > 0 {
+		res.ConvenesPer100R = 100 * float64(res.Convenes) / float64(res.Rounds)
+	}
+	if mx, _ := h.MaxMatching(); mx > 0 {
+		res.MaxMatchingScale = res.MeanConcurrency / float64(mx)
+	}
+	return res
+}
+
+// TokenConvergence is the TC stabilization profile.
+type Token struct {
+	N               int
+	Samples         int
+	Converged       int
+	MaxSteps        int // worst-case steps to a single stabilized token
+	MeanSteps       float64
+	MaxHoldersStart int // spurious tokens in the initial configurations
+}
+
+// TokenConvergence measures, over random initial TC configurations with
+// auto-releasing holders, how long the module takes to reach a single
+// stabilized token (Property 1).
+func TokenConvergence(h *hypergraph.H, samples, maxSteps int, seed int64) Token {
+	adj := make([][]int, h.N())
+	ids := make([]int, h.N())
+	for v := 0; v < h.N(); v++ {
+		adj[v] = h.Neighbors(v)
+		ids[v] = h.ID(v)
+	}
+	m := token.New(adj, ids)
+	res := Token{N: h.N(), Samples: samples}
+	sum := 0
+	for i := 0; i < samples; i++ {
+		// Use CC1 as the release driver: its Token2/Step4 actions release
+		// whenever the token is useless, which keeps the tour moving.
+		alg := core.New(core.CC1, h, nil)
+		env := core.NewAlwaysClient(h.N(), 1)
+		r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed+int64(i), true)
+		if k := len(m.Holders(tcLayer(r.Config()))); k > res.MaxHoldersStart {
+			res.MaxHoldersStart = k
+		}
+		converged := r.RunUntil(maxSteps, func(cfg []core.State) bool {
+			tc := tcLayer(cfg)
+			return m.Stabilized(tc) && len(m.Holders(tc)) <= 1
+		})
+		if converged {
+			res.Converged++
+			steps := r.Engine.Steps()
+			sum += steps
+			if steps > res.MaxSteps {
+				res.MaxSteps = steps
+			}
+		}
+	}
+	if res.Converged > 0 {
+		res.MeanSteps = float64(sum) / float64(res.Converged)
+	}
+	return res
+}
+
+func tcLayer(cfg []core.State) []token.State {
+	out := make([]token.State, len(cfg))
+	for i := range cfg {
+		out[i] = cfg[i].TC
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+)
+
+func TestDegreeOfFairConcurrencyRespectsBounds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		h    *hypergraph.H
+		v    core.Variant
+	}{
+		{"ring8-cc2", hypergraph.CommitteeRing(8), core.CC2},
+		{"path6-cc2", hypergraph.CommitteePath(6), core.CC2},
+		{"fig1-cc2", hypergraph.Figure1(), core.CC2},
+		{"ring6-cc3", hypergraph.CommitteeRing(6), core.CC3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := DegreeOfFairConcurrency(tc.v, tc.h, 6, 60000, 7, true)
+			if res.Quiesced == 0 {
+				t.Fatal("no run quiesced")
+			}
+			// Theorem 4/7: observed degree >= exact min over MM∪AMM(').
+			if res.Min < res.ExactMin {
+				t.Fatalf("observed min %d below exact theorem minimum %d", res.Min, res.ExactMin)
+			}
+			// Theorem 5/8: exact minimum >= analytic bound.
+			if res.ExactMin < res.Bound {
+				t.Fatalf("exact min %d below analytic bound %d", res.ExactMin, res.Bound)
+			}
+			if res.Max > res.MinMM && res.MinMM > 0 {
+				// The quiescent meetings form a maximal-ish matching; more
+				// than minMM is fine (up to max matching), sanity only:
+				if mx, _ := tc.h.MaxMatching(); res.Max > mx {
+					t.Fatalf("quiescent meetings %d exceed max matching %d", res.Max, mx)
+				}
+			}
+		})
+	}
+}
+
+func TestWaitingTimeBounded(t *testing.T) {
+	// Theorem 6: waiting time O(maxDisc · n) rounds. The constant is
+	// implementation-specific; assert the normalized ratio is modest and
+	// that every professor actually met.
+	h := hypergraph.CommitteeRing(6)
+	res := WaitingTime(core.CC2, h, 2, 30000, 3)
+	if res.Convenes < 10 {
+		t.Fatalf("too few meetings to measure: %d", res.Convenes)
+	}
+	if res.MaxRounds <= 0 {
+		t.Fatal("no waiting measured")
+	}
+	if res.NormalizedN > 25 {
+		t.Fatalf("waiting time %d rounds not O(maxDisc*n)=%d within factor 25",
+			res.MaxRounds, res.MaxDisc*res.N)
+	}
+}
+
+func TestThroughputProfiles(t *testing.T) {
+	h := hypergraph.CommitteeRing(8)
+	p1 := MeasureThroughput(core.CC1, h, 1, 8000, 5, false)
+	p2 := MeasureThroughput(core.CC2, h, 1, 8000, 5, false)
+	if p1.Convenes == 0 || p2.Convenes == 0 {
+		t.Fatalf("no meetings: cc1=%d cc2=%d", p1.Convenes, p2.Convenes)
+	}
+	if p1.MeanConcurrency <= 0 || p1.PeakConcurrency < 1 {
+		t.Fatal("cc1 concurrency not measured")
+	}
+	// CC1 maximizes concurrency; on a ring it should not trail CC2 by
+	// much — and typically leads. Soft check: within a factor.
+	if p1.MeanConcurrency < 0.3*p2.MeanConcurrency {
+		t.Fatalf("cc1 concurrency %f implausibly below cc2 %f", p1.MeanConcurrency, p2.MeanConcurrency)
+	}
+	if p2.MinProfMeetings == 0 {
+		t.Fatal("cc2 must be fair over a long run")
+	}
+}
+
+func TestTokenConvergenceProfile(t *testing.T) {
+	res := TokenConvergence(hypergraph.Figure1(), 5, 20000, 11)
+	if res.Converged != res.Samples {
+		t.Fatalf("only %d/%d TC runs converged", res.Converged, res.Samples)
+	}
+	if res.MeanSteps <= 0 || res.MaxSteps < int(res.MeanSteps) {
+		t.Fatalf("implausible steps: mean=%f max=%d", res.MeanSteps, res.MaxSteps)
+	}
+}

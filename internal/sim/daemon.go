@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Daemon selects, at each step, a non-empty subset of the enabled
+// processes (paper §2.2: "distributed" means at least one, maybe more).
+// Implementations must not retain the enabled slice.
+//
+// Weak fairness — "every continuously enabled process is eventually
+// selected" — is a property of a daemon's computations. Synchronous and
+// the aging daemons below guarantee it deterministically; the random
+// daemons satisfy it with probability 1.
+type Daemon interface {
+	Name() string
+	Select(enabled []int, step int, rng *rand.Rand) []int
+}
+
+// Synchronous selects every enabled process. It is distributed and
+// (trivially) weakly fair.
+type Synchronous struct{}
+
+func (Synchronous) Name() string { return "synchronous" }
+
+func (Synchronous) Select(enabled []int, _ int, _ *rand.Rand) []int {
+	return append([]int(nil), enabled...)
+}
+
+// Central selects exactly one enabled process, round-robin by process id
+// starting after the previously selected one — a weakly fair central
+// daemon.
+type Central struct{ last int }
+
+func (*Central) Name() string { return "central-rr" }
+
+func (c *Central) Select(enabled []int, _ int, _ *rand.Rand) []int {
+	// Pick the smallest enabled id strictly greater than last, wrapping.
+	best := -1
+	for _, p := range enabled {
+		if p > c.last && (best == -1 || p < best) {
+			best = p
+		}
+	}
+	if best == -1 {
+		for _, p := range enabled {
+			if best == -1 || p < best {
+				best = p
+			}
+		}
+	}
+	c.last = best
+	return []int{best}
+}
+
+// CentralRandom selects exactly one enabled process uniformly at random
+// (weakly fair with probability 1).
+type CentralRandom struct{}
+
+func (CentralRandom) Name() string { return "central-random" }
+
+func (CentralRandom) Select(enabled []int, _ int, rng *rand.Rand) []int {
+	return []int{enabled[rng.Intn(len(enabled))]}
+}
+
+// RandomSubset includes each enabled process independently with
+// probability P (default 0.5), re-drawing until non-empty. It is the
+// usual probabilistic model of the distributed unfair daemon; weakly fair
+// with probability 1.
+type RandomSubset struct{ P float64 }
+
+func (RandomSubset) Name() string { return "random-subset" }
+
+func (d RandomSubset) Select(enabled []int, _ int, rng *rand.Rand) []int {
+	p := d.P
+	if p <= 0 || p > 1 {
+		p = 0.5
+	}
+	var sel []int
+	for len(sel) == 0 {
+		sel = sel[:0]
+		for _, q := range enabled {
+			if rng.Float64() < p {
+				sel = append(sel, q)
+			}
+		}
+	}
+	return sel
+}
+
+// WeaklyFair is a distributed daemon with a deterministic weak-fairness
+// guarantee: it behaves like RandomSubset but force-includes any process
+// that has been continuously enabled for MaxAge steps without executing.
+// This is the default daemon for the paper's liveness experiments, which
+// assume a distributed weakly fair daemon.
+type WeaklyFair struct {
+	P      float64 // inclusion probability (default 0.5)
+	MaxAge int     // force-include threshold (default 8)
+
+	age map[int]int
+}
+
+func (*WeaklyFair) Name() string { return "weakly-fair" }
+
+func (d *WeaklyFair) Select(enabled []int, _ int, rng *rand.Rand) []int {
+	p := d.P
+	if p <= 0 || p > 1 {
+		p = 0.5
+	}
+	maxAge := d.MaxAge
+	if maxAge <= 0 {
+		maxAge = 8
+	}
+	if d.age == nil {
+		d.age = make(map[int]int)
+	}
+	inEnabled := make(map[int]bool, len(enabled))
+	for _, q := range enabled {
+		inEnabled[q] = true
+	}
+	// A process not currently enabled was neutralized or executed; its
+	// "continuously enabled" clock restarts.
+	for q := range d.age {
+		if !inEnabled[q] {
+			delete(d.age, q)
+		}
+	}
+	var sel []int
+	for _, q := range enabled {
+		if d.age[q]+1 >= maxAge || rng.Float64() < p {
+			sel = append(sel, q)
+		}
+	}
+	if len(sel) == 0 {
+		sel = append(sel, enabled[rng.Intn(len(enabled))])
+	}
+	selected := make(map[int]bool, len(sel))
+	for _, q := range sel {
+		selected[q] = true
+	}
+	for _, q := range enabled {
+		if selected[q] {
+			delete(d.age, q)
+		} else {
+			d.age[q]++
+		}
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+// Scripted replays a fixed schedule: at step i it selects
+// Schedule[i] ∩ enabled (panicking if that intersection is empty, since a
+// daemon must select at least one enabled process). After the schedule is
+// exhausted it delegates to Fallback (or Synchronous if nil). Used by the
+// Figure 3 replay and by adversarial constructions (e.g., the Theorem 1
+// starvation schedule).
+type Scripted struct {
+	Schedule [][]int
+	Fallback Daemon
+	pos      int
+}
+
+func (*Scripted) Name() string { return "scripted" }
+
+func (d *Scripted) Select(enabled []int, step int, rng *rand.Rand) []int {
+	if d.pos >= len(d.Schedule) {
+		fb := d.Fallback
+		if fb == nil {
+			fb = Synchronous{}
+		}
+		return fb.Select(enabled, step, rng)
+	}
+	want := d.Schedule[d.pos]
+	d.pos++
+	inEnabled := make(map[int]bool, len(enabled))
+	for _, q := range enabled {
+		inEnabled[q] = true
+	}
+	var sel []int
+	for _, q := range want {
+		if inEnabled[q] {
+			sel = append(sel, q)
+		}
+	}
+	if len(sel) == 0 {
+		panic("sim: scripted daemon selected only disabled processes")
+	}
+	return sel
+}
+
+// Exhausted reports whether the script has been fully consumed.
+func (d *Scripted) Exhausted() bool { return d.pos >= len(d.Schedule) }
+
+// Adversary wraps an arbitrary selection function (for impossibility
+// constructions). The function must return a non-empty subset of enabled.
+type Adversary struct {
+	Label string
+	Fn    func(enabled []int, step int, rng *rand.Rand) []int
+}
+
+func (a Adversary) Name() string {
+	if a.Label == "" {
+		return "adversary"
+	}
+	return a.Label
+}
+
+func (a Adversary) Select(enabled []int, step int, rng *rand.Rand) []int {
+	return a.Fn(enabled, step, rng)
+}

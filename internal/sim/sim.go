@@ -1,0 +1,313 @@
+// Package sim implements the computational model of paper §2.2: a
+// distributed system of processes communicating through locally shared
+// variables, executing finite ordered lists of guarded actions under a
+// daemon (scheduler).
+//
+// The model, exactly as in the paper:
+//
+//   - The state of a process is the value of its variables; a
+//     configuration is the vector of all process states.
+//   - An action is enabled when its guard — a boolean expression over the
+//     process's own and its neighbors' variables — holds.
+//   - Priorities: "action A has higher priority than action B iff A
+//     appears after B in the code" (§2.2); when several actions of a
+//     process are enabled, the process executes the highest-priority
+//     (i.e., last-listed) one. The paper's proofs depend on this: the
+//     stabilization actions Stab1/Stab2 listed last are "the priority
+//     actions".
+//   - A step: the daemon selects a non-empty subset of the enabled
+//     processes; every selected process atomically executes its priority
+//     enabled action. All guards and statements of a step are evaluated
+//     against the pre-step configuration (the engine double-buffers).
+//   - Rounds (§2.2, after Dolev–Israeli–Moran): the first round of a
+//     computation is the minimal prefix containing the activation or the
+//     neutralization of every process enabled in the initial
+//     configuration; later rounds recurse on the suffix.
+//
+// Programs are expressed over a user-chosen state type S with
+// value-semantics cloning, so arbitrary algorithm compositions (e.g.,
+// CC1 ∘ TC) are single Programs whose state embeds both layers.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cloneable is implemented by program state types. Clone must return a
+// deep copy: the engine hands each executing process a private copy of
+// its own pre-step state to mutate.
+type Cloneable[S any] interface {
+	Clone() S
+}
+
+// Action is one guarded action of a local algorithm. Guard must be a pure
+// function of the configuration; Body reads the pre-step configuration
+// cfg and mutates only *next (the executing process's own next state).
+type Action[S Cloneable[S]] struct {
+	Name  string
+	Guard func(cfg []S, p int) bool
+	Body  func(cfg []S, p int, next *S, rng *rand.Rand)
+}
+
+// Program is a distributed algorithm: one local algorithm replicated at n
+// processes (the paper's algorithms are identical at all processes; a
+// Program may still dispatch on p for e.g. identifiers or topology).
+type Program[S Cloneable[S]] struct {
+	// NumProcs is the number of processes.
+	NumProcs int
+	// Actions, in the paper's code order: index i+1 has higher priority
+	// than index i (later in code = higher priority).
+	Actions []Action[S]
+	// Init returns an initial state for process p. For stabilization
+	// experiments this is an arbitrary (random) state.
+	Init func(p int, rng *rand.Rand) S
+}
+
+// Exec records one action execution within a step.
+type Exec struct {
+	Proc   int
+	Action int // index into Program.Actions
+}
+
+// Observer is called after every step with the step index (1-based), the
+// new configuration, and the executions that formed the step. Observers
+// must not retain cfg without copying.
+type Observer[S Cloneable[S]] func(step int, cfg []S, execs []Exec)
+
+// Engine runs a Program under a Daemon with deterministic, seedable
+// randomness.
+type Engine[S Cloneable[S]] struct {
+	Prog   *Program[S]
+	Daemon Daemon
+
+	cfg  []S
+	rng  *rand.Rand
+	step int
+
+	// Round accounting.
+	round        int   // completed rounds
+	roundStart   int   // step index at which the current round started
+	roundPending []int // processes enabled at round start, not yet activated/neutralized
+	roundSteps   []int // steps consumed by each completed round
+
+	observers []Observer[S]
+
+	// scratch
+	enabledBuf []int
+	actBuf     []int
+}
+
+// NewEngine builds an engine and initializes the configuration from
+// Program.Init using a rand.Rand seeded with seed.
+func NewEngine[S Cloneable[S]](prog *Program[S], d Daemon, seed int64) *Engine[S] {
+	e := &Engine[S]{
+		Prog:   prog,
+		Daemon: d,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	e.cfg = make([]S, prog.NumProcs)
+	for p := 0; p < prog.NumProcs; p++ {
+		e.cfg[p] = prog.Init(p, e.rng)
+	}
+	e.resetRound()
+	return e
+}
+
+// Config returns the current configuration. Callers must not mutate it.
+func (e *Engine[S]) Config() []S { return e.cfg }
+
+// SetConfig replaces the configuration (used by fault injectors and
+// scripted replays). Round accounting restarts.
+func (e *Engine[S]) SetConfig(cfg []S) {
+	if len(cfg) != e.Prog.NumProcs {
+		panic(fmt.Sprintf("sim: SetConfig with %d states for %d processes", len(cfg), e.Prog.NumProcs))
+	}
+	e.cfg = cfg
+	e.resetRound()
+}
+
+// MutateProc applies fn to process p's state in place (fault injection).
+func (e *Engine[S]) MutateProc(p int, fn func(s *S)) {
+	fn(&e.cfg[p])
+	e.resetRound()
+}
+
+// RNG exposes the engine's deterministic randomness source (shared with
+// daemons and action bodies).
+func (e *Engine[S]) RNG() *rand.Rand { return e.rng }
+
+// Steps returns the number of steps executed so far.
+func (e *Engine[S]) Steps() int { return e.step }
+
+// Rounds returns the number of completed rounds (paper §2.2).
+func (e *Engine[S]) Rounds() int { return e.round }
+
+// RoundSteps returns the number of steps in each completed round.
+func (e *Engine[S]) RoundSteps() []int { return e.roundSteps }
+
+// Observe registers an observer.
+func (e *Engine[S]) Observe(o Observer[S]) { e.observers = append(e.observers, o) }
+
+// EnabledAction returns the highest-priority enabled action index for p
+// in the current configuration, or -1 if p is disabled.
+func (e *Engine[S]) EnabledAction(p int) int {
+	return enabledAction(e.Prog, e.cfg, p)
+}
+
+func enabledAction[S Cloneable[S]](prog *Program[S], cfg []S, p int) int {
+	for a := len(prog.Actions) - 1; a >= 0; a-- {
+		if prog.Actions[a].Guard(cfg, p) {
+			return a
+		}
+	}
+	return -1
+}
+
+// Enabled returns the processes enabled in the current configuration
+// (reusing an internal buffer; copy to retain).
+func (e *Engine[S]) Enabled() []int {
+	e.enabledBuf = e.enabledBuf[:0]
+	e.actBuf = e.actBuf[:0]
+	for p := 0; p < e.Prog.NumProcs; p++ {
+		if a := e.EnabledAction(p); a >= 0 {
+			e.enabledBuf = append(e.enabledBuf, p)
+			e.actBuf = append(e.actBuf, a)
+		}
+	}
+	return e.enabledBuf
+}
+
+// Terminal reports whether no process is enabled.
+func (e *Engine[S]) Terminal() bool { return len(e.Enabled()) == 0 }
+
+// Step executes one step: daemon selection + simultaneous execution.
+// It returns the executions performed, or nil if the configuration is
+// terminal. Panics if the daemon returns an empty or invalid selection.
+func (e *Engine[S]) Step() []Exec {
+	enabled := e.Enabled()
+	if len(enabled) == 0 {
+		return nil
+	}
+	acts := e.actBuf
+	sel := e.Daemon.Select(enabled, e.step, e.rng)
+	if len(sel) == 0 {
+		panic("sim: daemon selected no process from a non-empty enabled set")
+	}
+	inEnabled := func(p int) int {
+		for i, q := range enabled {
+			if q == p {
+				return i
+			}
+		}
+		return -1
+	}
+	// Compute all next-states against the pre-step configuration.
+	execs := make([]Exec, 0, len(sel))
+	nexts := make([]S, 0, len(sel))
+	seen := make(map[int]bool, len(sel))
+	for _, p := range sel {
+		i := inEnabled(p)
+		if i < 0 {
+			panic(fmt.Sprintf("sim: daemon selected disabled process %d", p))
+		}
+		if seen[p] {
+			panic(fmt.Sprintf("sim: daemon selected process %d twice", p))
+		}
+		seen[p] = true
+		a := acts[i]
+		next := e.cfg[p].Clone()
+		e.Prog.Actions[a].Body(e.cfg, p, &next, e.rng)
+		execs = append(execs, Exec{Proc: p, Action: a})
+		nexts = append(nexts, next)
+	}
+	// Commit.
+	for i, ex := range execs {
+		e.cfg[ex.Proc] = nexts[i]
+	}
+	e.step++
+
+	// Round accounting: remove activated or neutralized processes.
+	if len(e.roundPending) > 0 {
+		executed := seen
+		var still []int
+		for _, p := range e.roundPending {
+			if executed[p] {
+				continue // activated
+			}
+			if enabledAction(e.Prog, e.cfg, p) < 0 {
+				continue // neutralized
+			}
+			still = append(still, p)
+		}
+		e.roundPending = still
+	}
+	if len(e.roundPending) == 0 {
+		e.round++
+		e.roundSteps = append(e.roundSteps, e.step-e.roundStart)
+		e.roundStart = e.step
+		e.fillRoundPending()
+	}
+
+	for _, o := range e.observers {
+		o(e.step, e.cfg, execs)
+	}
+	return execs
+}
+
+// Run executes at most maxSteps steps, stopping early at a terminal
+// configuration. It returns the number of steps executed.
+func (e *Engine[S]) Run(maxSteps int) int {
+	start := e.step
+	for e.step-start < maxSteps {
+		if e.Step() == nil {
+			break
+		}
+	}
+	return e.step - start
+}
+
+// RunUntil executes steps until pred(cfg) holds (checked before each
+// step), the configuration is terminal, or maxSteps steps have been
+// taken. It reports whether pred held.
+func (e *Engine[S]) RunUntil(maxSteps int, pred func(cfg []S) bool) bool {
+	start := e.step
+	for {
+		if pred(e.cfg) {
+			return true
+		}
+		if e.step-start >= maxSteps {
+			return false
+		}
+		if e.Step() == nil {
+			return pred(e.cfg)
+		}
+	}
+}
+
+// RunRounds executes whole rounds until the given number of additional
+// rounds completed, a terminal configuration, or maxSteps steps.
+// It returns the number of rounds completed within the call.
+func (e *Engine[S]) RunRounds(rounds, maxSteps int) int {
+	startRound, startStep := e.round, e.step
+	for e.round-startRound < rounds && e.step-startStep < maxSteps {
+		if e.Step() == nil {
+			break
+		}
+	}
+	return e.round - startRound
+}
+
+func (e *Engine[S]) resetRound() {
+	e.roundStart = e.step
+	e.fillRoundPending()
+}
+
+func (e *Engine[S]) fillRoundPending() {
+	e.roundPending = e.roundPending[:0]
+	for p := 0; p < e.Prog.NumProcs; p++ {
+		if enabledAction(e.Prog, e.cfg, p) >= 0 {
+			e.roundPending = append(e.roundPending, p)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tstate is a trivial one-variable process state for engine tests.
+type tstate struct{ X int }
+
+func (s tstate) Clone() tstate { return s }
+
+// maxProgram: line topology 0-1-...-n-1; each process raises X to the max
+// of its neighborhood. Terminates when all X equal the global max.
+func maxProgram(n int) *Program[tstate] {
+	nbrs := func(p int) []int {
+		var out []int
+		if p > 0 {
+			out = append(out, p-1)
+		}
+		if p < n-1 {
+			out = append(out, p+1)
+		}
+		return out
+	}
+	localMax := func(cfg []tstate, p int) int {
+		m := cfg[p].X
+		for _, q := range nbrs(p) {
+			if cfg[q].X > m {
+				m = cfg[q].X
+			}
+		}
+		return m
+	}
+	return &Program[tstate]{
+		NumProcs: n,
+		Actions: []Action[tstate]{
+			{
+				Name:  "raise",
+				Guard: func(cfg []tstate, p int) bool { return localMax(cfg, p) > cfg[p].X },
+				Body: func(cfg []tstate, p int, next *tstate, _ *rand.Rand) {
+					next.X = localMax(cfg, p)
+				},
+			},
+		},
+		Init: func(p int, _ *rand.Rand) tstate { return tstate{X: p} },
+	}
+}
+
+func TestEngineTerminatesMaxPropagation(t *testing.T) {
+	n := 9
+	e := NewEngine(maxProgram(n), Synchronous{}, 1)
+	steps := e.Run(1000)
+	if !e.Terminal() {
+		t.Fatal("engine should reach terminal configuration")
+	}
+	// Under the synchronous daemon the max at n-1 propagates one hop per
+	// step: exactly n-1 steps.
+	if steps != n-1 {
+		t.Fatalf("synchronous steps = %d, want %d", steps, n-1)
+	}
+	for p := 0; p < n; p++ {
+		if e.Config()[p].X != n-1 {
+			t.Fatalf("proc %d has X=%d, want %d", p, e.Config()[p].X, n-1)
+		}
+	}
+}
+
+func TestSynchronousRoundsEqualSteps(t *testing.T) {
+	n := 7
+	e := NewEngine(maxProgram(n), Synchronous{}, 1)
+	e.Run(1000)
+	// Under the synchronous daemon every enabled process executes each
+	// step, so every step is a round.
+	if e.Rounds() != e.Steps() {
+		t.Fatalf("rounds=%d steps=%d; must be equal under synchronous daemon", e.Rounds(), e.Steps())
+	}
+	for _, rs := range e.RoundSteps() {
+		if rs != 1 {
+			t.Fatalf("round used %d steps under synchronous daemon", rs)
+		}
+	}
+}
+
+func TestCentralDaemonStillTerminates(t *testing.T) {
+	n := 6
+	e := NewEngine(maxProgram(n), &Central{}, 1)
+	e.Run(10000)
+	if !e.Terminal() {
+		t.Fatal("central daemon run should terminate")
+	}
+	// Rounds <= steps, and at least 1.
+	if e.Rounds() < 1 || e.Rounds() > e.Steps() {
+		t.Fatalf("implausible rounds=%d steps=%d", e.Rounds(), e.Steps())
+	}
+}
+
+// swapProgram exercises simultaneous (pre-step snapshot) semantics: two
+// processes always copy each other's value; a synchronous step must swap.
+func swapProgram() *Program[tstate] {
+	other := func(p int) int { return 1 - p }
+	return &Program[tstate]{
+		NumProcs: 2,
+		Actions: []Action[tstate]{
+			{
+				Name:  "copy",
+				Guard: func(cfg []tstate, p int) bool { return cfg[p].X != cfg[other(p)].X },
+				Body: func(cfg []tstate, p int, next *tstate, _ *rand.Rand) {
+					next.X = cfg[other(p)].X
+				},
+			},
+		},
+		Init: func(p int, _ *rand.Rand) tstate { return tstate{X: p * 10} },
+	}
+}
+
+func TestSimultaneousSnapshotSemantics(t *testing.T) {
+	e := NewEngine(swapProgram(), Synchronous{}, 1)
+	execs := e.Step()
+	if len(execs) != 2 {
+		t.Fatalf("want both processes executed, got %v", execs)
+	}
+	// Both read the pre-step configuration: values swap (0,10) -> (10,0).
+	if e.Config()[0].X != 10 || e.Config()[1].X != 0 {
+		t.Fatalf("swap failed: %+v", e.Config())
+	}
+	// And swap forever: never terminal.
+	e.Run(10)
+	if e.Terminal() {
+		t.Fatal("swap program must not terminate under synchronous daemon")
+	}
+}
+
+// priorityProgram checks "later in code = higher priority" (§2.2).
+func priorityProgram() *Program[tstate] {
+	return &Program[tstate]{
+		NumProcs: 1,
+		Actions: []Action[tstate]{
+			{
+				Name:  "low",
+				Guard: func(cfg []tstate, p int) bool { return cfg[p].X == 0 },
+				Body:  func(cfg []tstate, p int, next *tstate, _ *rand.Rand) { next.X = 1 },
+			},
+			{
+				Name:  "high",
+				Guard: func(cfg []tstate, p int) bool { return cfg[p].X == 0 },
+				Body:  func(cfg []tstate, p int, next *tstate, _ *rand.Rand) { next.X = 2 },
+			},
+		},
+		Init: func(p int, _ *rand.Rand) tstate { return tstate{X: 0} },
+	}
+}
+
+func TestActionPriorityLastListedWins(t *testing.T) {
+	e := NewEngine(priorityProgram(), Synchronous{}, 1)
+	if a := e.EnabledAction(0); a != 1 {
+		t.Fatalf("EnabledAction = %d, want 1 (the later action)", a)
+	}
+	execs := e.Step()
+	if execs[0].Action != 1 {
+		t.Fatalf("executed action %d, want 1", execs[0].Action)
+	}
+	if e.Config()[0].X != 2 {
+		t.Fatalf("X=%d, want 2 (high-priority body)", e.Config()[0].X)
+	}
+}
+
+// neutralizeProgram: proc 0 enabled until it fires; proc 1's guard
+// depends on proc 0's value and is neutralized when 0 fires.
+func neutralizeProgram() *Program[tstate] {
+	return &Program[tstate]{
+		NumProcs: 2,
+		Actions: []Action[tstate]{
+			{
+				Name: "a",
+				Guard: func(cfg []tstate, p int) bool {
+					if p == 0 {
+						return cfg[0].X == 0
+					}
+					return cfg[0].X == 0 // proc 1 enabled only while proc 0 hasn't moved
+				},
+				Body: func(cfg []tstate, p int, next *tstate, _ *rand.Rand) { next.X = 1 },
+			},
+		},
+		Init: func(p int, _ *rand.Rand) tstate { return tstate{} },
+	}
+}
+
+func TestRoundCompletesViaNeutralization(t *testing.T) {
+	// Central daemon picks proc 0 first (round-robin from -? Central.last=0
+	// selects >0 first). Use scripted daemon to force proc 0 only.
+	d := &Scripted{Schedule: [][]int{{0}}}
+	e := NewEngine(neutralizeProgram(), d, 1)
+	e.Step()
+	// Both processes were enabled initially; proc 0 activated, proc 1
+	// neutralized => the round completes after one step.
+	if e.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1 (neutralization ends the round)", e.Rounds())
+	}
+	if !e.Terminal() {
+		t.Fatal("should be terminal")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	n := 8
+	e := NewEngine(maxProgram(n), Synchronous{}, 1)
+	ok := e.RunUntil(100, func(cfg []tstate) bool { return cfg[0].X == n-1 })
+	if !ok {
+		t.Fatal("RunUntil should observe the predicate")
+	}
+	// Predicate already true: no steps taken.
+	before := e.Steps()
+	e.RunUntil(100, func(cfg []tstate) bool { return true })
+	if e.Steps() != before {
+		t.Fatal("RunUntil must not step when predicate already holds")
+	}
+	// Unsatisfiable predicate on terminal config returns false.
+	e.Run(100)
+	if e.RunUntil(100, func(cfg []tstate) bool { return false }) {
+		t.Fatal("unsatisfiable predicate should return false")
+	}
+}
+
+func TestRunRounds(t *testing.T) {
+	n := 6
+	e := NewEngine(maxProgram(n), &WeaklyFair{MaxAge: 4}, 5)
+	got := e.RunRounds(3, 100000)
+	if got != 3 && !e.Terminal() {
+		t.Fatalf("RunRounds completed %d rounds, want 3 (or terminal)", got)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() ([]tstate, int) {
+		e := NewEngine(maxProgram(10), &WeaklyFair{}, 42)
+		e.Run(500)
+		cfg := append([]tstate(nil), e.Config()...)
+		return cfg, e.Steps()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if s1 != s2 || !reflect.DeepEqual(c1, c2) {
+		t.Fatal("same seed must give identical runs")
+	}
+}
+
+func TestMutateProcAndSetConfig(t *testing.T) {
+	e := NewEngine(maxProgram(4), Synchronous{}, 1)
+	e.Run(100)
+	if !e.Terminal() {
+		t.Fatal("should be terminal")
+	}
+	// Corrupt a process: engine must become enabled again (stabilization).
+	e.MutateProc(0, func(s *tstate) { s.X = -5 })
+	if e.Terminal() {
+		t.Fatal("corrupted process should re-enable the system")
+	}
+	e.Run(100)
+	if e.Config()[0].X != 3 {
+		t.Fatalf("recovery failed: %+v", e.Config())
+	}
+
+	cfg := []tstate{{X: 9}, {X: 9}, {X: 9}, {X: 9}}
+	e.SetConfig(cfg)
+	if !e.Terminal() {
+		t.Fatal("uniform config should be terminal")
+	}
+}
+
+func TestDaemonSelectionValidation(t *testing.T) {
+	bad := Adversary{Fn: func(enabled []int, _ int, _ *rand.Rand) []int { return nil }}
+	e := NewEngine(maxProgram(3), bad, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty daemon selection must panic")
+		}
+	}()
+	e.Step()
+}
+
+func TestDaemonSelectingDisabledPanics(t *testing.T) {
+	bad := Adversary{Fn: func(enabled []int, _ int, _ *rand.Rand) []int { return []int{99} }}
+	e := NewEngine(maxProgram(3), bad, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("selecting a disabled process must panic")
+		}
+	}()
+	e.Step()
+}
+
+func TestScriptedDaemon(t *testing.T) {
+	d := &Scripted{Schedule: [][]int{{2}, {1}, {0, 1}}}
+	e := NewEngine(maxProgram(4), d, 1)
+	ex := e.Step()
+	if len(ex) != 1 || ex[0].Proc != 2 {
+		t.Fatalf("scripted step 1 executed %v", ex)
+	}
+	ex = e.Step()
+	if len(ex) != 1 || ex[0].Proc != 1 {
+		t.Fatalf("scripted step 2 executed %v", ex)
+	}
+	if d.Exhausted() {
+		t.Fatal("script not yet exhausted")
+	}
+	e.Step()
+	if !d.Exhausted() {
+		t.Fatal("script should be exhausted")
+	}
+	// Fallback (synchronous) finishes the run.
+	e.Run(100)
+	if !e.Terminal() {
+		t.Fatal("fallback should finish")
+	}
+}
+
+func TestCentralDaemonRoundRobin(t *testing.T) {
+	d := &Central{}
+	rng := rand.New(rand.NewSource(1))
+	got := []int{}
+	for i := 0; i < 6; i++ {
+		sel := d.Select([]int{0, 1, 2}, i, rng)
+		if len(sel) != 1 {
+			t.Fatalf("central daemon must select exactly one, got %v", sel)
+		}
+		got = append(got, sel[0])
+	}
+	want := []int{1, 2, 0, 1, 2, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round robin = %v, want %v", got, want)
+	}
+}
+
+func TestWeaklyFairForcesStarvedProcess(t *testing.T) {
+	d := &WeaklyFair{P: 0.0001, MaxAge: 5} // nearly never random-selects
+	rng := rand.New(rand.NewSource(1))
+	enabled := []int{0, 1, 2}
+	seen := map[int]bool{}
+	for i := 0; i < 40; i++ {
+		for _, p := range d.Select(enabled, i, rng) {
+			seen[p] = true
+		}
+	}
+	for _, p := range enabled {
+		if !seen[p] {
+			t.Fatalf("weakly fair daemon starved process %d", p)
+		}
+	}
+}
+
+func TestDaemonSubsetProperty(t *testing.T) {
+	daemons := []Daemon{Synchronous{}, &Central{}, CentralRandom{}, RandomSubset{P: 0.3}, &WeaklyFair{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		enabled := rng.Perm(12)[:n]
+		for _, d := range daemons {
+			sel := d.Select(enabled, 0, rng)
+			if len(sel) == 0 {
+				return false
+			}
+			in := map[int]bool{}
+			for _, p := range enabled {
+				in[p] = true
+			}
+			for _, p := range sel {
+				if !in[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserverSeesEveryStep(t *testing.T) {
+	e := NewEngine(maxProgram(5), Synchronous{}, 1)
+	var steps []int
+	var execCount int
+	e.Observe(func(step int, cfg []tstate, execs []Exec) {
+		steps = append(steps, step)
+		execCount += len(execs)
+	})
+	e.Run(100)
+	if len(steps) != e.Steps() {
+		t.Fatalf("observer saw %d steps, engine ran %d", len(steps), e.Steps())
+	}
+	if execCount == 0 {
+		t.Fatal("observer saw no executions")
+	}
+	for i, s := range steps {
+		if s != i+1 {
+			t.Fatalf("step indices not sequential: %v", steps)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package spec implements runtime monitors for the committee
+// coordination specification (paper §2.3, §2.4, §3.1):
+//
+//   - Exclusion: no two conflicting committees meet simultaneously;
+//   - Synchronization: a meeting convenes only if all members were
+//     waiting;
+//   - Essential Discussion (2-phase, phase 1): a meeting terminates only
+//     after every participant completed its essential discussion;
+//   - Progress (bounded form): an all-waiting committee neighborhood
+//     does not sit idle past a configurable window;
+//   - plus fairness gap accounting used by the Professor/Committee
+//     Fairness experiments.
+//
+// The monitors are generic over the algorithm's state type via a Probe of
+// abstract predicates, so the same checker validates CC1/CC2/CC3 and the
+// baseline algorithms. Because the checker inspects only convene events
+// occurring *during* the monitored run, running it from an arbitrary
+// initial configuration checks exactly the snap-stabilization contract
+// (§2.5): every meeting convened after the faults satisfies the
+// specification; pre-existing (corrupted) meetings are only required not
+// to interfere.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// Probe abstracts an algorithm for monitoring.
+type Probe[S any] struct {
+	H *hypergraph.H
+	// Meets reports whether committee e meets in cfg.
+	Meets func(cfg []S, e int) bool
+	// Waiting reports whether professor p is waiting in the original
+	// problem's sense (for CC: S_p ∈ {looking, waiting}).
+	Waiting func(cfg []S, p int) bool
+	// Done reports whether professor p has completed its essential
+	// discussion (for CC: S_p = done).
+	Done func(cfg []S, p int) bool
+}
+
+// Violation is one detected specification violation.
+type Violation struct {
+	Step int
+	Kind string
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d: %s: %s", v.Step, v.Kind, v.Msg)
+}
+
+const (
+	KindExclusion = "exclusion"
+	KindSync      = "synchronization"
+	KindEssential = "essential-discussion"
+	KindProgress  = "progress"
+)
+
+// Checker validates a run step by step. Feed it consecutive
+// configurations with Check; it accumulates Violations.
+type Checker[S any] struct {
+	Probe Probe[S]
+	// ProgressWindow, if > 0, flags an edge whose members are all
+	// continuously waiting for that many steps while the edge never
+	// meets and no member ever joins any meeting. Use only with weakly
+	// fair daemons and a generous window.
+	ProgressWindow int
+
+	Violations []Violation
+
+	prevMeets  []bool
+	havePrev   bool
+	prevCfg    []S
+	allWaitFor []int // per edge: consecutive steps with all members waiting and not meeting
+}
+
+// NewChecker builds a Checker over probe.
+func NewChecker[S any](probe Probe[S], progressWindow int) *Checker[S] {
+	return &Checker[S]{
+		Probe:          probe,
+		ProgressWindow: progressWindow,
+		prevMeets:      make([]bool, probe.H.M()),
+		allWaitFor:     make([]int, probe.H.M()),
+	}
+}
+
+func (c *Checker[S]) violate(step int, kind, format string, args ...any) {
+	c.Violations = append(c.Violations, Violation{Step: step, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Check inspects the configuration reached after the given step. The
+// first call records the initial configuration (step 0): existing
+// meetings there are treated as pre-fault and not judged.
+func (c *Checker[S]) Check(step int, cfg []S) {
+	h := c.Probe.H
+	meets := make([]bool, h.M())
+	var meeting []int
+	for e := 0; e < h.M(); e++ {
+		meets[e] = c.Probe.Meets(cfg, e)
+		if meets[e] {
+			meeting = append(meeting, e)
+		}
+	}
+
+	// Exclusion holds in every configuration, including the initial one.
+	for i := 0; i < len(meeting); i++ {
+		for j := i + 1; j < len(meeting); j++ {
+			if h.Edge(meeting[i]).Conflicts(h.Edge(meeting[j])) {
+				c.violate(step, KindExclusion, "conflicting committees %s and %s meet simultaneously",
+					h.Edge(meeting[i]), h.Edge(meeting[j]))
+			}
+		}
+	}
+
+	if c.havePrev {
+		for e := 0; e < h.M(); e++ {
+			switch {
+			case meets[e] && !c.prevMeets[e]:
+				// Convene event: Synchronization requires every member to
+				// have been waiting in the previous configuration.
+				for _, q := range h.Edge(e) {
+					if !c.Probe.Waiting(c.prevCfg, q) {
+						c.violate(step, KindSync,
+							"committee %s convened but professor %d was not waiting", h.Edge(e), q)
+					}
+				}
+			case !meets[e] && c.prevMeets[e]:
+				// Terminate event: Essential Discussion requires every
+				// participant to have completed phase 1 before anyone
+				// leaves.
+				for _, q := range h.Edge(e) {
+					if !c.Probe.Done(c.prevCfg, q) {
+						c.violate(step, KindEssential,
+							"committee %s terminated but professor %d had not finished its essential discussion", h.Edge(e), q)
+					}
+				}
+			}
+		}
+
+		if c.ProgressWindow > 0 {
+			for e := 0; e < h.M(); e++ {
+				allWaiting := true
+				for _, q := range h.Edge(e) {
+					if !c.Probe.Waiting(cfg, q) {
+						allWaiting = false
+						break
+					}
+				}
+				if allWaiting && !meets[e] {
+					c.allWaitFor[e]++
+					if c.allWaitFor[e] == c.ProgressWindow {
+						c.violate(step, KindProgress,
+							"committee %s: all members waiting for %d steps with no meeting involving them",
+							h.Edge(e), c.ProgressWindow)
+					}
+				} else {
+					c.allWaitFor[e] = 0
+				}
+			}
+		}
+	}
+
+	copy(c.prevMeets, meets)
+	c.prevCfg = append(c.prevCfg[:0], cfg...) // states are value types; shallow copy suffices for reads
+	c.havePrev = true
+}
+
+// Ok reports whether no violations were recorded.
+func (c *Checker[S]) Ok() bool { return len(c.Violations) == 0 }
+
+// ByKind returns the violations of a given kind.
+func (c *Checker[S]) ByKind(kind string) []Violation {
+	var out []Violation
+	for _, v := range c.Violations {
+		if v.Kind == kind {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FairnessTracker measures participation gaps, the witnesses for
+// Professor Fairness (Definition 3) and Committee Fairness
+// (Definition 4): under a fair algorithm the maximum gap between
+// successive participations stays bounded; under an unfair one it grows
+// with the run.
+type FairnessTracker struct {
+	H *hypergraph.H
+
+	ProfCount  []int // participations per professor
+	CommCount  []int // convene events per committee
+	lastProf   []int
+	lastComm   []int
+	MaxProfGap []int
+	MaxCommGap []int
+	now        int
+}
+
+// NewFairnessTracker builds a tracker.
+func NewFairnessTracker(h *hypergraph.H) *FairnessTracker {
+	return &FairnessTracker{
+		H:          h,
+		ProfCount:  make([]int, h.N()),
+		CommCount:  make([]int, h.M()),
+		lastProf:   make([]int, h.N()),
+		lastComm:   make([]int, h.M()),
+		MaxProfGap: make([]int, h.N()),
+		MaxCommGap: make([]int, h.M()),
+	}
+}
+
+// Convened records a convene event of committee e at logical time t
+// (step or round).
+func (f *FairnessTracker) Convened(t, e int) {
+	if t > f.now {
+		f.now = t
+	}
+	if gap := t - f.lastComm[e]; gap > f.MaxCommGap[e] {
+		f.MaxCommGap[e] = gap
+	}
+	f.lastComm[e] = t
+	f.CommCount[e]++
+	for _, p := range f.H.Edge(e) {
+		if gap := t - f.lastProf[p]; gap > f.MaxProfGap[p] {
+			f.MaxProfGap[p] = gap
+		}
+		f.lastProf[p] = t
+		f.ProfCount[p]++
+	}
+}
+
+// Finish closes open gaps at end time t (a professor that never met has
+// gap t).
+func (f *FairnessTracker) Finish(t int) {
+	for p := range f.lastProf {
+		if gap := t - f.lastProf[p]; gap > f.MaxProfGap[p] {
+			f.MaxProfGap[p] = gap
+		}
+	}
+	for e := range f.lastComm {
+		if gap := t - f.lastComm[e]; gap > f.MaxCommGap[e] {
+			f.MaxCommGap[e] = gap
+		}
+	}
+}
+
+// MaxGapProfessors returns the maximum professor gap (ignoring
+// professors in no committee).
+func (f *FairnessTracker) MaxGapProfessors() int {
+	max := 0
+	for p, g := range f.MaxProfGap {
+		if len(f.H.EdgesOf(p)) == 0 {
+			continue
+		}
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// MaxGapCommittees returns the maximum committee gap.
+func (f *FairnessTracker) MaxGapCommittees() int {
+	max := 0
+	for _, g := range f.MaxCommGap {
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}

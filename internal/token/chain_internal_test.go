@@ -1,0 +1,240 @@
+package token
+
+// White-box tests for the active-chain circulation: each correction and
+// handover action against hand-built states on a small path 0-1-2
+// (rooted at 0 after stabilization).
+
+import (
+	"testing"
+)
+
+func legitPath3() (*Module, []State) {
+	m := New(pathAdj(3), identityIDs(3))
+	cfg := make([]State, 3)
+	for p := range cfg {
+		cfg[p] = m.LegitState(p)
+	}
+	return m, cfg
+}
+
+func view(cfg []State) View {
+	return func(q int) *State { return &cfg[q] }
+}
+
+func TestChainFixRootReactivates(t *testing.T) {
+	m, cfg := legitPath3()
+	cfg[0].A = false // fault: the root lost its chain anchor
+	v := view(cfg)
+	if !m.ChainFixEnabled(v, 0) {
+		t.Fatal("inactive root must be fixable")
+	}
+	next := cfg[0].Clone()
+	m.ChainFixBody(v, 0, &next)
+	if !next.A || next.H != Hold {
+		t.Fatalf("root fix produced %+v", next)
+	}
+	// The fix parks the root at end-of-wave so the next release starts a
+	// clean wave.
+	if next.Des != -1 {
+		t.Fatalf("root fix should not designate a child yet: %+v", next)
+	}
+}
+
+func TestChainFixUnsupportedDies(t *testing.T) {
+	m, cfg := legitPath3()
+	// Fault: process 2 claims to be active although its parent (1) is
+	// inactive — a spurious token.
+	cfg[2].A = true
+	cfg[2].H = Hold
+	v := view(cfg)
+	if m.Supported(v, 2) {
+		t.Fatal("2 must be unsupported")
+	}
+	if !m.ChainFixEnabled(v, 2) {
+		t.Fatal("unsupported active process must be fixable")
+	}
+	next := cfg[2].Clone()
+	m.ChainFixBody(v, 2, &next)
+	if next.A {
+		t.Fatal("unsupported active process must deactivate")
+	}
+}
+
+func TestChainFixCascade(t *testing.T) {
+	// A whole spurious chain 1→2 (1 active Sent designating 2, 2 active)
+	// with inactive root support: 1 is unsupported, dies first; then 2
+	// loses support and dies — without any token movement.
+	m, cfg := legitPath3()
+	cfg[0].A = false // root anchor broken too (fixed independently)
+	cfg[1].A, cfg[1].H, cfg[1].Des, cfg[1].Vis = true, Sent, 2, 0
+	cfg[2].A, cfg[2].H = true, Hold
+	v := view(cfg)
+	if m.Supported(v, 1) {
+		t.Fatal("1 must be unsupported (parent 0 inactive)")
+	}
+	if !m.Supported(v, 2) {
+		t.Fatal("2 is (transiently) supported by 1")
+	}
+	next := cfg[1].Clone()
+	m.ChainFixBody(v, 1, &next)
+	cfg[1] = next
+	if m.Supported(v, 2) {
+		t.Fatal("after 1 dies, 2 must lose support")
+	}
+	if !m.ChainFixEnabled(v, 2) {
+		t.Fatal("2 must now be fixable")
+	}
+}
+
+func TestChainFixSentStuck(t *testing.T) {
+	m, cfg := legitPath3()
+	// Corrupt: root Sent with no designated child.
+	cfg[0].H = Sent
+	cfg[0].Vis = 1 // past its single child
+	cfg[0].Des = -1
+	v := view(cfg)
+	if !m.ChainFixEnabled(v, 0) {
+		t.Fatal("Sent with Des=-1 must be fixable")
+	}
+	next := cfg[0].Clone()
+	m.ChainFixBody(v, 0, &next)
+	if next.H != Hold {
+		t.Fatal("stuck Sent must revert to Hold")
+	}
+}
+
+func TestJoinGuardColor(t *testing.T) {
+	m, cfg := legitPath3()
+	// Root delegates to child 1.
+	next := cfg[0].Clone()
+	m.ReleaseToken(view(cfg), 0, &next)
+	cfg[0] = next
+	if cfg[0].H != Sent || cfg[0].Des != 1 {
+		t.Fatalf("release did not delegate: %+v", cfg[0])
+	}
+	v := view(cfg)
+	if !m.JoinEnabled(v, 1) {
+		t.Fatal("child with fresh color must join")
+	}
+	// A child already carrying the root's color looks finished: no join,
+	// the parent resumes past it instead.
+	cfg[1].C = cfg[0].C
+	if m.JoinEnabled(v, 1) {
+		t.Fatal("same-color child must not join")
+	}
+	if !m.ResumeEnabled(v, 0) {
+		t.Fatal("parent must resume past a finished-looking child")
+	}
+	// Join and Resume guards are mutually exclusive by color.
+	cfg[1].C = 1 - cfg[0].C
+	if m.ResumeEnabled(v, 0) {
+		t.Fatal("parent must not resume past an unvisited child")
+	}
+}
+
+func TestJoinBodyInitializesSubtreeVisit(t *testing.T) {
+	m, cfg := legitPath3()
+	next := cfg[0].Clone()
+	m.ReleaseToken(view(cfg), 0, &next)
+	cfg[0] = next
+	v := view(cfg)
+	j := cfg[1].Clone()
+	m.JoinBody(v, 1, &j)
+	if !j.A || j.H != Hold || j.Vis != 0 || j.Des != 2 || j.C != cfg[0].C {
+		t.Fatalf("join produced %+v", j)
+	}
+}
+
+func TestResumeAdvancesPastChild(t *testing.T) {
+	m, cfg := legitPath3()
+	// State: root Sent→1; 1 finished (inactive, root color).
+	cfg[0].H, cfg[0].Des, cfg[0].Vis = Sent, 1, 0
+	cfg[1].C = cfg[0].C
+	v := view(cfg)
+	if !m.ResumeEnabled(v, 0) {
+		t.Fatal("resume must be enabled")
+	}
+	next := cfg[0].Clone()
+	m.ResumeBody(v, 0, &next)
+	if next.H != Hold || next.Vis != 1 || next.Des != -1 {
+		t.Fatalf("resume produced %+v", next)
+	}
+}
+
+func TestReleaseEndOfWaveFlipsColor(t *testing.T) {
+	m, cfg := legitPath3()
+	// Root at end of wave: all children visited.
+	cfg[0].Vis, cfg[0].Des = 1, -1
+	c0 := cfg[0].C
+	next := cfg[0].Clone()
+	m.ReleaseToken(view(cfg), 0, &next)
+	if next.C == c0 {
+		t.Fatal("end-of-wave release must flip the color")
+	}
+	if next.H != Hold || next.Vis != 0 || next.Des != 1 {
+		t.Fatalf("wave restart produced %+v", next)
+	}
+}
+
+func TestReleaseNonRootReturnsUpward(t *testing.T) {
+	m, cfg := legitPath3()
+	// Token at leaf 2 (parent 1 Sent→2).
+	cfg[0].H, cfg[0].Des, cfg[0].Vis = Sent, 1, 0
+	cfg[1].A, cfg[1].H, cfg[1].Des, cfg[1].Vis, cfg[1].C = true, Sent, 2, 0, cfg[0].C
+	cfg[2].A, cfg[2].H, cfg[2].C = true, Hold, cfg[0].C
+	v := view(cfg)
+	if h := m.Holders(cfg); len(h) != 1 || h[0] != 2 {
+		t.Fatalf("holders = %v, want [2]", h)
+	}
+	next := cfg[2].Clone()
+	m.ReleaseToken(v, 2, &next)
+	if next.A {
+		t.Fatal("a finished non-root must deactivate (token returns upward)")
+	}
+	cfg[2] = next
+	// Now the parent resumes (same color, inactive child).
+	if !m.ResumeEnabled(view(cfg), 1) {
+		t.Fatal("parent must resume after the child returned the token")
+	}
+}
+
+func TestNormClampsCorruptVisDes(t *testing.T) {
+	m, cfg := legitPath3()
+	cfg[1].Vis, cfg[1].Des = 99, 0 // junk
+	v := view(cfg)
+	if !m.NormEnabled(v, 1) {
+		t.Fatal("corrupt Vis/Des must be normalizable")
+	}
+	next := cfg[1].Clone()
+	m.NormBody(v, 1, &next)
+	// Vertex 1's children = {2}; Vis clamps to 1 (past end), Des -1.
+	if next.Vis != 1 || next.Des != -1 {
+		t.Fatalf("norm produced %+v", next)
+	}
+	cfg[1] = next
+	if m.NormEnabled(view(cfg), 1) {
+		t.Fatal("norm must be idempotent")
+	}
+}
+
+func TestIsRootFollowsLid(t *testing.T) {
+	m, cfg := legitPath3()
+	v := view(cfg)
+	if !m.IsRoot(v, 0) || m.IsRoot(v, 1) {
+		t.Fatal("only vertex 0 is the root")
+	}
+	// A transient fake root (corrupted Lid) is a root *belief*; leader
+	// election kills it.
+	cfg[2].Lid = m.ids[2]
+	if !m.IsRoot(v, 2) {
+		t.Fatal("corrupted process believes itself root")
+	}
+	if !m.LeaderEnabled(v, 2) {
+		t.Fatal("leader election must correct the fake root")
+	}
+	next := cfg[2].Clone()
+	m.LeaderBody(v, 2, &next)
+	if next.Lid != 0 || next.Parent != 1 || next.Dist != 2 {
+		t.Fatalf("leader election produced %+v", next)
+	}
+}

@@ -1,0 +1,505 @@
+// Package token implements the paper's token-circulation module TC
+// (Property 1, §4.1): a self-stabilizing algorithm that, once stabilized,
+// maintains a single token visiting every process infinitely often, where
+// the "pass" action T is not autonomous — it fires only when the
+// enclosing committee-coordination layer executes ReleaseToken.
+//
+// Following the paper's suggestion, TC is the composition of
+//
+//  1. a self-stabilizing leader election with BFS spanning-tree
+//     construction (minimum identifier wins; fake identifiers are killed
+//     by a distance bound of n, in the style of Dolev–Israeli–Moran and
+//     Arora–Gouda [21–23]), and
+//  2. a self-stabilizing depth-first token circulation on the stabilized
+//     tree (in the spirit of [24–27]) built on a root-anchored *active
+//     chain*: every process publishes an "active" bit A, a hold/sent flag,
+//     a visited-children counter with the *designated child* pointer Des
+//     (published so the one-hop-neighbor model suffices), and a wave
+//     color. The token is the unique HOLDing tip of the chain of
+//     SENT-designations starting at the root; the root descends into its
+//     children in order, giving an Euler-tour traversal (an internal
+//     process holds the token deg+1 times per wave).
+//
+// The crucial property — the reason a Dijkstra-style token ring is *not*
+// usable here — is that illegitimate tokens are destroyed **autonomously**:
+// an active process whose parent does not designate it is locally
+// detectable and deactivates, cascading away every spurious chain without
+// any token movement. Hence TC stabilizes "independently of the
+// activations of action T" exactly as Property 1 requires, even while
+// the committee-coordination layer freezes the real token for
+// arbitrarily long (the fair algorithm CC2 retains the token until its
+// meeting convenes).
+package token
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Hold/Sent values of the chain flag.
+const (
+	// Hold: the process currently holds the token (if active).
+	Hold uint8 = iota
+	// Sent: the process delegated the token to its designated child.
+	Sent
+)
+
+// State is the TC-state of one process.
+type State struct {
+	// Leader election layer.
+	Lid    int // believed leader identifier
+	Dist   int // believed distance (hops) to the leader
+	Parent int // parent vertex index on the BFS tree; -1 for the root
+
+	// Circulation layer.
+	A   bool  // on the active chain
+	H   uint8 // Hold or Sent
+	Vis int   // number of children already visited this wave
+	Des int   // designated child (published; = children[Vis] or -1)
+	C   uint8 // wave color (0/1)
+}
+
+// Clone returns a copy (State has value semantics).
+func (s State) Clone() State { return s }
+
+// Module holds the static topology and identifier information of the
+// underlying communication network.
+type Module struct {
+	n   int
+	adj [][]int // sorted neighbor lists of G
+	ids []int   // unique identifiers; Lid ranges over these
+}
+
+// View gives read access to the TC-state of any process (pointers into
+// the pre-step configuration; callers never mutate through them).
+type View func(q int) *State
+
+// New builds a Module for the given adjacency (sorted neighbor lists)
+// and identifiers.
+func New(adj [][]int, ids []int) *Module {
+	if len(ids) != len(adj) {
+		panic(fmt.Sprintf("token: %d ids for %d vertices", len(ids), len(adj)))
+	}
+	return &Module{n: len(adj), adj: adj, ids: ids}
+}
+
+// N returns the number of processes.
+func (m *Module) N() int { return m.n }
+
+// isNeighbor reports whether u ∈ N(p).
+func (m *Module) isNeighbor(p, u int) bool {
+	for _, q := range m.adj[p] {
+		if q == u {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Leader election --------------------------------------------------------
+
+// bestLE computes the correct (Lid, Dist, Parent) triple for p: the
+// lexicographically least (lid, dist) among p's own candidacy (id_p, 0)
+// and (Lid_q, Dist_q + 1) over neighbors q with Dist_q + 1 < n. Fake
+// identifiers die because their distance support grows past the bound.
+func (m *Module) bestLE(v View, p int) (lid, dist, parent int) {
+	lid, dist, parent = m.ids[p], 0, -1
+	for _, q := range m.adj[p] {
+		sq := v(q)
+		d := sq.Dist + 1
+		if d >= m.n || d < 1 {
+			continue
+		}
+		if sq.Lid < lid || (sq.Lid == lid && d < dist) {
+			lid, dist, parent = sq.Lid, d, q
+		}
+	}
+	return lid, dist, parent
+}
+
+// LeaderEnabled reports whether p's leader-election action is enabled.
+func (m *Module) LeaderEnabled(v View, p int) bool {
+	lid, dist, parent := m.bestLE(v, p)
+	s := v(p)
+	return s.Lid != lid || s.Dist != dist || s.Parent != parent
+}
+
+// LeaderBody executes the leader-election action into next.
+func (m *Module) LeaderBody(v View, p int, next *State) {
+	next.Lid, next.Dist, next.Parent = m.bestLE(v, p)
+}
+
+// IsRoot reports whether p currently believes itself the leader (after
+// stabilization: the minimum identifier of p's component).
+func (m *Module) IsRoot(v View, p int) bool { return v(p).Lid == m.ids[p] }
+
+// Children returns p's current children on the BFS tree: neighbors whose
+// Parent pointer designates p, ascending (the DFS visit order).
+func (m *Module) Children(v View, p int) []int {
+	var ch []int
+	for _, q := range m.adj[p] {
+		if v(q).Parent == p {
+			ch = append(ch, q)
+		}
+	}
+	return ch
+}
+
+// --- Circulation: the active chain ------------------------------------------
+
+// expected returns the normalized (Vis, Des) pair for p given its
+// current children list: Vis clamped into [0, δ] and Des = children[Vis]
+// (or -1 past the end).
+func (m *Module) expected(v View, p int) (vis, des int) {
+	ch := m.Children(v, p)
+	vis = v(p).Vis
+	if vis < 0 {
+		vis = 0
+	}
+	if vis > len(ch) {
+		vis = len(ch)
+	}
+	if vis < len(ch) {
+		return vis, ch[vis]
+	}
+	return vis, -1
+}
+
+// NormEnabled reports whether p's (Vis, Des) pair is inconsistent with
+// its children list (corruption, or the tree changed under it).
+func (m *Module) NormEnabled(v View, p int) bool {
+	vis, des := m.expected(v, p)
+	return v(p).Vis != vis || v(p).Des != des
+}
+
+// NormBody repairs (Vis, Des).
+func (m *Module) NormBody(v View, p int, next *State) {
+	next.Vis, next.Des = m.expected(v, p)
+}
+
+// Supported reports whether active non-root p is justified by its
+// parent: the parent is active, has delegated (Sent), and designates p.
+func (m *Module) Supported(v View, p int) bool {
+	u := v(p).Parent
+	if u < 0 || !m.isNeighbor(p, u) {
+		return false
+	}
+	su := v(u)
+	return su.A && su.H == Sent && su.Des == p
+}
+
+// ChainFixEnabled is the autonomous correction action of the circulation
+// layer; it destroys every spurious token without moving the real one:
+//   - the root (re)activates itself if inactive;
+//   - an active non-root without parental support deactivates (this
+//     cascades down any illegitimate chain);
+//   - an active process stuck in Sent with no designated child reverts
+//     to Hold (the token reappears at the chain tip).
+func (m *Module) ChainFixEnabled(v View, p int) bool {
+	s := v(p)
+	if m.IsRoot(v, p) {
+		if !s.A {
+			return true
+		}
+	} else if s.A && !m.Supported(v, p) {
+		return true
+	}
+	return s.A && s.H == Sent && s.Des == -1
+}
+
+// ChainFixBody executes the correction.
+func (m *Module) ChainFixBody(v View, p int, next *State) {
+	s := v(p)
+	switch {
+	case m.IsRoot(v, p) && !s.A:
+		next.A = true
+		next.H = Hold
+		next.Vis = len(m.Children(v, p)) // end of wave; next release restarts
+		next.Des = -1
+	case !m.IsRoot(v, p) && s.A && !m.Supported(v, p):
+		next.A = false
+	case s.A && s.H == Sent && s.Des == -1:
+		next.H = Hold
+	}
+}
+
+// JoinEnabled: inactive p joins the wave when its parent designates it
+// with a fresh color. The token moves down — but only because the parent
+// previously executed ReleaseToken (which set Sent).
+func (m *Module) JoinEnabled(v View, p int) bool {
+	s := v(p)
+	if s.A {
+		return false
+	}
+	u := s.Parent
+	if u < 0 || !m.isNeighbor(p, u) {
+		return false
+	}
+	su := v(u)
+	return su.A && su.H == Sent && su.Des == p && s.C != su.C
+}
+
+// JoinBody activates p at the start of its subtree visit.
+func (m *Module) JoinBody(v View, p int, next *State) {
+	u := v(p).Parent
+	next.A = true
+	next.H = Hold
+	next.Vis = 0
+	ch := m.Children(v, p)
+	if len(ch) > 0 {
+		next.Des = ch[0]
+	} else {
+		next.Des = -1
+	}
+	next.C = v(u).C
+}
+
+// ResumeEnabled: p delegated to child Des, and that child completed its
+// subtree (inactive again, with p's wave color). The token returns to p.
+func (m *Module) ResumeEnabled(v View, p int) bool {
+	s := v(p)
+	if !s.A || s.H != Sent || s.Des < 0 || !m.isNeighbor(p, s.Des) {
+		return false
+	}
+	sq := v(s.Des)
+	return !sq.A && sq.C == s.C
+}
+
+// ResumeBody advances past the finished child and re-takes the token.
+func (m *Module) ResumeBody(v View, p int, next *State) {
+	ch := m.Children(v, p)
+	vis := v(p).Vis + 1
+	if vis > len(ch) {
+		vis = len(ch)
+	}
+	next.Vis = vis
+	if vis < len(ch) {
+		next.Des = ch[vis]
+	} else {
+		next.Des = -1
+	}
+	next.H = Hold
+}
+
+// --- The CC-facing interface -------------------------------------------------
+
+// HasToken is the paper's input predicate Token(p): p is the holding tip
+// of an active chain. During stabilization several processes may
+// transiently satisfy it (the paper explicitly tolerates multiple token
+// holders then); after stabilization exactly one process at a time does.
+func (m *Module) HasToken(v View, p int) bool {
+	s := v(p)
+	return s.A && s.H == Hold
+}
+
+// ReleaseToken is the paper's ReleaseToken_p statement, executed inside a
+// CC action: pass the token onward along the Euler tour. If p has
+// unvisited children the token is delegated down (the child's Join
+// action completes the handover); if the subtree is finished the token
+// returns to the parent (its Resume action completes the handover); the
+// root starts a new wave with a flipped color. A no-op if p does not
+// hold the token.
+func (m *Module) ReleaseToken(v View, p int, next *State) {
+	s := v(p)
+	if !s.A || s.H != Hold {
+		return
+	}
+	ch := m.Children(v, p)
+	vis := s.Vis
+	if vis < 0 {
+		vis = 0
+	}
+	if vis < len(ch) {
+		next.Vis = vis
+		next.Des = ch[vis]
+		next.H = Sent
+		return
+	}
+	if m.IsRoot(v, p) {
+		// End of wave: flip color, restart, keep the token.
+		next.C = 1 - s.C
+		next.Vis = 0
+		if len(ch) > 0 {
+			next.Des = ch[0]
+		} else {
+			next.Des = -1
+		}
+		next.H = Hold
+		return
+	}
+	// Subtree finished: return the token upward.
+	next.A = false
+}
+
+// --- Initial states and diagnostics ------------------------------------------
+
+// RandomState returns an arbitrary (corrupted) TC state for p — the
+// adversary's choice after transient faults.
+func (m *Module) RandomState(p int, rng *rand.Rand) State {
+	s := State{
+		Lid:    m.ids[rng.Intn(m.n)],
+		Dist:   rng.Intn(m.n + 1),
+		Parent: -1,
+		A:      rng.Intn(2) == 0,
+		H:      uint8(rng.Intn(2)),
+		Vis:    rng.Intn(len(m.adj[p]) + 1),
+		Des:    -1,
+		C:      uint8(rng.Intn(2)),
+	}
+	if len(m.adj[p]) > 0 {
+		if rng.Intn(3) > 0 {
+			s.Parent = m.adj[p][rng.Intn(len(m.adj[p]))]
+		}
+		if rng.Intn(2) == 0 {
+			s.Des = m.adj[p][rng.Intn(len(m.adj[p]))]
+		}
+	}
+	return s
+}
+
+// LegitState returns the stabilized TC state of p: leader = minimum
+// identifier in p's component, BFS tree, token held by the root at the
+// start of a fresh wave (root color 1, everyone else 0).
+func (m *Module) LegitState(p int) State {
+	dist, parent, children := m.bfsFromLeader(p)
+	s := State{
+		Lid:    m.leaderID(p),
+		Dist:   dist[p],
+		Parent: parent[p],
+		H:      Hold,
+		Vis:    0,
+		Des:    -1,
+		C:      0,
+	}
+	if len(children[p]) > 0 {
+		s.Des = children[p][0]
+	}
+	if parent[p] == -1 { // root
+		s.A = true
+		s.C = 1
+	}
+	return s
+}
+
+// leaderID returns the minimum identifier in p's connected component.
+func (m *Module) leaderID(p int) int {
+	comp := m.component(p)
+	best := m.ids[comp[0]]
+	for _, v := range comp {
+		if m.ids[v] < best {
+			best = m.ids[v]
+		}
+	}
+	return best
+}
+
+func (m *Module) component(p int) []int {
+	seen := make([]bool, m.n)
+	stack := []int{p}
+	seen[p] = true
+	var comp []int
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		comp = append(comp, x)
+		for _, u := range m.adj[x] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return comp
+}
+
+// bfsFromLeader computes BFS distances, parents (smallest neighbor at
+// dist-1, matching bestLE's tie-break) and children lists from the
+// component leader of p.
+func (m *Module) bfsFromLeader(p int) (dist, parent []int, children [][]int) {
+	leader := -1
+	lid := m.leaderID(p)
+	for _, v := range m.component(p) {
+		if m.ids[v] == lid {
+			leader = v
+		}
+	}
+	dist = make([]int, m.n)
+	parent = make([]int, m.n)
+	children = make([][]int, m.n)
+	for v := range dist {
+		dist[v] = -1
+		parent[v] = -1
+	}
+	dist[leader] = 0
+	queue := []int{leader}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, u := range m.adj[x] {
+			if dist[u] == -1 {
+				dist[u] = dist[x] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for _, v := range m.component(p) {
+		if v == leader {
+			continue
+		}
+		for _, u := range m.adj[v] {
+			if dist[u] >= 0 && dist[u] == dist[v]-1 {
+				parent[v] = u // adj sorted: first hit = smallest id neighbor
+				break
+			}
+		}
+	}
+	for _, v := range m.component(p) {
+		if parent[v] >= 0 {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+	for v := range children {
+		sort.Ints(children[v]) // match Children()'s ascending visit order
+	}
+	return dist, parent, children
+}
+
+// Holders returns the processes for which Token holds in cfg (after
+// stabilization: at most one per component, and exactly one whenever no
+// handover is in flight).
+func (m *Module) Holders(cfg []State) []int {
+	v := func(q int) *State { return &cfg[q] }
+	var out []int
+	for p := 0; p < m.n; p++ {
+		if m.HasToken(v, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stabilized reports whether the leader election, the (Vis, Des)
+// normalization and the chain corrections have all converged — i.e., the
+// only remaining TC activity is the legitimate token circulation.
+func (m *Module) Stabilized(cfg []State) bool {
+	v := func(q int) *State { return &cfg[q] }
+	for p := 0; p < m.n; p++ {
+		if m.LeaderEnabled(v, p) || m.NormEnabled(v, p) || m.ChainFixEnabled(v, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveChain returns the active processes in cfg (diagnostic: after
+// stabilization they form the root-anchored path to the token).
+func (m *Module) ActiveChain(cfg []State) []int {
+	var out []int
+	for p := 0; p < m.n; p++ {
+		if cfg[p].A {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+package token
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+// tcProgram wraps a Module into a standalone sim.Program. With
+// autoRelease, processes release the token whenever they hold it
+// (emulating a continuously enabled action T); otherwise the token can
+// only be frozen at its holder (the CC2 situation).
+func tcProgram(m *Module, autoRelease, randomInit bool) *sim.Program[State] {
+	view := func(cfg []State) View {
+		return func(q int) *State { return &cfg[q] }
+	}
+	type tcAct struct {
+		name    string
+		enabled func(View, int) bool
+		body    func(View, int, *State)
+	}
+	acts := []tcAct{
+		{"T", func(v View, p int) bool { return autoRelease && m.HasToken(v, p) },
+			func(v View, p int, next *State) { m.ReleaseToken(v, p, next) }},
+		{"Resume", m.ResumeEnabled, m.ResumeBody},
+		{"Join", m.JoinEnabled, m.JoinBody},
+		{"ChainFix", m.ChainFixEnabled, m.ChainFixBody},
+		{"Norm", m.NormEnabled, m.NormBody},
+		{"LE", m.LeaderEnabled, m.LeaderBody},
+	}
+	actions := make([]sim.Action[State], len(acts))
+	for i, a := range acts {
+		a := a
+		actions[i] = sim.Action[State]{
+			Name:  a.name,
+			Guard: func(cfg []State, p int) bool { return a.enabled(view(cfg), p) },
+			Body:  func(cfg []State, p int, next *State, _ *rand.Rand) { a.body(view(cfg), p, next) },
+		}
+	}
+	return &sim.Program[State]{
+		NumProcs: m.N(),
+		Actions:  actions,
+		Init: func(p int, rng *rand.Rand) State {
+			if randomInit {
+				return m.RandomState(p, rng)
+			}
+			return m.LegitState(p)
+		},
+	}
+}
+
+func pathAdj(n int) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], i-1)
+		}
+		if i < n-1 {
+			adj[i] = append(adj[i], i+1)
+		}
+	}
+	return adj
+}
+
+func ringAdj(n int) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		a, b := (i+n-1)%n, (i+1)%n
+		if a > b {
+			a, b = b, a
+		}
+		if a == b { // n == 2
+			adj[i] = []int{a}
+			continue
+		}
+		adj[i] = []int{a, b}
+	}
+	return adj
+}
+
+func identityIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func hgModule(h *hypergraph.H) *Module {
+	adj := make([][]int, h.N())
+	ids := make([]int, h.N())
+	for v := 0; v < h.N(); v++ {
+		adj[v] = h.Neighbors(v)
+		ids[v] = h.ID(v)
+	}
+	return New(adj, ids)
+}
+
+func TestLegitStateIsStabilizedWithOneToken(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  *Module
+	}{
+		{"pair", New(pathAdj(2), identityIDs(2))},
+		{"path5", New(pathAdj(5), identityIDs(5))},
+		{"ring6", New(ringAdj(6), identityIDs(6))},
+		{"fig1", hgModule(hypergraph.Figure1())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.mod
+			cfg := make([]State, m.N())
+			for p := range cfg {
+				cfg[p] = m.LegitState(p)
+			}
+			if !m.Stabilized(cfg) {
+				t.Fatal("LegitState must be stabilized")
+			}
+			if h := m.Holders(cfg); len(h) != 1 || h[0] != 0 {
+				t.Fatalf("legit holders = %v, want [0] (the min-id root)", h)
+			}
+			if chain := m.ActiveChain(cfg); len(chain) != 1 {
+				t.Fatalf("legit active chain = %v, want the root only", chain)
+			}
+		})
+	}
+}
+
+func TestLegitLeaderIsMinID(t *testing.T) {
+	h := hypergraph.CommitteeRing(5)
+	h2, err := h.WithIDs([]int{50, 40, 30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := hgModule(h2)
+	cfg := make([]State, m.N())
+	for p := range cfg {
+		cfg[p] = m.LegitState(p)
+	}
+	for p := range cfg {
+		if cfg[p].Lid != 10 {
+			t.Fatalf("proc %d Lid=%d, want 10", p, cfg[p].Lid)
+		}
+	}
+	if cfg[3].Parent != -1 || cfg[3].Dist != 0 || !cfg[3].A {
+		t.Fatalf("vertex 3 should be the active root: %+v", cfg[3])
+	}
+}
+
+// runTour collects the token-holder sequence over the given number of
+// holder events (skipping in-flight handover steps where no one holds).
+func runTour(t *testing.T, e *sim.Engine[State], m *Module, events int) []int {
+	t.Helper()
+	var seq []int
+	guard := 0
+	for len(seq) < events {
+		holders := m.Holders(e.Config())
+		if len(holders) > 1 {
+			t.Fatalf("multiple holders %v after stabilization", holders)
+		}
+		if len(holders) == 1 && (len(seq) == 0 || seq[len(seq)-1] != holders[0]) {
+			seq = append(seq, holders[0])
+		}
+		if e.Step() == nil {
+			t.Fatal("token circulation must not terminate under auto-release")
+		}
+		if guard++; guard > 100000 {
+			t.Fatalf("tour did not produce %d events (got %v)", events, seq)
+		}
+	}
+	return seq
+}
+
+func TestEulerTourVisitsEveryoneInOrder(t *testing.T) {
+	// Path 0-1-2-3 rooted at 0: the DFS wave visits
+	// 0 1 2 3 2 1 0 | 0 1 2 3 ... (internal nodes deg times plus returns).
+	m := New(pathAdj(4), identityIDs(4))
+	e := sim.NewEngine(tcProgram(m, true, false), sim.Synchronous{}, 1)
+	seq := runTour(t, e, m, 12)
+	counts := map[int]int{}
+	for _, p := range seq[:6] { // one full wave on a 4-path has 6 holder events
+		counts[p]++
+	}
+	for p := 0; p < 4; p++ {
+		if counts[p] == 0 {
+			t.Fatalf("process %d not visited in one wave: %v", p, seq)
+		}
+	}
+	// Endpoint 3 once, interior 1 and 2 twice, root 0 once per wave
+	// (plus the restart hold at wave end, attributed to the next wave).
+	if counts[3] != 1 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("visit counts %v over %v", counts, seq)
+	}
+}
+
+func TestConvergenceFromRandomStates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  *Module
+	}{
+		{"path7", New(pathAdj(7), identityIDs(7))},
+		{"ring8", New(ringAdj(8), identityIDs(8))},
+		{"fig1", hgModule(hypergraph.Figure1())},
+		{"fig3", hgModule(hypergraph.Figure3())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				m := tc.mod
+				e := sim.NewEngine(tcProgram(m, true, true), &sim.WeaklyFair{MaxAge: 4}, seed)
+				limit := 400 * m.N()
+				ok := e.RunUntil(limit, func(cfg []State) bool {
+					return m.Stabilized(cfg) && len(m.Holders(cfg)) == 1
+				})
+				if !ok {
+					t.Fatalf("seed %d: not stabilized in %d steps (holders=%v stab=%v)",
+						seed, limit, m.Holders(e.Config()), m.Stabilized(e.Config()))
+				}
+				// Closure: at most one holder from now on.
+				for i := 0; i < 80; i++ {
+					e.Step()
+					if got := m.Holders(e.Config()); len(got) > 1 {
+						t.Fatalf("seed %d: holders drifted to %v after stabilization", seed, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSpuriousTokensDieWithoutReleases(t *testing.T) {
+	// Property 1's key requirement: TC stabilizes *independently of the
+	// activations of T*. With releases disabled entirely (frozen holders),
+	// spurious active chains must still be destroyed autonomously,
+	// leaving at most the root-anchored chain.
+	for seed := int64(0); seed < 8; seed++ {
+		m := hgModule(hypergraph.Figure1())
+		e := sim.NewEngine(tcProgram(m, false, true), &sim.WeaklyFair{MaxAge: 4}, seed)
+		e.Run(3000)
+		if !e.Terminal() {
+			t.Fatalf("seed %d: frozen-token system should quiesce", seed)
+		}
+		cfg := e.Config()
+		if !m.Stabilized(cfg) {
+			t.Fatalf("seed %d: not stabilized at quiescence", seed)
+		}
+		holders := m.Holders(cfg)
+		if len(holders) != 1 {
+			t.Fatalf("seed %d: quiescent holders = %v, want exactly 1", seed, holders)
+		}
+		// The surviving chain is root-anchored: root is active and every
+		// active non-root is supported by its parent.
+		v := func(q int) *State { return &cfg[q] }
+		for _, p := range m.ActiveChain(cfg) {
+			if !m.IsRoot(v, p) && !m.Supported(v, p) {
+				t.Fatalf("seed %d: active process %d unsupported at quiescence", seed, p)
+			}
+		}
+	}
+}
+
+func TestEveryProcessHoldsTokenInfinitelyOften(t *testing.T) {
+	m := hgModule(hypergraph.Figure1())
+	e := sim.NewEngine(tcProgram(m, true, true), &sim.WeaklyFair{MaxAge: 4}, 99)
+	ok := e.RunUntil(5000, func(cfg []State) bool {
+		return m.Stabilized(cfg) && len(m.Holders(cfg)) == 1
+	})
+	if !ok {
+		t.Fatal("did not stabilize")
+	}
+	counts := make([]int, m.N())
+	prev := -1
+	for i := 0; i < 200*m.N(); i++ {
+		if h := m.Holders(e.Config()); len(h) == 1 && h[0] != prev {
+			counts[h[0]]++
+			prev = h[0]
+		}
+		e.Step()
+	}
+	for p, c := range counts {
+		if c < 3 {
+			t.Fatalf("process %d held the token only %d times: %v", p, c, counts)
+		}
+	}
+}
+
+func TestFrozenHolderKeepsTokenForever(t *testing.T) {
+	m := New(pathAdj(5), identityIDs(5))
+	e := sim.NewEngine(tcProgram(m, false, false), sim.Synchronous{}, 1)
+	if !e.Terminal() {
+		t.Fatal("legit config without releases must be terminal")
+	}
+	if h := m.Holders(e.Config()); len(h) != 1 {
+		t.Fatalf("holders = %v", h)
+	}
+}
+
+func TestReleaseHandoverDownAndUp(t *testing.T) {
+	// Manual walk on a 3-path rooted at 0: release at root delegates to
+	// child 1; Join moves the token to 1; and so on down to 2 and back.
+	m := New(pathAdj(3), identityIDs(3))
+	e := sim.NewEngine(tcProgram(m, true, false), sim.Synchronous{}, 1)
+	want := []int{0, 1, 2, 1, 0, 0} // Euler tour holder sequence (root restart repeats 0)
+	seq := runTour(t, e, m, 6)
+	for i := range want[:5] {
+		if seq[i] != want[i] {
+			t.Fatalf("holder sequence = %v, want prefix %v", seq, want[:5])
+		}
+	}
+}
+
+func TestReleaseNoopWithoutToken(t *testing.T) {
+	m := New(pathAdj(3), identityIDs(3))
+	cfg := make([]State, 3)
+	for p := range cfg {
+		cfg[p] = m.LegitState(p)
+	}
+	v := func(q int) *State { return &cfg[q] }
+	next := cfg[1].Clone()
+	m.ReleaseToken(v, 1, &next) // proc 1 does not hold the token
+	if next != cfg[1] {
+		t.Fatal("ReleaseToken without the token must be a no-op")
+	}
+}
+
+func TestIsolatedVertexAlwaysHasToken(t *testing.T) {
+	m := New([][]int{nil}, []int{7})
+	cfg := []State{m.LegitState(0)}
+	v := func(q int) *State { return &cfg[q] }
+	if !m.HasToken(v, 0) {
+		t.Fatal("singleton component root must hold its token")
+	}
+	next := cfg[0].Clone()
+	m.ReleaseToken(v, 0, &next) // release = wave restart; token stays
+	cfg[0] = next
+	if !m.HasToken(v, 0) {
+		t.Fatal("singleton release must keep the token")
+	}
+}
+
+func TestChildrenComputation(t *testing.T) {
+	m := New(pathAdj(4), identityIDs(4))
+	cfg := make([]State, 4)
+	for p := range cfg {
+		cfg[p] = m.LegitState(p)
+	}
+	v := func(q int) *State { return &cfg[q] }
+	if ch := m.Children(v, 0); len(ch) != 1 || ch[0] != 1 {
+		t.Fatalf("children(0) = %v", ch)
+	}
+	if ch := m.Children(v, 3); len(ch) != 0 {
+		t.Fatalf("children(3) = %v", ch)
+	}
+}
+
+func TestDisconnectedComponentsEachGetAToken(t *testing.T) {
+	// Two disjoint pairs: each component elects its own leader and runs
+	// its own token.
+	adj := [][]int{{1}, {0}, {3}, {2}}
+	m := New(adj, identityIDs(4))
+	e := sim.NewEngine(tcProgram(m, true, true), &sim.WeaklyFair{MaxAge: 4}, 5)
+	ok := e.RunUntil(2000, func(cfg []State) bool {
+		if !m.Stabilized(cfg) {
+			return false
+		}
+		h := m.Holders(cfg)
+		left, right := 0, 0
+		for _, p := range h {
+			if p < 2 {
+				left++
+			} else {
+				right++
+			}
+		}
+		return left == 1 && right == 1
+	})
+	if !ok {
+		t.Fatalf("components did not stabilize to one token each: %v", m.Holders(e.Config()))
+	}
+}
+
+func TestConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		h := hypergraph.RandomMixed(n, n-1+rng.Intn(4), 3, rng)
+		m := hgModule(h)
+		e := sim.NewEngine(tcProgram(m, true, true), &sim.WeaklyFair{MaxAge: 4}, seed)
+		return e.RunUntil(600*n, func(cfg []State) bool {
+			return m.Stabilized(cfg) && len(m.Holders(cfg)) == 1
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidatesIDs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched ids must panic")
+		}
+	}()
+	New(pathAdj(3), []int{1, 2})
+}
