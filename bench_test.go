@@ -54,9 +54,9 @@ func BenchmarkEXP_CONC_Comparison(b *testing.B)        { benchExperiment(b, "CON
 
 func benchSteps(b *testing.B, variant core.Variant, h *hypergraph.H, randomInit bool) {
 	b.Helper()
-	alg := core.New(variant, h, nil)
-	env := core.NewAlwaysClient(h.N(), 2)
-	r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, 1, randomInit)
+	// Shared with ccbench -bench-json so BENCH_step.json measures the
+	// exact configuration these published numbers use.
+	r := experiments.NewStepRunner(variant, h, randomInit)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r.Run(1) == 0 {

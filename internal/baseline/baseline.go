@@ -69,12 +69,22 @@ type BState struct {
 	Handing bool   // token ring: handover in progress
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The three per-conflict-neighbor vectors
+// share one backing array so cloning a committee agent costs a single
+// allocation (professors clone for free).
 func (s BState) Clone() BState {
 	c := s
-	c.Fork = append([]bool(nil), s.Fork...)
-	c.Dirty = append([]bool(nil), s.Dirty...)
-	c.Asked = append([]bool(nil), s.Asked...)
+	k := len(s.Fork)
+	if k == 0 {
+		return c
+	}
+	buf := make([]bool, 3*k)
+	c.Fork = buf[0*k : 1*k : 1*k]
+	c.Dirty = buf[1*k : 2*k : 2*k]
+	c.Asked = buf[2*k : 3*k : 3*k]
+	copy(c.Fork, s.Fork)
+	copy(c.Dirty, s.Dirty)
+	copy(c.Asked, s.Asked)
 	return c
 }
 
@@ -105,6 +115,11 @@ type Alg struct {
 	// Disc is the number of done-status steps a professor spends before
 	// it may leave (the voluntary-discussion length).
 	Disc int
+
+	// NoLocality omits the sim.Locality declaration from Program (the
+	// cross-check tests run the full-rescan path side by side with the
+	// incremental one).
+	NoLocality bool
 
 	conflicts [][]int       // committee conflict graph (by edge index)
 	cpos      []map[int]int // cpos[c][d] = index of d in conflicts[c]

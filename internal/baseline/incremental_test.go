@@ -1,0 +1,45 @@
+package baseline_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+// The baseline programs declare their guard locality too (professors ↔
+// committee agents ↔ conflicting/ring-adjacent agents); the incremental
+// engine must replay the full-rescan path exactly.
+func TestBaselineIncrementalEquivalence(t *testing.T) {
+	for _, kind := range []baseline.Kind{baseline.Dining, baseline.TokenRing} {
+		for _, h := range []*hypergraph.H{hypergraph.CommitteeRing(8), hypergraph.Figure1()} {
+			for seed := int64(1); seed <= 5; seed++ {
+				var tFull, tIncr [][]sim.Exec
+				mk := func(noLoc bool, trace *[][]sim.Exec) *baseline.Runner {
+					a := baseline.New(kind, h, 2)
+					a.NoLocality = noLoc
+					r := baseline.NewRunner(a, &sim.WeaklyFair{MaxAge: 5}, seed)
+					r.Engine.Observe(func(step int, cfg []baseline.BState, execs []sim.Exec) {
+						*trace = append(*trace, append([]sim.Exec(nil), execs...))
+					})
+					return r
+				}
+				full := mk(true, &tFull)
+				incr := mk(false, &tIncr)
+				full.Run(500)
+				incr.Run(500)
+				if !reflect.DeepEqual(tFull, tIncr) {
+					t.Fatalf("%v/%s/seed%d: traces diverge", kind, h, seed)
+				}
+				if !reflect.DeepEqual(full.Engine.Config(), incr.Engine.Config()) {
+					t.Fatalf("%v/%s/seed%d: final configurations diverge", kind, h, seed)
+				}
+				if full.TotalConvenes() != incr.TotalConvenes() {
+					t.Fatalf("%v/%s/seed%d: convene counts diverge", kind, h, seed)
+				}
+			}
+		}
+	}
+}

@@ -26,11 +26,47 @@ func (a *Alg) Program() *sim.Program[BState] {
 	} else {
 		init = a.tokenRingInit
 	}
-	return &sim.Program[BState]{
+	prog := &sim.Program[BState]{
 		NumProcs: a.NumProcs(),
 		Actions:  actions,
 		Init:     func(p int, _ *rand.Rand) BState { return init(p) },
 	}
+	if !a.NoLocality {
+		loc := a.locality()
+		prog.Locality = func(p int) []int { return loc[p] }
+	}
+	return prog
+}
+
+// locality precomputes the guard read sets of the composed baseline
+// program. Professors read their G_H neighbors (members of incident
+// committees) and the agents of their incident committees; committee
+// agents read their members, the agents of conflicting committees, and —
+// for the token ring — the ring predecessor/successor agents involved in
+// the handover handshake.
+func (a *Alg) locality() [][]int {
+	n, m := a.H.N(), a.H.M()
+	loc := make([][]int, a.NumProcs())
+	for p := 0; p < n; p++ {
+		l := make([]int, 0, len(a.H.Neighbors(p))+len(a.H.EdgesOf(p)))
+		l = append(l, a.H.Neighbors(p)...)
+		for _, e := range a.H.EdgesOf(p) {
+			l = append(l, a.commNode(e))
+		}
+		loc[p] = l
+	}
+	for e := 0; e < m; e++ {
+		l := make([]int, 0, len(a.H.Edge(e))+len(a.conflicts[e])+2)
+		l = append(l, a.H.Edge(e)...)
+		for _, d := range a.conflicts[e] {
+			l = append(l, a.commNode(d))
+		}
+		if a.Kind == TokenRing {
+			l = append(l, a.commNode(a.ringPrev(e)), a.commNode(a.ringNext(e)))
+		}
+		loc[a.commNode(e)] = l
+	}
+	return loc
 }
 
 // Runner couples a baseline Alg with an engine and the same event

@@ -10,13 +10,17 @@ import (
 // predicate names match the paper's; comments quote the definitions.
 
 // freeEdges1 — FreeEdges_p = {ε ∈ E_p | ∀q ∈ ε : S_q = looking}.
+// The returned slice is Alg-owned scratch, valid until the next
+// freeEdges1/freeEdges2 call (nested re-derivations for the same (cfg, p)
+// rewrite identical contents, so the aliasing inside one guard is safe).
 func (a *Alg) freeEdges1(cfg []State, p int) []int {
-	var out []int
+	out := a.scEdges[:0]
 	for _, e := range a.H.EdgesOf(p) {
 		if a.allMembers(cfg, e, func(q int) bool { return cfg[q].S == Looking }) {
 			out = append(out, e)
 		}
 	}
+	a.scEdges = out
 	return out
 }
 
@@ -25,22 +29,29 @@ func (a *Alg) freeEdges1(cfg []State, p int) []int {
 // Cands_p = TFreeNodes_p if non-empty, else FreeNodes_p.
 func (a *Alg) cands1(cfg []State, p int) []int {
 	free := a.freeEdges1(cfg, p)
-	seen := map[int]bool{}
-	var freeNodes []int
+	if a.scSeen == nil {
+		a.scSeen = make([]bool, a.H.N())
+	}
+	freeNodes := a.scNodes[:0]
 	for _, e := range free {
 		for _, q := range a.H.Edge(e) {
-			if !seen[q] {
-				seen[q] = true
+			if !a.scSeen[q] {
+				a.scSeen[q] = true
 				freeNodes = append(freeNodes, q)
 			}
 		}
 	}
-	var tnodes []int
+	for _, q := range freeNodes {
+		a.scSeen[q] = false
+	}
+	a.scNodes = freeNodes
+	tnodes := a.scTN[:0]
 	for _, q := range freeNodes {
 		if cfg[q].T {
 			tnodes = append(tnodes, q)
 		}
 	}
+	a.scTN = tnodes
 	if len(tnodes) > 0 {
 		return tnodes
 	}

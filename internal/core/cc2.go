@@ -15,9 +15,10 @@ import (
 // so that unrelated committees keep convening (Figure 4).
 
 // freeEdges2 — FreeEdges_p = {ε ∈ E_p | ∀q ∈ ε :
-// (S_q = looking ∧ ¬L_q ∧ ¬T_q)}.
+// (S_q = looking ∧ ¬L_q ∧ ¬T_q)}. Returns Alg-owned scratch (see
+// freeEdges1 for the aliasing discipline).
 func (a *Alg) freeEdges2(cfg []State, p int) []int {
-	var out []int
+	out := a.scEdges[:0]
 	for _, e := range a.H.EdgesOf(p) {
 		if a.allMembers(cfg, e, func(q int) bool {
 			return cfg[q].S == Looking && !cfg[q].L && !cfg[q].T
@@ -25,28 +26,35 @@ func (a *Alg) freeEdges2(cfg []State, p int) []int {
 			out = append(out, e)
 		}
 	}
+	a.scEdges = out
 	return out
 }
 
 // freeNodes2 — FreeNodes_p = {q | ∃ε ∈ FreeEdges_p : q ∈ ε}.
 func (a *Alg) freeNodes2(cfg []State, p int) []int {
-	seen := map[int]bool{}
-	var out []int
+	if a.scSeen == nil {
+		a.scSeen = make([]bool, a.H.N())
+	}
+	out := a.scNodes[:0]
 	for _, e := range a.freeEdges2(cfg, p) {
 		for _, q := range a.H.Edge(e) {
-			if !seen[q] {
-				seen[q] = true
+			if !a.scSeen[q] {
+				a.scSeen[q] = true
 				out = append(out, q)
 			}
 		}
 	}
+	for _, q := range out {
+		a.scSeen[q] = false
+	}
+	a.scNodes = out
 	return out
 }
 
 // tPointingEdges — TPointingEdges_p = {ε ∈ E_p | ∃q ∈ ε :
 // (P_q = ε ∧ T_q ∧ S_q = looking)}.
 func (a *Alg) tPointingEdges(cfg []State, p int) []int {
-	var out []int
+	out := a.scTP[:0]
 	for _, e := range a.H.EdgesOf(p) {
 		for _, q := range a.H.Edge(e) {
 			if cfg[q].P == e && cfg[q].T && cfg[q].S == Looking {
@@ -55,6 +63,7 @@ func (a *Alg) tPointingEdges(cfg []State, p int) []int {
 			}
 		}
 	}
+	a.scTP = out
 	return out
 }
 

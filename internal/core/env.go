@@ -20,6 +20,19 @@ type Env interface {
 	Update(cfg []State, step int)
 }
 
+// EnvTracker is an optional Env refinement for the incremental engine:
+// Changed reports the processes whose RequestIn/RequestOut answers may
+// have flipped during the last Update call (the slice is valid until the
+// next Update). The algorithms read Env predicates of p only from p's own
+// guards, so the Runner marks exactly those processes dirty. Envs that
+// cannot track changes simply omit the interface and the Runner falls
+// back to invalidating the whole enabled-set cache after each update —
+// always correct, just slower.
+type EnvTracker interface {
+	Env
+	Changed() []int
+}
+
 // Client is the standard professor behaviour: each professor requests a
 // meeting with probability ProbIn per step while idle (1 = the
 // always-requesting assumption of §5), and requests out after spending a
@@ -36,6 +49,7 @@ type Client struct {
 	out     []bool
 	doneAge []int
 	quota   []int // current meeting's drawn discussion duration
+	changed []int // processes whose predicates flipped in the last Update
 }
 
 // NewClient builds a Client. Seed controls the private randomness
@@ -80,7 +94,9 @@ func (c *Client) RequestOut(p int) bool { return c.out[p] }
 
 // Update implements Env.
 func (c *Client) Update(cfg []State, _ int) {
+	c.changed = c.changed[:0]
 	for p := 0; p < c.N; p++ {
+		oldIn, oldOut := c.in[p], c.out[p]
 		if cfg[p].S == Done {
 			c.doneAge[p]++
 			if c.doneAge[p] > c.quota[p] {
@@ -100,8 +116,14 @@ func (c *Client) Update(cfg []State, _ int) {
 		} else {
 			c.in[p] = c.ProbIn >= 1 // re-arm immediately for always-requesting
 		}
+		if c.in[p] != oldIn || c.out[p] != oldOut {
+			c.changed = append(c.changed, p)
+		}
 	}
 }
+
+// Changed implements EnvTracker.
+func (c *Client) Changed() []int { return c.changed }
 
 // InfiniteMeetings is the adversarial environment used to *define*
 // Maximal Concurrency (Definition 2) and the Degree of Fair Concurrency
@@ -113,8 +135,9 @@ type InfiniteMeetings struct {
 	Alg  *Alg
 	Only []int // professors allowed to request in; nil = all
 
-	in  []bool
-	out []bool
+	in      []bool
+	out     []bool
+	changed []int
 }
 
 // NewInfiniteMeetings builds the environment for alg.
@@ -138,13 +161,21 @@ func (e *InfiniteMeetings) RequestOut(p int) bool { return e.out[p] }
 
 // Update implements Env.
 func (e *InfiniteMeetings) Update(cfg []State, _ int) {
+	e.changed = e.changed[:0]
 	for p := range e.out {
 		// §4.2: if S_p = done but ¬Meeting(p), the meeting is already
 		// terminated, so RequestOut(p) eventually holds; if p is involved
 		// in a (live) meeting, it never ends.
-		e.out[p] = cfg[p].S == Done && !e.Alg.Meeting(cfg, p)
+		out := cfg[p].S == Done && !e.Alg.Meeting(cfg, p)
+		if out != e.out[p] {
+			e.out[p] = out
+			e.changed = append(e.changed, p)
+		}
 	}
 }
+
+// Changed implements EnvTracker.
+func (e *InfiniteMeetings) Changed() []int { return e.changed }
 
 // Scripted is a fully scripted environment for trace replays (Figure 3):
 // the test driver sets In/Out directly between steps.

@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+// The incremental enabled-set engine must be observationally identical
+// to the full-rescan path: same Exec trace step for step, same
+// configurations, same round accounting — across every daemon, every
+// algorithm variant, random initial configurations and many seeds. This
+// is the soundness witness for the Locality declaration in
+// (*Alg).Program and for the EnvTracker-based cache invalidation.
+
+func equivDaemons() []struct {
+	name string
+	mk   func() sim.Daemon
+} {
+	return []struct {
+		name string
+		mk   func() sim.Daemon
+	}{
+		{"synchronous", func() sim.Daemon { return sim.Synchronous{} }},
+		{"central-rr", func() sim.Daemon { return &sim.Central{} }},
+		{"central-random", func() sim.Daemon { return sim.CentralRandom{} }},
+		{"random-subset", func() sim.Daemon { return sim.RandomSubset{P: 0.4} }},
+		{"weakly-fair", func() sim.Daemon { return &sim.WeaklyFair{MaxAge: 5} }},
+	}
+}
+
+// tracedRunner builds a Runner over its own Alg/Env instances (so the
+// pair share nothing) and records every step's executions.
+func tracedRunner(variant core.Variant, h *hypergraph.H, d sim.Daemon, seed int64, noLocality bool, trace *[][]sim.Exec) *core.Runner {
+	alg := core.New(variant, h, nil)
+	alg.NoLocality = noLocality
+	env := core.NewClient(h.N(), 1, 1, 3, seed+1000)
+	r := core.NewRunner(alg, d, env, seed, true)
+	r.Engine.Observe(func(step int, cfg []core.State, execs []sim.Exec) {
+		*trace = append(*trace, append([]sim.Exec(nil), execs...))
+	})
+	return r
+}
+
+func TestIncrementalTraceEquivalence(t *testing.T) {
+	h := hypergraph.Figure1()
+	steps := 300
+	for _, variant := range []core.Variant{core.CC1, core.CC2, core.CC3} {
+		for _, d := range equivDaemons() {
+			for seed := int64(1); seed <= 10; seed++ {
+				name := fmt.Sprintf("%v/%s/seed%d", variant, d.name, seed)
+				var tFull, tIncr [][]sim.Exec
+				full := tracedRunner(variant, h, d.mk(), seed, true, &tFull)
+				incr := tracedRunner(variant, h, d.mk(), seed, false, &tIncr)
+				full.Run(steps)
+				incr.Run(steps)
+				if !reflect.DeepEqual(tFull, tIncr) {
+					for i := range tFull {
+						if i >= len(tIncr) || !reflect.DeepEqual(tFull[i], tIncr[i]) {
+							t.Fatalf("%s: traces diverge at step %d: full=%v incr=%v", name, i+1, at(tFull, i), at(tIncr, i))
+						}
+					}
+					t.Fatalf("%s: incremental trace has %d extra steps", name, len(tIncr)-len(tFull))
+				}
+				if !reflect.DeepEqual(full.Config(), incr.Config()) {
+					t.Fatalf("%s: final configurations diverge", name)
+				}
+				if full.Engine.Rounds() != incr.Engine.Rounds() {
+					t.Fatalf("%s: rounds diverge: full=%d incr=%d", name, full.Engine.Rounds(), incr.Engine.Rounds())
+				}
+				if full.TotalConvenes() != incr.TotalConvenes() {
+					t.Fatalf("%s: convene counts diverge", name)
+				}
+			}
+		}
+	}
+}
+
+func at(tr [][]sim.Exec, i int) any {
+	if i < len(tr) {
+		return tr[i]
+	}
+	return "<missing>"
+}
+
+// TestIncrementalEquivalenceAcrossTopologies widens the topology set at a
+// reduced seed count (the weakly fair daemon is the default throughout
+// the experiments, so it gets the coverage).
+func TestIncrementalEquivalenceAcrossTopologies(t *testing.T) {
+	for _, h := range []*hypergraph.H{
+		hypergraph.CommitteeRing(8),
+		hypergraph.CommitteePath(7),
+		hypergraph.Figure3(),
+		hypergraph.Star(6),
+	} {
+		for _, variant := range []core.Variant{core.CC1, core.CC2} {
+			for seed := int64(1); seed <= 3; seed++ {
+				var tFull, tIncr [][]sim.Exec
+				full := tracedRunner(variant, h, &sim.WeaklyFair{MaxAge: 5}, seed, true, &tFull)
+				incr := tracedRunner(variant, h, &sim.WeaklyFair{MaxAge: 5}, seed, false, &tIncr)
+				full.Run(400)
+				incr.Run(400)
+				if !reflect.DeepEqual(tFull, tIncr) {
+					t.Fatalf("%v/%s/seed%d: traces diverge", variant, h, seed)
+				}
+				if !reflect.DeepEqual(full.Config(), incr.Config()) {
+					t.Fatalf("%v/%s/seed%d: final configurations diverge", variant, h, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalEquivalenceUnderFaults injects identical mid-run
+// corruption into both engines (MutateProc forces the incremental path
+// onto its full-rescan fallback) and requires the suffixes to match.
+func TestIncrementalEquivalenceUnderFaults(t *testing.T) {
+	h := hypergraph.Figure1()
+	for seed := int64(1); seed <= 5; seed++ {
+		var tFull, tIncr [][]sim.Exec
+		full := tracedRunner(core.CC2, h, &sim.WeaklyFair{MaxAge: 5}, seed, true, &tFull)
+		incr := tracedRunner(core.CC2, h, &sim.WeaklyFair{MaxAge: 5}, seed, false, &tIncr)
+		corrupt := func(r *core.Runner) {
+			// Deterministic corruption: same states injected on each side.
+			r.Engine.MutateProc(2, func(s *core.State) {
+				s.S, s.P, s.T, s.L = core.Waiting, 1, true, true
+				s.TC.A, s.TC.H = true, 0
+			})
+			r.Engine.MutateProc(4, func(s *core.State) {
+				s.S, s.P = core.Done, 0
+				s.TC.Lid, s.TC.Dist = -7, 2
+			})
+		}
+		for phase := 0; phase < 3; phase++ {
+			full.Run(150)
+			incr.Run(150)
+			corrupt(full)
+			corrupt(incr)
+		}
+		full.Run(150)
+		incr.Run(150)
+		if !reflect.DeepEqual(tFull, tIncr) {
+			t.Fatalf("seed %d: traces diverge under fault injection", seed)
+		}
+		if !reflect.DeepEqual(full.Config(), incr.Config()) {
+			t.Fatalf("seed %d: final configurations diverge under fault injection", seed)
+		}
+	}
+}

@@ -46,7 +46,11 @@ func TestFreeEdges1(t *testing.T) {
 		5: {3}, // e4 contains 3
 	}
 	for p, w := range want {
-		if got := a.freeEdges1(cfg, p); !reflect.DeepEqual(got, w) {
+		got := a.freeEdges1(cfg, p)
+		if len(got) == 0 && len(w) == 0 {
+			continue // scratch-backed result: empty vs nil is the same answer
+		}
+		if !reflect.DeepEqual(got, w) {
 			t.Fatalf("freeEdges1(%d) after 3 waits = %v, want %v", p, got, w)
 		}
 	}

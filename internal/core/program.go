@@ -60,10 +60,10 @@ func (a *Alg) tcActions() []sim.Action[State] {
 		out[i] = sim.Action[State]{
 			Name: act.name,
 			Guard: func(cfg []State, p int) bool {
-				return act.enabled(tcView(cfg), p)
+				return act.enabled(a.tcView(cfg), p)
 			},
 			Body: func(cfg []State, p int, next *State, _ *rand.Rand) {
-				act.body(tcView(cfg), p, &next.TC)
+				act.body(a.tcView(cfg), p, &next.TC)
 			},
 		}
 	}
@@ -94,7 +94,7 @@ func (a *Alg) Program(randomInit bool) *sim.Program[State] {
 	actions = append(actions, cc[:split]...)
 	actions = append(actions, a.tcActions()...)
 	actions = append(actions, cc[split:]...)
-	return &sim.Program[State]{
+	prog := &sim.Program[State]{
 		NumProcs: a.H.N(),
 		Actions:  actions,
 		Init: func(p int, rng *rand.Rand) State {
@@ -104,4 +104,15 @@ func (a *Alg) Program(randomInit bool) *sim.Program[State] {
 			return a.LegitState(p)
 		},
 	}
+	if !a.NoLocality {
+		// Every CC predicate ranges over members of p's incident
+		// committees, and every TC guard (leader election, chain fixes,
+		// Join/Resume handovers) over p's G_H adjacency — token.New is fed
+		// exactly h.Neighbors. Both sets coincide with the precomputed
+		// closed neighborhood N_GH(p), so the incremental engine may
+		// re-evaluate only the neighborhoods of last step's executors.
+		h := a.H
+		prog.Locality = func(p int) []int { return h.Neighbors(p) }
+	}
+	return prog
 }

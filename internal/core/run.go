@@ -27,6 +27,11 @@ type Runner struct {
 
 	prevMeets []bool
 
+	// envTrack is non-nil when the Env can attribute predicate flips to
+	// specific processes, letting the incremental engine invalidate only
+	// those cache entries instead of the whole enabled set.
+	envTrack EnvTracker
+
 	onConvene   []func(step, e int)
 	onTerminate []func(step, e int)
 }
@@ -49,7 +54,9 @@ func NewRunner(alg *Alg, d sim.Daemon, env Env, seed int64, randomInit bool) *Ru
 		lastMeetRound: make([]int, alg.H.N()),
 		prevMeets:     make([]bool, alg.H.M()),
 	}
+	r.envTrack, _ = env.(EnvTracker)
 	env.Update(eng.Config(), 0)
+	r.noteEnvUpdate()
 	r.snapshotMeets(eng.Config())
 	eng.Observe(func(step int, cfg []State, _ []sim.Exec) {
 		r.afterStep(step, cfg)
@@ -105,6 +112,30 @@ func (r *Runner) afterStep(step int, cfg []State) {
 	r.SumConcurrency += int64(concurrent)
 	r.stepsSampled++
 	r.Env.Update(cfg, step)
+	r.noteEnvUpdate()
+}
+
+// SyncEnv runs one Env.Update against the current configuration and
+// folds it into the engine's enabled-set cache. Drivers that mutate or
+// advance the environment outside the Runner's step loop (scripted
+// experiment setups, replay harnesses) must use this instead of calling
+// Env.Update directly, or the incremental engine's cache goes stale.
+func (r *Runner) SyncEnv() {
+	r.Env.Update(r.Engine.Config(), r.Engine.Steps())
+	r.noteEnvUpdate()
+}
+
+// noteEnvUpdate folds an Env.Update into the engine's enabled-set cache:
+// per-process invalidation when the Env tracks its flips, a full rescan
+// otherwise.
+func (r *Runner) noteEnvUpdate() {
+	if r.envTrack != nil {
+		for _, p := range r.envTrack.Changed() {
+			r.Engine.MarkDirty(p)
+		}
+		return
+	}
+	r.Engine.MarkAllDirty()
 }
 
 // MeanConcurrency returns the average number of simultaneously meeting
@@ -145,6 +176,7 @@ func (r *Runner) stepOrTick() bool {
 	}
 	for i := 0; i < IdleTicks; i++ {
 		r.Env.Update(r.Engine.Config(), r.Engine.Steps())
+		r.noteEnvUpdate()
 		if !r.Engine.Terminal() {
 			return r.Engine.Step() != nil
 		}

@@ -111,6 +111,9 @@ func (v Variant) String() string {
 // ChoiceFunc picks one of the candidate edges in an action body whose
 // statement is nondeterministic in the paper ("P_p := ε such that
 // ε ∈ FreeEdges_p"). options is non-empty and sorted ascending.
+// Implementations must treat options as read-only: it may alias
+// precomputed topology tables (hypergraph.H incidence/MinEdges, shared
+// across engines and parallel experiment cells) or engine scratch.
 type ChoiceFunc func(p int, options []int, rng *rand.Rand) int
 
 // ChooseFirst picks the lowest-indexed candidate (deterministic default).
@@ -142,6 +145,28 @@ type Alg struct {
 	// committees; the ABL experiment measures the resulting drop in the
 	// degree of fair concurrency. Ignored by CC1 and CC3.
 	NoMinSize bool
+
+	// NoLocality omits the sim.Locality declaration from Program, forcing
+	// the engine onto the full-rescan path. Every guard of CC ∘ TC reads
+	// only the closed G_H neighborhood of its process, so the two paths
+	// are observationally identical; the equivalence tests assert exactly
+	// that by running both side by side.
+	NoLocality bool
+
+	// Predicate scratch, reused across guard evaluations so the engine
+	// hot path stays allocation-free. Guards run on the engine's single
+	// goroutine; an Alg must therefore not be shared by concurrently
+	// running engines (the parallel experiment runner builds one Alg per
+	// cell). The aliasing is safe because every nested use re-derives the
+	// same deterministic contents for the same (cfg, p) arguments.
+	scEdges []int
+	scNodes []int
+	scTN    []int
+	scTP    []int
+	scSeen  []bool
+
+	viewBase *State     // identity of the cfg buffer viewFn reads
+	viewFn   token.View // cached closure over that buffer
 }
 
 // New creates an Alg for the given variant over hypergraph h. The token
@@ -165,19 +190,30 @@ func New(variant Variant, h *hypergraph.H, env Env) *Alg {
 	}
 }
 
-// tcView adapts a CC configuration to the token module's view.
-func tcView(cfg []State) token.View {
-	return func(q int) *token.State { return &cfg[q].TC }
+// tcView adapts a CC configuration to the token module's view. The
+// closure is cached per configuration buffer: the engine mutates its
+// configuration in place, so the buffer identity is stable across steps
+// and the hot path allocates no closures.
+func (a *Alg) tcView(cfg []State) token.View {
+	if len(cfg) == 0 {
+		return func(q int) *token.State { return nil }
+	}
+	if a.viewBase != &cfg[0] {
+		c := cfg
+		a.viewBase = &c[0]
+		a.viewFn = func(q int) *token.State { return &c[q].TC }
+	}
+	return a.viewFn
 }
 
 // Token is the input predicate Token(p) from TC.
 func (a *Alg) Token(cfg []State, p int) bool {
-	return a.TC.HasToken(tcView(cfg), p)
+	return a.TC.HasToken(a.tcView(cfg), p)
 }
 
 // releaseToken is the input statement ReleaseToken_p.
 func (a *Alg) releaseToken(cfg []State, p int, next *State) {
-	a.TC.ReleaseToken(tcView(cfg), p, &next.TC)
+	a.TC.ReleaseToken(a.tcView(cfg), p, &next.TC)
 }
 
 // --- Shared predicates (identical formulas in Algorithms 1 and 2) -----------

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hypergraph"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -47,9 +48,15 @@ func init() {
 				Header: []string{"topology", "min (MinEdges)", "mean (MinEdges)", "min (any)", "mean (any)"},
 			}
 			var sumWith, sumWithout float64
-			for _, f := range mixed {
-				withMin := metrics.DegreeOfFairConcurrency(core.CC2, f.h, samples, steps, cfg.Seed, false)
-				without := measureNoMinSize(f.h, samples, steps, cfg.Seed)
+			type pair struct{ withMin, without metrics.Concurrency }
+			pairs := par.Map(len(mixed), func(i int) pair {
+				return pair{
+					withMin: metrics.DegreeOfFairConcurrency(core.CC2, mixed[i].h, samples, steps, cfg.Seed, false),
+					without: metrics.DegreeOfFairConcurrencyNoMinSize(core.CC2, mixed[i].h, samples, steps, cfg.Seed, false),
+				}
+			})
+			for i, f := range mixed {
+				withMin, without := pairs[i].withMin, pairs[i].without
 				t.AddRow(f.name, withMin.Min, withMin.Mean, without.Min, without.Mean)
 				if withMin.Quiesced == 0 || without.Quiesced == 0 {
 					res.failf("%s: runs did not quiesce (min=%d/%d)", f.name, withMin.Quiesced, without.Quiesced)
@@ -79,64 +86,53 @@ func init() {
 			if cfg.Quick {
 				tsteps = 12000
 			}
+			type gridCell struct {
+				variant core.Variant
+				f       family
+				name    string
+				fn      core.ChoiceFunc
+			}
+			var grid []gridCell
 			for _, variant := range []core.Variant{core.CC1, core.CC2} {
 				for _, f := range []family{{"ring8", hypergraph.CommitteeRing(8)}, {"figure1", hypergraph.Figure1()}} {
 					for _, choice := range []struct {
 						name string
 						fn   core.ChoiceFunc
 					}{{"first", core.ChooseFirst}, {"random", core.ChooseRandom}} {
-						alg := core.New(variant, f.h, nil)
-						alg.Choose = choice.fn
-						env := core.NewAlwaysClient(f.h.N(), 2)
-						r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed, false)
-						r.Run(tsteps)
-						per100 := 0.0
-						if rr := r.Engine.Rounds(); rr > 0 {
-							per100 = 100 * float64(r.TotalConvenes()) / float64(rr)
-						}
-						t2.AddRow(variant.String(), f.name, choice.name, per100, r.MinProfMeetings())
-						if r.TotalConvenes() == 0 {
-							res.failf("%v/%s/%s: no meetings", variant, f.name, choice.name)
-						}
-						if variant == core.CC2 && r.MinProfMeetings() == 0 {
-							res.failf("%v/%s/%s: fairness lost under this choice strategy", variant, f.name, choice.name)
-						}
+						grid = append(grid, gridCell{variant, f, choice.name, choice.fn})
 					}
+				}
+			}
+			type gridOut struct {
+				per100   float64
+				convenes int
+				minProf  int
+			}
+			outs := par.Map(len(grid), func(i int) gridOut {
+				g := grid[i]
+				alg := core.New(g.variant, g.f.h, nil)
+				alg.Choose = g.fn
+				env := core.NewAlwaysClient(g.f.h.N(), 2)
+				r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed, false)
+				r.Run(tsteps)
+				per100 := 0.0
+				if rr := r.Engine.Rounds(); rr > 0 {
+					per100 = 100 * float64(r.TotalConvenes()) / float64(rr)
+				}
+				return gridOut{per100: per100, convenes: r.TotalConvenes(), minProf: r.MinProfMeetings()}
+			})
+			for i, g := range grid {
+				o := outs[i]
+				t2.AddRow(g.variant.String(), g.f.name, g.name, o.per100, o.minProf)
+				if o.convenes == 0 {
+					res.failf("%v/%s/%s: no meetings", g.variant, g.f.name, g.name)
+				}
+				if g.variant == core.CC2 && o.minProf == 0 {
+					res.failf("%v/%s/%s: fairness lost under this choice strategy", g.variant, g.f.name, g.name)
 				}
 			}
 			res.Tables = []*Table{t, t2}
 			return res
 		},
 	})
-}
-
-func measureNoMinSize(h *hypergraph.H, samples, maxSteps int, seed int64) metrics.Concurrency {
-	res := metrics.Concurrency{Samples: samples, Min: -1}
-	sum := 0
-	for i := 0; i < samples; i++ {
-		alg := core.New(core.CC2, h, nil)
-		alg.NoMinSize = true
-		env := core.NewInfiniteMeetings(alg, nil)
-		r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed+int64(i), true)
-		r.Run(maxSteps)
-		if !r.Engine.Terminal() {
-			continue
-		}
-		res.Quiesced++
-		k := len(alg.Meetings(r.Config()))
-		sum += k
-		if res.Min == -1 || k < res.Min {
-			res.Min = k
-		}
-		if k > res.Max {
-			res.Max = k
-		}
-	}
-	if res.Quiesced > 0 {
-		res.Mean = float64(sum) / float64(res.Quiesced)
-	}
-	if res.Min == -1 {
-		res.Min = 0
-	}
-	return res
 }

@@ -12,6 +12,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // Table is one result table of an experiment.
@@ -137,6 +139,11 @@ func Run(id string, cfg Config, w io.Writer) (*Result, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
 	res := e.RunFn(cfg)
+	render(e, res, w)
+	return res, nil
+}
+
+func render(e Experiment, res *Result, w io.Writer) {
 	fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.What)
 	for _, t := range res.Tables {
 		t.Render(w)
@@ -151,5 +158,35 @@ func Run(id string, cfg Config, w io.Writer) (*Result, error) {
 		fmt.Fprintln(w, "All checked claims hold.")
 		fmt.Fprintln(w)
 	}
-	return res, nil
+}
+
+// RunAll fans the named experiments across the worker pool (each one
+// additionally fans its own cells) and renders reports to w in the
+// input order, streaming each one as soon as it and its predecessors
+// finish — a long suite shows progress instead of barriering on the
+// slowest experiment. It fails fast on an unknown id, before any work
+// runs.
+func RunAll(ids []string, cfg Config, w io.Writer) ([]*Result, error) {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := Get(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	results := make([]*Result, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	go par.ForEach(len(exps), func(i int) {
+		results[i] = exps[i].RunFn(cfg)
+		close(done[i])
+	})
+	for i := range exps {
+		<-done[i]
+		render(exps[i], results[i], w)
+	}
+	return results, nil
 }

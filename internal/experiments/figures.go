@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hypergraph"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -160,9 +161,13 @@ func init() {
 					"eventually blocks the cycle and convenes {1,3,5}.",
 				Header: []string{"algorithm", "convenes {1,2}", "convenes {3,4}", "convenes {1,3,5}", "prof-5 meetings"},
 			}
-			for _, variant := range []core.Variant{core.CC1, core.CC2} {
+			variants := []core.Variant{core.CC1, core.CC2}
+			type cell struct {
+				conv0, conv2, conv1, prof5 int
+			}
+			cells := par.Map(len(variants), func(i int) cell {
 				h := hypergraph.Figure2()
-				alg := core.New(variant, h, nil)
+				alg := core.New(variants[i], h, nil)
 				env := &alternatingEnv{alg: alg, out: make([]bool, h.N())}
 				r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed, false)
 				// Start from the proof's configuration A: professors 1,2
@@ -181,19 +186,23 @@ func init() {
 						}
 					})
 				}
-				env.Update(r.Engine.Config(), 0)
+				r.SyncEnv()
 				r.Run(steps)
-				t.AddRow(variant.String(), r.Convenes[0], r.Convenes[2], r.Convenes[1], r.ProfMeetings[4])
+				return cell{conv0: r.Convenes[0], conv2: r.Convenes[2], conv1: r.Convenes[1], prof5: r.ProfMeetings[4]}
+			})
+			for i, variant := range variants {
+				c := cells[i]
+				t.AddRow(variant.String(), c.conv0, c.conv2, c.conv1, c.prof5)
 				switch variant {
 				case core.CC1:
-					if r.ProfMeetings[4] != 0 {
-						res.failf("CC1: professor 5 met %d times under the starvation schedule", r.ProfMeetings[4])
+					if c.prof5 != 0 {
+						res.failf("CC1: professor 5 met %d times under the starvation schedule", c.prof5)
 					}
-					if r.Convenes[0] < 3 || r.Convenes[2] < 3 {
-						res.failf("CC1: the alternating meetings did not keep convening (%d/%d)", r.Convenes[0], r.Convenes[2])
+					if c.conv0 < 3 || c.conv2 < 3 {
+						res.failf("CC1: the alternating meetings did not keep convening (%d/%d)", c.conv0, c.conv2)
 					}
 				case core.CC2:
-					if r.ProfMeetings[4] == 0 {
+					if c.prof5 == 0 {
 						res.failf("CC2: professor 5 starved despite fairness")
 					}
 				}
@@ -326,7 +335,7 @@ func init() {
 			for _, v := range []int{1, 5, 6, 7, 8} {
 				set(v, core.Looking, core.NoEdge, false)
 			}
-			env.Update(r.Engine.Config(), 0)
+			r.SyncEnv()
 
 			steps := 4000
 			if cfg.Quick {

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// withWorkers runs fn with the pool forced to the given width. The pool
+// width is a process-global; tests using it must not run in parallel
+// with each other.
+func withWorkers(t *testing.T, w int, fn func()) {
+	t.Helper()
+	old := par.Workers
+	par.Workers = w
+	defer func() { par.Workers = old }()
+	fn()
+}
+
+// TestParallelRunMatchesSerial is the determinism contract of the
+// parallel experiment runner: the rendered report of a parallel run must
+// be byte-identical to a serial run with the same seed.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	ids := []string{"F1", "T2", "TOKEN"}
+	cfg := Config{Seed: 3, Quick: true}
+	var serial, parOut bytes.Buffer
+	withWorkers(t, 1, func() {
+		if _, err := RunAll(ids, cfg, &serial); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 6, func() {
+		if _, err := RunAll(ids, cfg, &parOut); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if serial.String() != parOut.String() {
+		t.Fatal("parallel report differs from serial report for the same seed")
+	}
+	if _, err := RunAll([]string{"F1", "nope"}, cfg, &parOut); err == nil {
+		t.Fatal("RunAll with an unknown id must error before running")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hypergraph"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/spec"
 )
@@ -34,31 +35,40 @@ func init() {
 					"control): corruption yields violations and/or a wedged system.",
 				Header: []string{"system", "bursts", "violations", "convenes after faults", "recovered"},
 			}
-			for _, variant := range []core.Variant{core.CC1, core.CC2, core.CC3} {
+			variants := []core.Variant{core.CC1, core.CC2, core.CC3}
+			type cell struct {
+				viol, convs int
+				recovered   bool
+			}
+			cells := par.Map(len(variants), func(i int) cell {
+				variant := variants[i]
 				alg := core.New(variant, h, nil)
 				env := core.NewAlwaysClient(h.N(), 2)
 				r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed, false)
 				inj := fault.New(alg, cfg.Seed+100)
-				viol, convs := 0, 0
-				recovered := true
+				c := cell{recovered: true}
 				r.Run(stepsPer)
 				for b := 0; b < bursts; b++ {
 					inj.CorruptRandom(r, 3)
 					chk := r.Checker(0)
 					before := r.TotalConvenes()
 					r.Run(stepsPer)
-					viol += len(chk.Violations)
+					c.viol += len(chk.Violations)
 					got := r.TotalConvenes() - before
-					convs += got
+					c.convs += got
 					if got == 0 {
-						recovered = false
+						c.recovered = false
 					}
 				}
-				t.AddRow(variant.String(), bursts, viol, convs, recovered)
-				if viol > 0 {
-					res.failf("%v: %d violations after faults", variant, viol)
+				return c
+			})
+			for i, c := range cells {
+				variant := variants[i]
+				t.AddRow(variant.String(), bursts, c.viol, c.convs, c.recovered)
+				if c.viol > 0 {
+					res.failf("%v: %d violations after faults", variant, c.viol)
 				}
-				if !recovered {
+				if !c.recovered {
 					res.failf("%v: a burst wedged the system", variant)
 				}
 			}
@@ -131,17 +141,27 @@ func init() {
 					"single token remains; spurious initial tokens are destroyed autonomously.",
 				Header: []string{"topology", "n", "converged", "max spurious tokens at start", "mean steps", "max steps"},
 			}
-			for _, f := range []family{
+			fams := []family{
 				{"path6", hypergraph.CommitteePath(6)},
 				{"ring8", hypergraph.CommitteeRing(8)},
 				{"figure1", hypergraph.Figure1()},
 				{"figure3", hypergraph.Figure3()},
 				{"ring16", hypergraph.CommitteeRing(16)},
-			} {
-				if cfg.Quick && f.h.N() > 10 {
-					continue
+			}
+			if cfg.Quick {
+				kept := fams[:0]
+				for _, f := range fams {
+					if f.h.N() <= 10 {
+						kept = append(kept, f)
+					}
 				}
-				m := metrics.TokenConvergence(f.h, samples, maxSteps, cfg.Seed)
+				fams = kept
+			}
+			ms := par.Map(len(fams), func(i int) metrics.Token {
+				return metrics.TokenConvergence(fams[i].h, samples, maxSteps, cfg.Seed)
+			})
+			for i, m := range ms {
+				f := fams[i]
 				t.AddRow(f.name, f.h.N(), fmt.Sprintf("%d/%d", m.Converged, m.Samples),
 					m.MaxHoldersStart, m.MeanSteps, m.MaxSteps)
 				if m.Converged != m.Samples {
@@ -177,25 +197,39 @@ func init() {
 				topologies = topologies[:2]
 			}
 			var tables []*Table
-			for _, f := range topologies {
+			// One parallel cell per (topology, algorithm): six systems on
+			// each topology, all independent runs.
+			systems := []string{"CC1", "CC2", "CC3", "dining", "token-ring", "oracle"}
+			cells := par.Map(len(topologies)*len(systems), func(i int) metrics.Throughput {
+				f, sysName := topologies[i/len(systems)], systems[i%len(systems)]
+				switch sysName {
+				case "CC1", "CC2", "CC3":
+					variant := map[string]core.Variant{"CC1": core.CC1, "CC2": core.CC2, "CC3": core.CC3}[sysName]
+					return metrics.MeasureThroughput(variant, f.h, 2, steps, cfg.Seed, false)
+				case "dining":
+					return baseline.Profile(baseline.Dining, f.h, 2, steps, cfg.Seed)
+				case "token-ring":
+					return baseline.Profile(baseline.TokenRing, f.h, 2, steps, cfg.Seed)
+				default:
+					return baseline.Oracle(f.h, 2, steps/10, cfg.Seed)
+				}
+			})
+			for fi, f := range topologies {
 				t := &Table{
 					Title:  fmt.Sprintf("Comparison on %s (n=%d, |E|=%d, disc=2)", f.name, f.h.N(), f.h.M()),
 					Header: []string{"algorithm", "convenes/100 rounds", "mean conc", "peak conc", "min meetings/prof"},
 				}
 				profiles := map[string]metrics.Throughput{}
-				for _, variant := range []core.Variant{core.CC1, core.CC2, core.CC3} {
-					p := metrics.MeasureThroughput(variant, f.h, 2, steps, cfg.Seed, false)
-					profiles[variant.String()] = p
-					t.AddRow(variant.String(), p.ConvenesPer100R, p.MeanConcurrency, p.PeakConcurrency, p.MinProfMeetings)
+				for si, sysName := range systems {
+					p := cells[fi*len(systems)+si]
+					profiles[sysName] = p
+					if sysName == "oracle" {
+						t.AddRow("oracle (upper bound)", p.ConvenesPer100R, p.MeanConcurrency, p.PeakConcurrency, "-")
+					} else {
+						t.AddRow(sysName, p.ConvenesPer100R, p.MeanConcurrency, p.PeakConcurrency, p.MinProfMeetings)
+					}
 				}
-				for _, kind := range []baseline.Kind{baseline.Dining, baseline.TokenRing} {
-					p := baseline.Profile(kind, f.h, 2, steps, cfg.Seed)
-					profiles[kind.String()] = p
-					t.AddRow(kind.String(), p.ConvenesPer100R, p.MeanConcurrency, p.PeakConcurrency, p.MinProfMeetings)
-				}
-				po := baseline.Oracle(f.h, 2, steps/10, cfg.Seed)
-				profiles["oracle"] = po
-				t.AddRow("oracle (upper bound)", po.ConvenesPer100R, po.MeanConcurrency, po.PeakConcurrency, "-")
+				po := profiles["oracle"]
 				tables = append(tables, t)
 
 				// Shape checks (who wins): on conflict-free topologies the
@@ -240,20 +274,27 @@ func init() {
 				{"path7", hypergraph.CommitteePath(7)},
 			} {
 				minMM, _ := f.h.MinMaximalMatching()
-				cc1Min := -1
-				for s := 0; s < samples; s++ {
+				type sat struct {
+					ok bool
+					k  int
+				}
+				sats := par.Map(samples, func(s int) sat {
 					alg := core.New(core.CC1, f.h, nil)
 					env := core.NewInfiniteMeetings(alg, nil)
 					r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed+int64(s), false)
 					ok := r.RunUntil(40000, func(c []core.State) bool {
 						return len(piSet(alg, c)) == 0 && len(alg.Meetings(c)) > 0
 					})
-					if !ok {
+					return sat{ok: ok, k: len(alg.Meetings(r.Config()))}
+				})
+				cc1Min := -1
+				for s, out := range sats {
+					if !out.ok {
 						res.failf("%s seed %d: CC1 did not saturate", f.name, s)
 						continue
 					}
-					if k := len(alg.Meetings(r.Config())); cc1Min == -1 || k < cc1Min {
-						cc1Min = k
+					if cc1Min == -1 || out.k < cc1Min {
+						cc1Min = out.k
 					}
 				}
 				m2 := metrics.DegreeOfFairConcurrency(core.CC2, f.h, samples, 60000, cfg.Seed, false)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hypergraph"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -47,17 +48,21 @@ func init() {
 				Header: []string{"topology", "runs", "violations", "total convenes", "min convenes/run"},
 			}
 			for _, f := range smallFamilies() {
-				viol, total, minc := 0, 0, -1
-				for s := 0; s < seeds; s++ {
+				type cell struct{ viol, convenes int }
+				cells := par.Map(seeds, func(s int) cell {
 					alg := core.New(core.CC1, f.h, nil)
 					env := core.NewAlwaysClient(f.h.N(), 2)
 					r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed+int64(s), true)
 					chk := r.Checker(0)
 					r.Run(steps)
-					viol += len(chk.Violations)
-					total += r.TotalConvenes()
-					if minc == -1 || r.TotalConvenes() < minc {
-						minc = r.TotalConvenes()
+					return cell{viol: len(chk.Violations), convenes: r.TotalConvenes()}
+				})
+				viol, total, minc := 0, 0, -1
+				for _, c := range cells {
+					viol += c.viol
+					total += c.convenes
+					if minc == -1 || c.convenes < minc {
+						minc = c.convenes
 					}
 				}
 				t.AddRow(f.name, seeds, viol, total, minc)
@@ -80,27 +85,34 @@ func init() {
 				Note:   "Π = committees whose members are all waiting; maximal concurrency drives Π to ∅.",
 				Header: []string{"topology", "seed", "Π emptied", "meetings form maximal matching", "#meetings"},
 			}
-			for _, f := range []family{
+			satFamilies := []family{
 				{"path6", hypergraph.CommitteePath(6)},
 				{"ring8", hypergraph.CommitteeRing(8)},
 				{"figure1", hypergraph.Figure1()},
-			} {
-				for s := 0; s < seeds; s++ {
-					alg := core.New(core.CC1, f.h, nil)
-					env := core.NewInfiniteMeetings(alg, nil)
-					r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed+int64(s), false)
-					emptied := r.RunUntil(40000, func(c []core.State) bool {
-						return len(piSet(alg, c)) == 0 && len(alg.Meetings(c)) > 0
-					})
-					meetings := alg.Meetings(r.Config())
-					maximal := f.h.IsMaximalMatching(meetings, nil)
-					t2.AddRow(f.name, s, emptied, maximal, len(meetings))
-					if !emptied {
-						res.failf("%s seed %d: Π never emptied (meetings %v)", f.name, s, meetings)
-					}
-					if emptied && !maximal {
-						res.failf("%s seed %d: frozen meetings %v not a maximal matching", f.name, s, meetings)
-					}
+			}
+			type satCell struct {
+				emptied, maximal bool
+				meetings         []int
+			}
+			satCells := par.Map(len(satFamilies)*seeds, func(i int) satCell {
+				f, s := satFamilies[i/seeds], i%seeds
+				alg := core.New(core.CC1, f.h, nil)
+				env := core.NewInfiniteMeetings(alg, nil)
+				r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed+int64(s), false)
+				emptied := r.RunUntil(40000, func(c []core.State) bool {
+					return len(piSet(alg, c)) == 0 && len(alg.Meetings(c)) > 0
+				})
+				meetings := alg.Meetings(r.Config())
+				return satCell{emptied: emptied, maximal: f.h.IsMaximalMatching(meetings, nil), meetings: meetings}
+			})
+			for i, c := range satCells {
+				f, s := satFamilies[i/seeds], i%seeds
+				t2.AddRow(f.name, s, c.emptied, c.maximal, len(c.meetings))
+				if !c.emptied {
+					res.failf("%s seed %d: Π never emptied (meetings %v)", f.name, s, c.meetings)
+				}
+				if c.emptied && !c.maximal {
+					res.failf("%s seed %d: frozen meetings %v not a maximal matching", f.name, s, c.meetings)
 				}
 			}
 			res.Tables = []*Table{t, t2}
@@ -126,34 +138,41 @@ func init() {
 					"gap (in rounds) between successive participations.",
 				Header: []string{"topology", "violations", "min meetings", "max meetings", "max wait (rounds)"},
 			}
-			for _, f := range smallFamilies() {
+			fams := smallFamilies()
+			type cell struct{ viol, min, max, wait int }
+			cells := par.Map(len(fams), func(i int) cell {
+				f := fams[i]
 				alg := core.New(core.CC2, f.h, nil)
 				env := core.NewAlwaysClient(f.h.N(), 2)
 				r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, cfg.Seed, true)
 				chk := r.Checker(0)
 				r.Run(steps)
-				min, max, wait := -1, 0, 0
+				c := cell{viol: len(chk.Violations), min: -1}
 				for p := 0; p < f.h.N(); p++ {
 					if len(f.h.EdgesOf(p)) == 0 {
 						continue
 					}
-					c := r.ProfMeetings[p]
-					if min == -1 || c < min {
-						min = c
+					m := r.ProfMeetings[p]
+					if c.min == -1 || m < c.min {
+						c.min = m
 					}
-					if c > max {
-						max = c
+					if m > c.max {
+						c.max = m
 					}
-					if r.MaxWaitRounds[p] > wait {
-						wait = r.MaxWaitRounds[p]
+					if r.MaxWaitRounds[p] > c.wait {
+						c.wait = r.MaxWaitRounds[p]
 					}
 				}
-				t.AddRow(f.name, len(chk.Violations), min, max, wait)
-				if len(chk.Violations) > 0 {
-					res.failf("%s: %d violations", f.name, len(chk.Violations))
+				return c
+			})
+			for i, c := range cells {
+				f := fams[i]
+				t.AddRow(f.name, c.viol, c.min, c.max, c.wait)
+				if c.viol > 0 {
+					res.failf("%s: %d violations", f.name, c.viol)
 				}
-				if min < 2 {
-					res.failf("%s: a professor met only %d times (fairness)", f.name, min)
+				if c.min < 2 {
+					res.failf("%s: a professor met only %d times (fairness)", f.name, c.min)
 				}
 			}
 			res.Tables = []*Table{t}
@@ -178,8 +197,12 @@ func degreeTable(variant core.Variant, cfg Config, res *Result) *Table {
 			"Theorems 4/7: observed ≥ exact combinatorial minimum; Theorems 5/8: exact ≥ analytic bound.",
 		Header: []string{"topology", "n", "|E|", "minMM", thName, exactName, "observed min", "observed mean", "quiesced"},
 	}
-	for _, f := range smallFamilies() {
-		m := metrics.DegreeOfFairConcurrency(variant, f.h, samples, steps, cfg.Seed, true)
+	fams := smallFamilies()
+	ms := par.Map(len(fams), func(i int) metrics.Concurrency {
+		return metrics.DegreeOfFairConcurrency(variant, fams[i].h, samples, steps, cfg.Seed, true)
+	})
+	for i, m := range ms {
+		f := fams[i]
 		t.AddRow(f.name, f.h.N(), f.h.M(), m.MinMM, m.Bound, m.ExactMin, m.Min, m.Mean, fmt.Sprintf("%d/%d", m.Quiesced, m.Samples))
 		if m.Quiesced == 0 {
 			res.failf("%s: no run quiesced", f.name)
@@ -275,17 +298,18 @@ func init() {
 				Header: []string{"n", "maxDisc", "max wait (rounds)", "mean wait", "normalized", "convenes"},
 			}
 			worst := 0.0
-			for _, n := range ns {
-				for _, d := range discs {
-					h := hypergraph.CommitteeRing(n)
-					w := metrics.WaitingTime(core.CC2, h, d, steps, cfg.Seed)
-					t.AddRow(n, d, w.MaxRounds, w.MeanRounds, w.NormalizedN, w.Convenes)
-					if w.Convenes == 0 {
-						res.failf("n=%d disc=%d: no meetings", n, d)
-					}
-					if w.NormalizedN > worst {
-						worst = w.NormalizedN
-					}
+			ws := par.Map(len(ns)*len(discs), func(i int) metrics.Waiting {
+				n, d := ns[i/len(discs)], discs[i%len(discs)]
+				return metrics.WaitingTime(core.CC2, hypergraph.CommitteeRing(n), d, steps, cfg.Seed)
+			})
+			for i, w := range ws {
+				n, d := ns[i/len(discs)], discs[i%len(discs)]
+				t.AddRow(n, d, w.MaxRounds, w.MeanRounds, w.NormalizedN, w.Convenes)
+				if w.Convenes == 0 {
+					res.failf("n=%d disc=%d: no meetings", n, d)
+				}
+				if w.NormalizedN > worst {
+					worst = w.NormalizedN
 				}
 			}
 			// The constant is implementation-specific; the claim checked is

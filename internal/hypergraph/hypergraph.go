@@ -72,6 +72,7 @@ type H struct {
 
 	incident  [][]int // incident[v] = sorted edge indices containing v (E_v)
 	neighbors [][]int // neighbors[v] = sorted vertex neighbors in G_H (N(v))
+	minEdges  [][]int // minEdges[v] = minimum-length incident edges (MinEdges_p)
 }
 
 // New validates and builds a hypergraph. Every edge must have at least two
@@ -139,6 +140,22 @@ func New(n int, edges []Edge) (*H, error) {
 			h.neighbors[v] = append(h.neighbors[v], u)
 		}
 		sort.Ints(h.neighbors[v])
+	}
+	// MinEdges_p is static; precompute so the Algorithm 2 guards reading
+	// it stay allocation-free on the simulation hot path.
+	h.minEdges = make([][]int, n)
+	for v := 0; v < n; v++ {
+		min := -1
+		for _, ei := range h.incident[v] {
+			if min == -1 || len(h.edges[ei]) < min {
+				min = len(h.edges[ei])
+			}
+		}
+		for _, ei := range h.incident[v] {
+			if len(h.edges[ei]) == min {
+				h.minEdges[v] = append(h.minEdges[v], ei)
+			}
+		}
 	}
 	return h, nil
 }
@@ -295,22 +312,9 @@ func (h *H) ConflictGraph() [][]int {
 }
 
 // MinEdges returns the indices of minimum-length edges incident to v
-// (MinEdges_p in Algorithm 2), sorted ascending. Empty if v is isolated.
-func (h *H) MinEdges(v int) []int {
-	min := -1
-	for _, ei := range h.incident[v] {
-		if min == -1 || len(h.edges[ei]) < min {
-			min = len(h.edges[ei])
-		}
-	}
-	var out []int
-	for _, ei := range h.incident[v] {
-		if len(h.edges[ei]) == min {
-			out = append(out, ei)
-		}
-	}
-	return out
-}
+// (MinEdges_p in Algorithm 2), sorted ascending, precomputed at
+// construction (do not mutate). Empty if v is isolated.
+func (h *H) MinEdges(v int) []int { return h.minEdges[v] }
 
 // MaxMin returns max over vertices p of min over edges incident to p of
 // the edge length (the MaxMin quantity of Theorem 5). Vertices incident

@@ -10,6 +10,7 @@ package metrics
 import (
 	"repro/internal/core"
 	"repro/internal/hypergraph"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/token"
 )
@@ -34,6 +35,17 @@ type Concurrency struct {
 // theorem's exact combinatorial minimum (exponential; only for small
 // topologies).
 func DegreeOfFairConcurrency(variant core.Variant, h *hypergraph.H, samples, maxSteps int, seed int64, exact bool) Concurrency {
+	return degreeOfFairConcurrency(variant, h, samples, maxSteps, seed, exact, false)
+}
+
+// DegreeOfFairConcurrencyNoMinSize is the §5.1 ablation of
+// DegreeOfFairConcurrency: CC2 token holders pick among all incident
+// committees instead of a smallest one (core.Alg.NoMinSize).
+func DegreeOfFairConcurrencyNoMinSize(variant core.Variant, h *hypergraph.H, samples, maxSteps int, seed int64, exact bool) Concurrency {
+	return degreeOfFairConcurrency(variant, h, samples, maxSteps, seed, exact, true)
+}
+
+func degreeOfFairConcurrency(variant core.Variant, h *hypergraph.H, samples, maxSteps int, seed int64, exact, noMinSize bool) Concurrency {
 	res := Concurrency{Samples: samples, Min: -1}
 	res.MinMM, _ = h.MinMaximalMatching()
 	if variant == core.CC3 {
@@ -49,23 +61,34 @@ func DegreeOfFairConcurrency(variant core.Variant, h *hypergraph.H, samples, max
 		}
 		res.HaveExact = true
 	}
-	sum := 0
-	for i := 0; i < samples; i++ {
+	type sample struct {
+		quiesced bool
+		k        int
+	}
+	outs := make([]sample, samples)
+	par.ForEach(samples, func(i int) {
 		alg := core.New(variant, h, nil)
+		alg.NoMinSize = noMinSize
 		env := core.NewInfiniteMeetings(alg, nil)
 		r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed+int64(i), true)
 		r.Run(maxSteps)
 		if !r.Engine.Terminal() {
+			return
+		}
+		outs[i] = sample{quiesced: true, k: len(alg.Meetings(r.Config()))}
+	})
+	sum := 0
+	for _, o := range outs {
+		if !o.quiesced {
 			continue
 		}
 		res.Quiesced++
-		k := len(alg.Meetings(r.Config()))
-		sum += k
-		if res.Min == -1 || k < res.Min {
-			res.Min = k
+		sum += o.k
+		if res.Min == -1 || o.k < res.Min {
+			res.Min = o.k
 		}
-		if k > res.Max {
-			res.Max = k
+		if o.k > res.Max {
+			res.Max = o.k
 		}
 	}
 	if res.Quiesced > 0 {
@@ -180,28 +203,42 @@ func TokenConvergence(h *hypergraph.H, samples, maxSteps int, seed int64) Token 
 		adj[v] = h.Neighbors(v)
 		ids[v] = h.ID(v)
 	}
-	m := token.New(adj, ids)
 	res := Token{N: h.N(), Samples: samples}
-	sum := 0
-	for i := 0; i < samples; i++ {
+	type sample struct {
+		holdersStart int
+		converged    bool
+		steps        int
+	}
+	outs := make([]sample, samples)
+	par.ForEach(samples, func(i int) {
 		// Use CC1 as the release driver: its Token2/Step4 actions release
 		// whenever the token is useless, which keeps the tour moving.
+		// Each sample builds its own token.Module view: Module carries
+		// per-call scratch and must not be shared across workers.
+		m := token.New(adj, ids)
 		alg := core.New(core.CC1, h, nil)
 		env := core.NewAlwaysClient(h.N(), 1)
 		r := core.NewRunner(alg, &sim.WeaklyFair{MaxAge: 6}, env, seed+int64(i), true)
-		if k := len(m.Holders(tcLayer(r.Config()))); k > res.MaxHoldersStart {
-			res.MaxHoldersStart = k
-		}
+		outs[i].holdersStart = len(m.Holders(tcLayer(r.Config())))
 		converged := r.RunUntil(maxSteps, func(cfg []core.State) bool {
 			tc := tcLayer(cfg)
 			return m.Stabilized(tc) && len(m.Holders(tc)) <= 1
 		})
 		if converged {
+			outs[i].converged = true
+			outs[i].steps = r.Engine.Steps()
+		}
+	})
+	sum := 0
+	for _, o := range outs {
+		if o.holdersStart > res.MaxHoldersStart {
+			res.MaxHoldersStart = o.holdersStart
+		}
+		if o.converged {
 			res.Converged++
-			steps := r.Engine.Steps()
-			sum += steps
-			if steps > res.MaxSteps {
-				res.MaxSteps = steps
+			sum += o.steps
+			if o.steps > res.MaxSteps {
+				res.MaxSteps = o.steps
 			}
 		}
 	}

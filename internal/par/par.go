@@ -1,0 +1,59 @@
+// Package par is the process-wide worker pool used by the experiment
+// harness, the metrics procedures and the CLIs: independent simulation
+// cells (topology, daemon, seed) fan out across Workers goroutines and
+// write only their own result slots, so aggregated output stays
+// deterministic at any pool width.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the pool width. It defaults to GOMAXPROCS; set it to 1 to
+// force fully serial execution everywhere (ccbench -parallel=false,
+// ccsim/ccbench -j). Nested fan-outs may transiently exceed it in
+// goroutine count; the Go scheduler still caps CPU parallelism at
+// GOMAXPROCS.
+var Workers = runtime.GOMAXPROCS(0)
+
+// ForEach runs fn(i) for every i in [0, n) across the worker pool and
+// returns when all calls completed. fn must not touch shared mutable
+// state — each cell owns its inputs and writes only its own slot.
+func ForEach(n int, fn func(i int)) {
+	w := Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map evaluates fn over [0, n) in parallel and returns the results in
+// index order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

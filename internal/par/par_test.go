@@ -1,0 +1,51 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn with the pool forced to the given width. The pool
+// width is a process-global; tests using it must not run in parallel
+// with each other.
+func withWorkers(t *testing.T, w int, fn func()) {
+	t.Helper()
+	old := Workers
+	Workers = w
+	defer func() { Workers = old }()
+	fn()
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		withWorkers(t, w, func() {
+			const n = 153
+			var hits [n]atomic.Int32
+			var calls atomic.Int32
+			ForEach(n, func(i int) {
+				hits[i].Add(1)
+				calls.Add(1)
+			})
+			if got := int(calls.Load()); got != n {
+				t.Fatalf("workers=%d: %d calls, want %d", w, got, n)
+			}
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d: index %d hit %d times", w, i, hits[i].Load())
+				}
+			}
+		})
+	}
+	ForEach(0, func(int) { t.Fatal("ForEach(0) must not call fn") })
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	withWorkers(t, 8, func() {
+		out := Map(100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+			}
+		}
+	})
+}

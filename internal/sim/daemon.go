@@ -2,12 +2,17 @@ package sim
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Daemon selects, at each step, a non-empty subset of the enabled
 // processes (paper §2.2: "distributed" means at least one, maybe more).
-// Implementations must not retain the enabled slice.
+//
+// Select appends its selection to dst — which the engine passes with
+// length 0 but non-trivial capacity, so steady-state selection performs
+// no allocation — and returns the resulting slice. Implementations must
+// not retain dst, the returned slice, or the enabled slice beyond the
+// call; the engine reuses all three buffers on the next step.
 //
 // Weak fairness — "every continuously enabled process is eventually
 // selected" — is a property of a daemon's computations. Synchronous and
@@ -15,7 +20,7 @@ import (
 // daemons satisfy it with probability 1.
 type Daemon interface {
 	Name() string
-	Select(enabled []int, step int, rng *rand.Rand) []int
+	Select(dst, enabled []int, step int, rng *rand.Rand) []int
 }
 
 // Synchronous selects every enabled process. It is distributed and
@@ -24,8 +29,8 @@ type Synchronous struct{}
 
 func (Synchronous) Name() string { return "synchronous" }
 
-func (Synchronous) Select(enabled []int, _ int, _ *rand.Rand) []int {
-	return append([]int(nil), enabled...)
+func (Synchronous) Select(dst, enabled []int, _ int, _ *rand.Rand) []int {
+	return append(dst, enabled...)
 }
 
 // Central selects exactly one enabled process, round-robin by process id
@@ -35,7 +40,7 @@ type Central struct{ last int }
 
 func (*Central) Name() string { return "central-rr" }
 
-func (c *Central) Select(enabled []int, _ int, _ *rand.Rand) []int {
+func (c *Central) Select(dst, enabled []int, _ int, _ *rand.Rand) []int {
 	// Pick the smallest enabled id strictly greater than last, wrapping.
 	best := -1
 	for _, p := range enabled {
@@ -51,7 +56,7 @@ func (c *Central) Select(enabled []int, _ int, _ *rand.Rand) []int {
 		}
 	}
 	c.last = best
-	return []int{best}
+	return append(dst, best)
 }
 
 // CentralRandom selects exactly one enabled process uniformly at random
@@ -60,8 +65,8 @@ type CentralRandom struct{}
 
 func (CentralRandom) Name() string { return "central-random" }
 
-func (CentralRandom) Select(enabled []int, _ int, rng *rand.Rand) []int {
-	return []int{enabled[rng.Intn(len(enabled))]}
+func (CentralRandom) Select(dst, enabled []int, _ int, rng *rand.Rand) []int {
+	return append(dst, enabled[rng.Intn(len(enabled))])
 }
 
 // RandomSubset includes each enabled process independently with
@@ -72,21 +77,23 @@ type RandomSubset struct{ P float64 }
 
 func (RandomSubset) Name() string { return "random-subset" }
 
-func (d RandomSubset) Select(enabled []int, _ int, rng *rand.Rand) []int {
+func (d RandomSubset) Select(dst, enabled []int, _ int, rng *rand.Rand) []int {
 	p := d.P
 	if p <= 0 || p > 1 {
 		p = 0.5
 	}
-	var sel []int
-	for len(sel) == 0 {
-		sel = sel[:0]
+	sel := dst
+	for {
+		sel = sel[:len(dst)]
 		for _, q := range enabled {
 			if rng.Float64() < p {
 				sel = append(sel, q)
 			}
 		}
+		if len(sel) > len(dst) {
+			return sel
+		}
 	}
-	return sel
 }
 
 // WeaklyFair is a distributed daemon with a deterministic weak-fairness
@@ -98,12 +105,22 @@ type WeaklyFair struct {
 	P      float64 // inclusion probability (default 0.5)
 	MaxAge int     // force-include threshold (default 8)
 
-	age map[int]int
+	age  []int  // age[q]: steps q has been continuously enabled without executing
+	prev []int  // the enabled set of the previous call (procs whose age may be non-zero)
+	mark []bool // scratch membership bitmap
 }
 
 func (*WeaklyFair) Name() string { return "weakly-fair" }
 
-func (d *WeaklyFair) Select(enabled []int, _ int, rng *rand.Rand) []int {
+// grow extends the per-process bookkeeping to cover process ids < n.
+func (d *WeaklyFair) grow(n int) {
+	for len(d.age) < n {
+		d.age = append(d.age, 0)
+		d.mark = append(d.mark, false)
+	}
+}
+
+func (d *WeaklyFair) Select(dst, enabled []int, _ int, rng *rand.Rand) []int {
 	p := d.P
 	if p <= 0 || p > 1 {
 		p = 0.5
@@ -112,41 +129,51 @@ func (d *WeaklyFair) Select(enabled []int, _ int, rng *rand.Rand) []int {
 	if maxAge <= 0 {
 		maxAge = 8
 	}
-	if d.age == nil {
-		d.age = make(map[int]int)
-	}
-	inEnabled := make(map[int]bool, len(enabled))
+	n := 0
 	for _, q := range enabled {
-		inEnabled[q] = true
-	}
-	// A process not currently enabled was neutralized or executed; its
-	// "continuously enabled" clock restarts.
-	for q := range d.age {
-		if !inEnabled[q] {
-			delete(d.age, q)
+		if q+1 > n {
+			n = q + 1
 		}
 	}
-	var sel []int
+	d.grow(n)
+	// A process not currently enabled was neutralized or executed; its
+	// "continuously enabled" clock restarts.
+	for _, q := range enabled {
+		d.mark[q] = true
+	}
+	for _, q := range d.prev {
+		if !d.mark[q] {
+			d.age[q] = 0
+		}
+	}
+	for _, q := range enabled {
+		d.mark[q] = false
+	}
+	sel := dst
 	for _, q := range enabled {
 		if d.age[q]+1 >= maxAge || rng.Float64() < p {
 			sel = append(sel, q)
 		}
 	}
-	if len(sel) == 0 {
+	if len(sel) == len(dst) {
 		sel = append(sel, enabled[rng.Intn(len(enabled))])
 	}
-	selected := make(map[int]bool, len(sel))
-	for _, q := range sel {
-		selected[q] = true
+	picked := sel[len(dst):]
+	for _, q := range picked {
+		d.mark[q] = true
 	}
 	for _, q := range enabled {
-		if selected[q] {
-			delete(d.age, q)
+		if d.mark[q] {
+			d.age[q] = 0
 		} else {
 			d.age[q]++
 		}
 	}
-	sort.Ints(sel)
+	for _, q := range picked {
+		d.mark[q] = false
+	}
+	d.prev = append(d.prev[:0], enabled...)
+	slices.Sort(picked)
 	return sel
 }
 
@@ -164,27 +191,26 @@ type Scripted struct {
 
 func (*Scripted) Name() string { return "scripted" }
 
-func (d *Scripted) Select(enabled []int, step int, rng *rand.Rand) []int {
+func (d *Scripted) Select(dst, enabled []int, step int, rng *rand.Rand) []int {
 	if d.pos >= len(d.Schedule) {
 		fb := d.Fallback
 		if fb == nil {
 			fb = Synchronous{}
 		}
-		return fb.Select(enabled, step, rng)
+		return fb.Select(dst, enabled, step, rng)
 	}
 	want := d.Schedule[d.pos]
 	d.pos++
-	inEnabled := make(map[int]bool, len(enabled))
-	for _, q := range enabled {
-		inEnabled[q] = true
-	}
-	var sel []int
+	sel := dst
 	for _, q := range want {
-		if inEnabled[q] {
-			sel = append(sel, q)
+		for _, x := range enabled {
+			if x == q {
+				sel = append(sel, q)
+				break
+			}
 		}
 	}
-	if len(sel) == 0 {
+	if len(sel) == len(dst) {
 		panic("sim: scripted daemon selected only disabled processes")
 	}
 	return sel
@@ -207,6 +233,6 @@ func (a Adversary) Name() string {
 	return a.Label
 }
 
-func (a Adversary) Select(enabled []int, step int, rng *rand.Rand) []int {
-	return a.Fn(enabled, step, rng)
+func (a Adversary) Select(dst, enabled []int, step int, rng *rand.Rand) []int {
+	return append(dst, a.Fn(enabled, step, rng)...)
 }

@@ -322,7 +322,7 @@ func TestCentralDaemonRoundRobin(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	got := []int{}
 	for i := 0; i < 6; i++ {
-		sel := d.Select([]int{0, 1, 2}, i, rng)
+		sel := d.Select(nil, []int{0, 1, 2}, i, rng)
 		if len(sel) != 1 {
 			t.Fatalf("central daemon must select exactly one, got %v", sel)
 		}
@@ -340,7 +340,7 @@ func TestWeaklyFairForcesStarvedProcess(t *testing.T) {
 	enabled := []int{0, 1, 2}
 	seen := map[int]bool{}
 	for i := 0; i < 40; i++ {
-		for _, p := range d.Select(enabled, i, rng) {
+		for _, p := range d.Select(nil, enabled, i, rng) {
 			seen[p] = true
 		}
 	}
@@ -358,7 +358,7 @@ func TestDaemonSubsetProperty(t *testing.T) {
 		n := 1 + rng.Intn(9)
 		enabled := rng.Perm(12)[:n]
 		for _, d := range daemons {
-			sel := d.Select(enabled, 0, rng)
+			sel := d.Select(nil, enabled, 0, rng)
 			if len(sel) == 0 {
 				return false
 			}

@@ -64,11 +64,16 @@ type State struct {
 func (s State) Clone() State { return s }
 
 // Module holds the static topology and identifier information of the
-// underlying communication network.
+// underlying communication network. The chBuf scratch makes Children
+// allocation-free on the simulation hot path; a Module must therefore
+// not be shared by concurrently running engines (each core.Alg builds
+// its own).
 type Module struct {
 	n   int
 	adj [][]int // sorted neighbor lists of G
 	ids []int   // unique identifiers; Lid ranges over these
+
+	chBuf []int // Children scratch, overwritten by every call
 }
 
 // View gives read access to the TC-state of any process (pointers into
@@ -135,14 +140,16 @@ func (m *Module) LeaderBody(v View, p int, next *State) {
 func (m *Module) IsRoot(v View, p int) bool { return v(p).Lid == m.ids[p] }
 
 // Children returns p's current children on the BFS tree: neighbors whose
-// Parent pointer designates p, ascending (the DFS visit order).
+// Parent pointer designates p, ascending (the DFS visit order). The
+// returned slice is Module-owned scratch, valid until the next call.
 func (m *Module) Children(v View, p int) []int {
-	var ch []int
+	ch := m.chBuf[:0]
 	for _, q := range m.adj[p] {
 		if v(q).Parent == p {
 			ch = append(ch, q)
 		}
 	}
+	m.chBuf = ch
 	return ch
 }
 
