@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cmdtest"
+)
+
+func TestCCBenchList(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, time.Minute, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, id := range []string{"T2", "T3", "T45", "SNAP", "F3", "ABL"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("experiment %s missing from -list:\n%s", id, out)
+		}
+	}
+}
+
+func TestCCBenchSingleExperimentQuick(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 3*time.Minute, "-exp", "F3", "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "All checked claims hold.") {
+		t.Fatalf("F3 did not confirm its claims:\n%s", out)
+	}
+}
+
+func TestCCBenchUnknownExperiment(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, time.Minute, "-exp", "NOPE")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "unknown experiment") {
+		t.Fatalf("missing error message:\n%s", out)
+	}
+}
+
+func TestCCBenchBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark timing loop")
+	}
+	bin := cmdtest.Build(t, ".")
+	path := filepath.Join(t.TempDir(), "BENCH_step.json")
+	out, code := cmdtest.Run(t, bin, 5*time.Minute, "-bench-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		GoVersion  string `json:"go_version"`
+		Benchmarks []struct {
+			Name      string  `json:"name"`
+			NsPerStep float64 `json:"ns_per_step"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if parsed.GoVersion == "" || len(parsed.Benchmarks) == 0 {
+		t.Fatalf("empty benchmark file: %s", data)
+	}
+	for _, b := range parsed.Benchmarks {
+		if b.NsPerStep <= 0 {
+			t.Fatalf("non-positive timing for %s", b.Name)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Command cccheck verifies the committee-coordination specification
+// instead of sampling it: in exhaustive mode it enumerates the full
+// reachable configuration space of an algorithm on a small topology —
+// from every initial configuration of the chosen fault family, branching
+// over every daemon choice — and checks Exclusion, Synchronization,
+// Essential Discussion, closure of Correct(p), convergence bounds and
+// deadlock-freedom on every state and transition (the §2.5
+// snap-stabilization contract as a proof-by-enumeration). In random mode
+// it is a scenario harness: randomized topologies × random initial
+// configurations × real daemons, monitored by the runtime spec checkers.
+//
+//	cccheck -alg cc2 -topo ring:3                         # exhaustive, all daemon modes
+//	cccheck -alg cc2 -topo triples:3 -init cc -daemon central
+//	cccheck -alg cc1 -topo star:4 -init random -random-inits 128
+//	cccheck -alg cc2 -topo ring:3 -mutate leave-early     # must be caught (exit 1 + trace)
+//	cccheck -mode random -runs 64 -steps 4000             # randomized scenario harness
+//	cccheck -alg dining -topo ring:3                      # baselines: legit init only
+//
+// Exit status: 0 if every check passed, 1 if any violation was found
+// (counterexample traces are printed), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		algName    = flag.String("alg", "cc2", "cc1 | cc2 | cc3 | dining | token-ring")
+		topo       = flag.String("topo", "", "topology spec (see internal/hypergraph.Parse); default ring:3 in exhaustive mode, random scenarios in random mode")
+		mode       = flag.String("mode", "exhaustive", "exhaustive | random")
+		daemons    = flag.String("daemon", "", "comma list; exhaustive: central|synchronous|all (default all three); random: weakly-fair|central|synchronous|random")
+		initMode   = flag.String("init", "cc-full", "initial-configuration family: legit | cc | cc-full | random")
+		randInits  = flag.Int("random-inits", 256, "initial configurations for -init random")
+		maxStates  = flag.Int("max-states", 2_000_000, "distinct-configuration bound (0 = unlimited)")
+		maxDepth   = flag.Int("max-depth", 0, "BFS depth bound (0 = unlimited)")
+		maxBranch  = flag.Int("max-branch", 1<<16, "per-configuration branch bound")
+		noConverge = flag.Bool("no-converge", false, "skip the one-round convergence check (synchronous mode only)")
+		noDeadlock = flag.Bool("no-deadlock", false, "do not treat terminal configurations as violations")
+		noClosure  = flag.Bool("no-closure", false, "skip the Correct(p)-closure check")
+		mutate     = flag.String("mutate", "", "deliberately break a guard: "+strings.Join(explore.Mutations(), " | "))
+		seed       = flag.Int64("seed", 1, "random seed")
+		runs       = flag.Int("runs", 32, "random mode: scenarios to run")
+		steps      = flag.Int("steps", 4000, "random mode: steps per scenario")
+		maxN       = flag.Int("max-n", 14, "random mode: professor bound for random scenarios")
+		traces     = flag.Int("traces", 3, "max violations to collect and print per run")
+		workers    = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *workers > 0 {
+		par.Workers = *workers
+	}
+
+	switch *algName {
+	case "cc1", "cc2", "cc3", "dining", "token-ring":
+	default:
+		fatalf("unknown algorithm %q", *algName)
+	}
+
+	switch *mode {
+	case "exhaustive":
+		if *topo == "" {
+			*topo = "ring:3"
+		}
+		runExhaustive(*algName, *topo, *daemons, *initMode, *randInits, *maxStates, *maxDepth,
+			*maxBranch, !*noConverge, !*noDeadlock, !*noClosure, *mutate, *seed, *traces)
+	case "random":
+		runRandom(*algName, *topo, *daemons, *runs, *steps, *maxN, *seed, *mutate)
+	default:
+		fatalf("unknown mode %q (exhaustive | random)", *mode)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cccheck: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// --- Exhaustive mode ----------------------------------------------------------
+
+func parseSelectionModes(s string) []sim.SelectionMode {
+	if s == "" {
+		return []sim.SelectionMode{sim.SelectCentral, sim.SelectSynchronous, sim.SelectAllSubsets}
+	}
+	var out []sim.SelectionMode
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "central":
+			out = append(out, sim.SelectCentral)
+		case "synchronous", "sync":
+			out = append(out, sim.SelectSynchronous)
+		case "all", "all-subsets":
+			out = append(out, sim.SelectAllSubsets)
+		default:
+			fatalf("unknown exhaustive daemon mode %q (central | synchronous | all)", f)
+		}
+	}
+	return out
+}
+
+func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxStates, maxDepth,
+	maxBranch int, checkConverge, checkDeadlock, checkClosure bool, mutation string, seed int64, traces int) {
+	h, err := hypergraph.Parse(topoSpec, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	modes := parseSelectionModes(daemons)
+
+	fmt.Printf("topology: %s\n", h)
+	failed := false
+	for _, m := range modes {
+		opts := explore.Options{
+			Mode:          m,
+			MaxStates:     maxStates,
+			MaxDepth:      maxDepth,
+			MaxBranch:     maxBranch,
+			MaxViolations: traces,
+			CheckDeadlock: checkDeadlock,
+		}
+		var res *explore.Result
+		switch algName {
+		case "cc1", "cc2", "cc3":
+			variant := map[string]core.Variant{"cc1": core.CC1, "cc2": core.CC2, "cc3": core.CC3}[algName]
+			im, err := explore.ParseInitMode(initName)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			factory, err := explore.CC(variant, h, explore.CCOptions{
+				Init: im, RandomCount: randInits, Seed: seed, Mutation: mutation,
+			})
+			if err != nil {
+				fatalf("%v", err)
+			}
+			opts.CheckClosure = checkClosure
+			if m == sim.SelectSynchronous {
+				opts.CheckConvergence = checkConverge
+			}
+			res = explore.Explore(factory, opts)
+		default: // baselines: not stabilizing, legit init only
+			if mutation != "" {
+				fatalf("-mutate applies to the CC algorithms only")
+			}
+			kind := baseline.Dining
+			if algName == "token-ring" {
+				kind = baseline.TokenRing
+			}
+			factory, err := explore.Baseline(kind, h, 1)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			res = explore.Explore(factory, opts)
+		}
+		fmt.Println(res.Summary())
+		if res.MaxIncorrectDepth >= 0 {
+			fmt.Printf("  deepest non-AllCorrect configuration: depth %d\n", res.MaxIncorrectDepth)
+		}
+		for _, v := range res.Violations {
+			fmt.Print(explore.RenderTrace(v))
+		}
+		if !res.Ok() {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("RESULT: VIOLATIONS FOUND")
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: all checks passed")
+}
+
+// --- Random scenario harness --------------------------------------------------
+
+type scenarioOutcome struct {
+	topo       string
+	states     int // steps actually executed
+	convenes   int
+	violations []spec.Violation
+}
+
+func runRandom(algName, topoSpec, daemons string, runs, steps, maxN int, seed int64, mutation string) {
+	if algName == "dining" || algName == "token-ring" {
+		fatalf("random mode supports the CC algorithms (baselines are not stabilizing)")
+	}
+	if mutation != "" {
+		fatalf("-mutate is exhaustive-mode only")
+	}
+	variant := map[string]core.Variant{"cc1": core.CC1, "cc2": core.CC2, "cc3": core.CC3}[algName]
+	daemonName := daemons
+	if daemonName == "" {
+		daemonName = "weakly-fair"
+	}
+	mkDaemon := func() sim.Daemon {
+		switch daemonName {
+		case "weakly-fair":
+			return &sim.WeaklyFair{MaxAge: 6}
+		case "central":
+			return &sim.Central{}
+		case "synchronous":
+			return sim.Synchronous{}
+		case "random":
+			return sim.RandomSubset{P: 0.5}
+		}
+		fatalf("unknown random-mode daemon %q (weakly-fair | central | synchronous | random)", daemonName)
+		return nil
+	}
+	mkDaemon() // validate before fanning out
+	if topoSpec != "" {
+		// Validate the spec before the fan-out; each cell re-parses with
+		// its own rng so random families still vary per scenario.
+		if _, err := hypergraph.Parse(topoSpec, rand.New(rand.NewSource(seed))); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	outcomes := par.Map(runs, func(i int) scenarioOutcome {
+		cellSeed := seed + int64(i)
+		rng := rand.New(rand.NewSource(cellSeed))
+		var h *hypergraph.H
+		if topoSpec == "" {
+			h = hypergraph.RandomScenario(rng, maxN)
+		} else {
+			var err error
+			h, err = hypergraph.Parse(topoSpec, rng)
+			if err != nil {
+				panic(err) // spec validated above; unreachable
+			}
+		}
+		alg := core.New(variant, h, nil)
+		env := core.NewAlwaysClient(h.N(), 2)
+		r := core.NewRunner(alg, mkDaemon(), env, cellSeed, true /* random init: snap-stabilization */)
+		chk := r.Checker(0)
+		r.Run(steps)
+		return scenarioOutcome{
+			topo:       h.String(),
+			states:     r.Engine.Steps(),
+			convenes:   r.TotalConvenes(),
+			violations: chk.Violations,
+		}
+	})
+
+	totalViol := 0
+	for i, o := range outcomes {
+		status := "ok"
+		if len(o.violations) > 0 {
+			status = fmt.Sprintf("%d VIOLATIONS", len(o.violations))
+		}
+		fmt.Printf("scenario %3d  seed=%-6d %-60s steps=%-6d convenes=%-5d %s\n",
+			i, seed+int64(i), o.topo, o.states, o.convenes, status)
+		for j, v := range o.violations {
+			if j == 3 {
+				fmt.Printf("    ... and %d more\n", len(o.violations)-3)
+				break
+			}
+			fmt.Printf("    %s\n", v)
+		}
+		totalViol += len(o.violations)
+	}
+	fmt.Printf("\n%s × %d random scenarios (%s daemon, %d steps each, random init): %d violations\n",
+		algName, runs, daemonName, steps, totalViol)
+	if totalViol > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cmdtest"
+)
+
+// TestCCCheckExhaustiveClean is the CLI-level acceptance run: CC2 on a
+// 3-committee ring, the full CC-layer fault space, all three daemon
+// branching modes — zero violations, exit 0.
+func TestCCCheckExhaustiveClean(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 5*time.Minute,
+		"-alg", "cc2", "-topo", "ring:3", "-init", "cc-full")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"46656 inits",
+		"/central:",
+		"/synchronous:",
+		"/all-subsets:",
+		"0 violations",
+		"RESULT: all checks passed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "TRUNCATED") {
+		t.Fatalf("acceptance run truncated:\n%s", out)
+	}
+}
+
+// TestCCCheckMutationCaught: a deliberately broken guard must be caught
+// and exit non-zero with a counterexample trace.
+func TestCCCheckMutationCaught(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-alg", "cc2", "-topo", "ring:3", "-init", "legit", "-daemon", "central",
+		"-mutate", "leave-early", "-traces", "1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	for _, want := range []string{"essential-discussion", "init:", "exec", "RESULT: VIOLATIONS FOUND"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCCCheckRandomHarness(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 3*time.Minute,
+		"-mode", "random", "-alg", "cc2", "-runs", "6", "-steps", "800")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "6 random scenarios") || !strings.Contains(out, "0 violations") {
+		t.Fatalf("unexpected harness output:\n%s", out)
+	}
+}
+
+func TestCCCheckFlagErrors(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-alg", "nope"}, "unknown algorithm"},
+		{[]string{"-mode", "nope"}, "unknown mode"},
+		{[]string{"-init", "nope"}, "unknown init mode"},
+		{[]string{"-daemon", "nope"}, "unknown exhaustive daemon mode"},
+		{[]string{"-mutate", "nope"}, "unknown mutation"},
+		{[]string{"-mode", "random", "-alg", "dining"}, "random mode supports the CC algorithms"},
+		{[]string{"-alg", "dining", "-mutate", "leave-early"}, "-mutate applies to the CC algorithms"},
+	} {
+		out, code := cmdtest.Run(t, bin, time.Minute, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2:\n%s", tc.args, code, out)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("%v: missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}

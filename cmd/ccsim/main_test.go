@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cmdtest"
+)
+
+func TestCCSimGoldenRun(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-alg", "cc2", "-topo", "ring:6", "-steps", "2000", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"topology: H(n=6, m=6)",
+		"CC2 after",
+		"total convenes:",
+		"mean concurrency:",
+		"violations:        none",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCCSimRandomInitSnapStabilization(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-alg", "cc1", "-topo", "fig1", "-steps", "2000", "-random-init")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "violations:        none") {
+		t.Fatalf("random-init run reported violations:\n%s", out)
+	}
+}
+
+func TestCCSimBaseline(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-alg", "dining", "-topo", "triples:3", "-steps", "1500")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "dining after") {
+		t.Fatalf("missing baseline report:\n%s", out)
+	}
+}
+
+func TestCCSimReplicas(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-alg", "cc2", "-topo", "ring:5", "-steps", "800", "-runs", "4", "-j", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"cc2 × 4 replicas", "convenes:", "violations:        none"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCCSimFlagErrors(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-alg", "nope"}, "unknown algorithm"},
+		{[]string{"-daemon", "nope"}, "unknown daemon"},
+		{[]string{"-topo", "nope:3"}, "unknown topology"},
+	} {
+		out, code := cmdtest.Run(t, bin, time.Minute, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2:\n%s", tc.args, code, out)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("%v: missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cmdtest"
+)
+
+func TestCCTraceGoldenFrames(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-topo", "fig3", "-alg", "cc1", "-frames", "3", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"--- frame 1 (step 0, initial) ---",
+		"prof 1",
+		"prof 10",
+		"--- frame 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCCTraceEveryKSteps(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-topo", "ring:6", "-alg", "cc2", "-frames", "4", "-every", "5")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "--- frame 4 (step 15) ---") {
+		t.Fatalf("fixed-stride frames missing:\n%s", out)
+	}
+}
+
+func TestCCTraceIdleMask(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-topo", "fig3", "-alg", "cc1", "-frames", "2", "-idle", "4")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "--- frame 2") {
+		t.Fatalf("masked run produced no frames:\n%s", out)
+	}
+}
+
+func TestCCTraceFlagErrors(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-alg", "nope"}, "unknown algorithm"},
+		{[]string{"-topo", "nope"}, "unknown topology"},
+		{[]string{"-alg", "cc2", "-idle", "3"}, "-idle only applies to cc1"},
+		{[]string{"-alg", "cc1", "-idle", "x"}, "bad -idle entry"},
+	} {
+		out, code := cmdtest.Run(t, bin, time.Minute, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2:\n%s", tc.args, code, out)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("%v: missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package repro
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and runs every examples/* main with a timeout,
+// so the documented entry points cannot silently rot: each must compile,
+// terminate on its own, and exit zero.
+func TestExamplesRun(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("no go toolchain in PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) < 4 {
+		t.Fatalf("expected at least the 4 shipped examples, found %v", dirs)
+	}
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel() // examples are independent processes
+			bin := filepath.Join(t.TempDir(), dir+".bin")
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, bin)
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example did not terminate within 90s\noutput:\n%s", out)
+			}
+			if err != nil {
+				t.Fatalf("example exited with error: %v\noutput:\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+// Package cmdtest builds and runs this module's commands for CLI smoke
+// tests: each cmd/* package's tests compile their own main package once
+// per test process and assert on output and exit codes of real
+// invocations — flag parsing, golden output fragments, error paths.
+package cmdtest
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	mu     sync.Mutex
+	binDir string
+	built  = map[string]string{} // package dir → binary path
+)
+
+// Build compiles the main package in dir (usually "." — the calling
+// test's package directory) and returns the binary path, caching per
+// process. Tests are skipped when no go toolchain is available.
+func Build(t *testing.T, dir string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go toolchain in PATH")
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if bin, ok := built[abs]; ok {
+		return bin
+	}
+	if binDir == "" {
+		binDir, err = os.MkdirTemp("", "cmdtest-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	bin := filepath.Join(binDir, filepath.Base(abs)+".bin")
+	cmd := exec.Command(goBin, "build", "-o", bin, ".")
+	cmd.Dir = abs
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", abs, err, out)
+	}
+	built[abs] = bin
+	return bin
+}
+
+// Run executes the binary with args under a timeout and returns its
+// combined output and exit code. A timeout fails the test.
+func Run(t *testing.T, bin string, timeout time.Duration, args ...string) (string, int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	out, err := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("%s %v timed out after %v\noutput:\n%s", filepath.Base(bin), args, timeout, out)
+	}
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("%s %v failed to run: %v", filepath.Base(bin), args, err)
+	return "", -1
+}

@@ -1,0 +1,42 @@
+package core
+
+// EnumStates enumerates the CC-layer state domain of process p over the
+// stabilized token layer: every status the variant admits, every
+// pointer in E_p ∪ {⊥}, and — with full — both values of the
+// token-mirror bit T_p and (for CC2/CC3, which read it) the lock bit
+// L_p. The round-robin cursor R stays 0: CC3 normalizes it modulo
+// |E_p|, so distinct raw values collapse to the same behaviour.
+//
+// This is the "transient faults hit the committee layer" configuration
+// family the exhaustive checker (internal/explore) seeds; keeping the
+// domain definition here means a change to the variant's variables or
+// their domains updates the verifier's initial space in the same place.
+func (a *Alg) EnumStates(p int, full bool) []State {
+	base := a.LegitState(p)
+	statuses := []Status{Looking, Waiting, Done}
+	if a.Variant == CC1 {
+		statuses = append([]Status{Idle}, statuses...)
+	}
+	pointers := append([]int{NoEdge}, a.H.EdgesOf(p)...)
+	bools := []bool{false}
+	if full {
+		bools = []bool{false, true}
+	}
+	locks := bools
+	if a.Variant == CC1 {
+		locks = []bool{false} // L_p is not read by CC1
+	}
+	out := make([]State, 0, len(statuses)*len(pointers)*len(bools)*len(locks))
+	for _, s := range statuses {
+		for _, ptr := range pointers {
+			for _, t := range bools {
+				for _, l := range locks {
+					st := base
+					st.S, st.P, st.T, st.L = s, ptr, t, l
+					out = append(out, st)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ABL", "CONC", "F1", "F2", "F3", "F4", "SNAP", "T2", "T3", "T45", "T6", "T78", "TOKEN"}
+	want := []string{"ABL", "CONC", "F1", "F2", "F3", "F4", "MC", "SNAP", "T2", "T3", "T45", "T6", "T78", "TOKEN"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// MC — bounded exhaustive model checking of the paper's safety theorems.
+// Where every other experiment samples computations, MC enumerates them:
+// the full reachable configuration space of CC1/CC2/CC3 on small
+// topologies from the entire CC-layer fault family, branching over every
+// daemon choice. Checked on every state/transition: Exclusion,
+// Synchronization, Essential Discussion (§2.3–2.4 via §2.5
+// snap-stabilization), closure of Correct(p) (Lemmas 3/8), the
+// one-round convergence bound (Corollaries 3/5, synchronous mode), and
+// deadlock-freedom. The baselines are explored from their legitimate
+// configuration for contrast — the dining reduction's schedule-dependent
+// wedge on the 3-ring is reported but is not a failing claim (the
+// related-work algorithms make no stabilization promise).
+func init() {
+	register(Experiment{
+		ID:   "MC",
+		What: "exhaustive verification: §2.5 snap-stabilization safety on bounded instances",
+		RunFn: func(cfg Config) *Result {
+			res := &Result{ID: "MC"}
+			table := &Table{
+				Title: "Exhaustive state-space checks",
+				Note: "Every initial configuration of the listed fault family, every daemon choice of the " +
+					"listed branching mode; a row verifies iff no state or transition violates the spec.",
+				Header: []string{"algorithm", "topology", "init family", "daemon branching", "inits", "states", "transitions", "deadlocks", "violations"},
+			}
+
+			type cell struct {
+				alg     string
+				variant core.Variant
+				topo    string
+				mkH     func() *hypergraph.H
+				init    explore.InitMode
+				mode    sim.SelectionMode
+			}
+			ring3 := func() *hypergraph.H { return hypergraph.CommitteeRing(3) }
+			star4 := func() *hypergraph.H { return hypergraph.Star(4) }
+			cells := []cell{
+				{"CC1", core.CC1, "ring:3", ring3, explore.InitCCFull, sim.SelectCentral},
+				{"CC1", core.CC1, "ring:3", ring3, explore.InitCCFull, sim.SelectSynchronous},
+				{"CC2", core.CC2, "ring:3", ring3, explore.InitCCFull, sim.SelectCentral},
+				{"CC2", core.CC2, "ring:3", ring3, explore.InitCCFull, sim.SelectSynchronous},
+				{"CC2", core.CC2, "ring:3", ring3, explore.InitCCFull, sim.SelectAllSubsets},
+				{"CC3", core.CC3, "ring:3", ring3, explore.InitCCFull, sim.SelectCentral},
+				{"CC2", core.CC2, "star:4", star4, explore.InitCC, sim.SelectAllSubsets},
+			}
+			if !cfg.Quick {
+				triples3 := func() *hypergraph.H { return hypergraph.ChainOfTriples(3) }
+				cells = append(cells,
+					cell{"CC1", core.CC1, "ring:3", ring3, explore.InitCCFull, sim.SelectAllSubsets},
+					cell{"CC3", core.CC3, "ring:3", ring3, explore.InitCCFull, sim.SelectAllSubsets},
+					// Central/all-subsets branching over the triples fault
+					// space exceeds the state budget; the synchronous mode
+					// completes and carries the convergence-bound check.
+					cell{"CC2", core.CC2, "triples:3", triples3, explore.InitCC, sim.SelectSynchronous},
+				)
+			}
+
+			results := par.Map(len(cells), func(i int) *explore.Result {
+				c := cells[i]
+				factory, err := explore.CC(c.variant, c.mkH(), explore.CCOptions{Init: c.init, Seed: cfg.Seed})
+				if err != nil {
+					panic(err) // static cell table; cannot fail
+				}
+				opts := explore.Options{
+					Mode:          c.mode,
+					MaxStates:     6_000_000,
+					CheckDeadlock: true,
+					CheckClosure:  true,
+					Workers:       1, // cells already fan across the pool
+				}
+				if c.mode == sim.SelectSynchronous {
+					opts.CheckConvergence = true
+				}
+				return explore.Explore(factory, opts)
+			})
+			for i, r := range results {
+				c := cells[i]
+				table.AddRow(c.alg, c.topo, c.init.String(), c.mode.String(),
+					r.Inits, r.States, r.Transitions, r.Deadlocks, len(r.Violations))
+				switch {
+				case !r.Ok(): // before Truncated: hitting the violations cap also truncates
+					res.failf("MC %s/%s/%s: %s", c.alg, c.topo, c.mode, r.Violations[0])
+				case r.Truncated:
+					res.failf("MC %s/%s/%s: exploration truncated (%s) — raise the bound", c.alg, c.topo, c.mode, r.Summary())
+				case r.Deadlocks > 0:
+					res.failf("MC %s/%s/%s: %d deadlocks", c.alg, c.topo, c.mode, r.Deadlocks)
+				}
+			}
+			res.Tables = append(res.Tables, table)
+
+			// Baselines, for contrast (informational: no stabilization claim).
+			bt := &Table{
+				Title: "Baselines from the legitimate configuration (contrast, not a claim)",
+				Note: "The dining reduction wedges under some central schedules on the 3-ring; " +
+					"the snap-stabilizing algorithms above verify deadlock-free on the same topology.",
+				Header: []string{"algorithm", "topology", "states", "transitions", "deadlocks", "spec violations"},
+			}
+			for _, kind := range []baseline.Kind{baseline.Dining, baseline.TokenRing} {
+				factory, err := explore.Baseline(kind, hypergraph.CommitteeRing(3), 1)
+				if err != nil {
+					panic(err)
+				}
+				r := explore.Explore(factory, explore.Options{
+					Mode: sim.SelectCentral, MaxStates: 2_000_000, CheckDeadlock: false,
+				})
+				specViol := 0
+				for _, v := range r.Violations {
+					if v.Kind != explore.KindDeadlock {
+						specViol++
+					}
+				}
+				bt.AddRow(kind.String(), "ring:3", r.States, r.Transitions, r.Deadlocks, specViol)
+				if specViol > 0 {
+					res.failf("MC baseline %s: spec violation from the legitimate configuration: %s",
+						kind, r.Violations[0])
+				}
+			}
+			res.Tables = append(res.Tables, bt)
+			return res
+		},
+	})
+}

@@ -1,0 +1,145 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/hypergraph"
+)
+
+// Baseline adapts the related-work baselines (dining, token-ring) to the
+// explorer. The baselines are *not* self-stabilizing, so only the
+// legitimate initial configuration is seeded — which is precisely the
+// interesting contrast: the CC algorithms verify from arbitrary initial
+// configurations, the baselines only from their hand-prepared one.
+// There is no Correct(p) predicate either, so the closure and
+// convergence checks are unavailable; exclusion, synchronization,
+// essential discussion and deadlock-freedom still apply.
+func Baseline(kind baseline.Kind, h *hypergraph.H, disc int) (func() *Model[baseline.BState], error) {
+	if h.N()+h.M() > 250 {
+		return nil, fmt.Errorf("explore: topology too large for the state codec (n+m=%d; max 250)", h.N()+h.M())
+	}
+	name := fmt.Sprintf("%s/%s", kind, h)
+	return func() *Model[baseline.BState] {
+		a := baseline.New(kind, h, disc)
+		prog := a.Program()
+		n := prog.NumProcs
+		return &Model[baseline.BState]{
+			Name:  name,
+			Prog:  prog,
+			Probe: a.Probe(),
+			Encode: func(dst []byte, cfg []baseline.BState) []byte {
+				return encodeBase(dst, cfg)
+			},
+			Decode: func(key string) []baseline.BState { return decodeBase(key, n) },
+			Inits: func(yield func(cfg []baseline.BState) bool) {
+				cfg := make([]baseline.BState, n)
+				for p := 0; p < n; p++ {
+					cfg[p] = prog.Init(p, nil)
+				}
+				yield(cfg)
+			},
+			Render: func(cfg []baseline.BState) string { return renderBase(a, cfg) },
+		}
+	}, nil
+}
+
+// encodeBase encodes a baseline configuration: per process a status
+// byte, Club and Age as offset int16s, a phase byte, a flag byte
+// (HasTok, Handing), a fork-vector length byte, then one byte per
+// conflict neighbor packing (Fork, Dirty, Asked). The length prefix
+// makes the encoding self-describing, so Decode needs no topology.
+func encodeBase(dst []byte, cfg []baseline.BState) []byte {
+	for p := range cfg {
+		s := &cfg[p]
+		flags := byte(0)
+		if s.HasTok {
+			flags |= 1
+		}
+		if s.Handing {
+			flags |= 2
+		}
+		dst = append(dst, s.S)
+		dst = appendI16(dst, s.Club)
+		dst = appendI16(dst, s.Age)
+		dst = append(dst, s.Phase, flags, byte(len(s.Fork)))
+		for i := range s.Fork {
+			b := byte(0)
+			if s.Fork[i] {
+				b |= 1
+			}
+			if s.Dirty[i] {
+				b |= 2
+			}
+			if s.Asked[i] {
+				b |= 4
+			}
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+func decodeBase(key string, n int) []baseline.BState {
+	cfg := make([]baseline.BState, n)
+	o := 0
+	for p := 0; p < n; p++ {
+		s := &cfg[p]
+		s.S = key[o]
+		s.Club = getI16(key, o+1)
+		s.Age = getI16(key, o+3)
+		s.Phase = key[o+5]
+		flags := key[o+6]
+		s.HasTok = flags&1 != 0
+		s.Handing = flags&2 != 0
+		k := int(key[o+7])
+		o += 8
+		if k > 0 {
+			buf := make([]bool, 3*k)
+			s.Fork = buf[0*k : 1*k : 1*k]
+			s.Dirty = buf[1*k : 2*k : 2*k]
+			s.Asked = buf[2*k : 3*k : 3*k]
+			for i := 0; i < k; i++ {
+				b := key[o+i]
+				s.Fork[i] = b&1 != 0
+				s.Dirty[i] = b&2 != 0
+				s.Asked[i] = b&4 != 0
+			}
+			o += k
+		}
+	}
+	if o != len(key) {
+		panic(fmt.Sprintf("explore: baseline key length %d decoded as %d", len(key), o))
+	}
+	return cfg
+}
+
+func renderBase(a *baseline.Alg, cfg []baseline.BState) string {
+	var b strings.Builder
+	n := a.H.N()
+	status := []string{"id", "wa", "do"}
+	phase := []string{"think", "hungry", "gather", "sess"}
+	for p := 0; p < n; p++ {
+		if p > 0 {
+			b.WriteString("  ")
+		}
+		club := "⊥"
+		if cfg[p].Club >= 0 {
+			club = fmt.Sprint(cfg[p].Club)
+		}
+		fmt.Fprintf(&b, "p%d:%s→%s", p, status[cfg[p].S], club)
+	}
+	for e := 0; e < a.H.M(); e++ {
+		c := &cfg[n+e]
+		marks := ""
+		if c.HasTok {
+			marks += "*"
+		}
+		fmt.Fprintf(&b, "  c%d:%s%s", e, phase[c.Phase], marks)
+	}
+	if meets := a.Meetings(cfg); len(meets) > 0 {
+		fmt.Fprintf(&b, "  meets=%v", meets)
+	}
+	return b.String()
+}

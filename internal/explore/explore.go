@@ -1,0 +1,459 @@
+// Package explore is a bounded exhaustive model checker for the
+// guarded-action programs of this reproduction. Where internal/sim runs
+// *one* computation (a single resolution of the daemon's choices) and
+// internal/spec monitors it, explore enumerates the *entire* reachable
+// configuration space from a set of initial configurations — branching
+// over every daemon choice a selection mode allows — and checks the
+// specification on every state and every transition:
+//
+//   - Exclusion (spec.ExclusionViolationsMeets) on every reachable
+//     configuration, including the initial ones;
+//   - Synchronization and Essential Discussion
+//     (spec.EventViolationsMeets) on every transition;
+//   - closure of the algorithm's Correct(p) predicate (paper Lemmas 3
+//     and 8: once Correct(p) holds, it holds forever, under any daemon);
+//   - convergence-step bounds (paper Corollaries 3 and 5: every process
+//     is Correct within one round — one step under the synchronous
+//     daemon);
+//   - deadlock-freedom: no reachable configuration is terminal.
+//
+// A property verified here is a proof-by-enumeration over the bounded
+// instance: every meeting convened anywhere in the reachable space
+// satisfies the committee-coordination spec — the snap-stabilization
+// contract of §2.5 — not merely every meeting observed on sampled
+// schedules. Counterexamples come with a full trace from an initial
+// configuration.
+//
+// The frontier expands breadth-first, fanning each depth layer across
+// the internal/par worker pool; results are merged in deterministic
+// layer order, so state counts and counterexamples are identical at any
+// pool width.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Additional violation kinds beyond the spec package's.
+const (
+	// KindDeadlock: a reachable configuration enables no process.
+	KindDeadlock = "deadlock"
+	// KindClosure: Correct(p) held in a configuration but not in a
+	// successor (contradicting Lemmas 3/8).
+	KindClosure = "correct-closure"
+	// KindConvergence: a synchronous step led to a configuration that is
+	// not AllCorrect (contradicting Corollaries 3/5: every process is
+	// Correct within one round, and under the synchronous daemon one
+	// step completes one round).
+	KindConvergence = "convergence"
+)
+
+// Model is an algorithm instance prepared for exhaustive exploration.
+// Guards, bodies and the predicates must be pure functions of the
+// configuration: environment inputs must be frozen (the CC adapter uses
+// an eager static environment), and nondeterministic bodies must be
+// resolved deterministically (the CC adapter forces ChooseFirst), or the
+// state-graph memoization is unsound.
+type Model[S sim.Cloneable[S]] struct {
+	Name string
+	Prog *sim.Program[S]
+	// Probe supplies the abstract spec predicates (same ones the runtime
+	// monitors use).
+	Probe spec.Probe[S]
+	// Encode appends a canonical byte encoding of cfg to dst. Two
+	// configurations are identified iff their encodings are equal.
+	Encode func(dst []byte, cfg []S) []byte
+	// Decode inverts Encode.
+	Decode func(key string) []S
+	// Inits streams the initial configurations; stop when yield returns
+	// false.
+	Inits func(yield func(cfg []S) bool)
+	// Correct, if non-nil, is the algorithm's Correct(p) predicate,
+	// enabling the closure and convergence checks.
+	Correct func(cfg []S, p int) bool
+	// Render pretty-prints a configuration for counterexample traces
+	// (optional; a generic rendering is used when nil).
+	Render func(cfg []S) string
+}
+
+// Options bound and parameterize an exploration.
+type Options struct {
+	// Mode selects the daemon-choice branching (sim.SelectCentral,
+	// sim.SelectSynchronous, sim.SelectAllSubsets).
+	Mode sim.SelectionMode
+	// MaxStates caps the number of distinct configurations explored
+	// (0 = unlimited). Hitting the cap sets Result.Truncated.
+	MaxStates int
+	// MaxDepth caps the BFS depth (0 = unlimited).
+	MaxDepth int
+	// MaxBranch caps the successors enumerated per configuration
+	// (default 65536); relevant only for SelectAllSubsets.
+	MaxBranch int
+	// MaxViolations stops the exploration once this many violations are
+	// collected (default 5).
+	MaxViolations int
+	// CheckDeadlock reports terminal configurations as violations.
+	CheckDeadlock bool
+	// CheckClosure verifies that Correct(p) is closed under every
+	// transition (requires Model.Correct).
+	CheckClosure bool
+	// CheckConvergence verifies the one-round convergence bound
+	// (Corollaries 3/5): every transition must lead to an AllCorrect
+	// configuration (requires Model.Correct). This is checked per
+	// transition — not per BFS depth, which would be unsound under
+	// memoization when incorrect states are also seeded initial
+	// configurations. Only meaningful with sim.SelectSynchronous, where
+	// one step completes one round; unfair modes may defer corrections
+	// arbitrarily long.
+	CheckConvergence bool
+	// Workers overrides the worker-pool width (0 = par.Workers).
+	Workers int
+}
+
+// TraceStep is one configuration on a counterexample trace.
+type TraceStep struct {
+	// Sel is the daemon selection that produced this configuration
+	// (nil for the initial one).
+	Sel []int
+	// Config is the rendered configuration.
+	Config string
+}
+
+// Violation is one property violation, with a counterexample trace from
+// an initial configuration.
+type Violation struct {
+	Kind  string
+	Msg   string
+	Depth int
+	Trace []TraceStep
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("depth %d: %s: %s", v.Depth, v.Kind, v.Msg)
+}
+
+// Result is the outcome of one exploration.
+type Result struct {
+	Model string
+	Mode  sim.SelectionMode
+
+	Inits       int   // initial configurations seeded
+	States      int   // distinct configurations reached
+	Transitions int64 // transitions enumerated
+	Depth       int   // deepest completed BFS layer
+	MaxEnabled  int   // largest enabled set seen
+	Truncated   bool  // a bound was hit (MaxStates/MaxDepth/MaxBranch, or MaxViolations stopped the run)
+
+	Deadlocks int // terminal configurations (counted even when not checked)
+	// MaxIncorrectDepth is the deepest configuration violating
+	// AllCorrect (-1 if none, or Correct unavailable).
+	MaxIncorrectDepth int
+
+	Violations []Violation
+}
+
+// Ok reports whether the exploration found no violations.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// Summary renders a one-line result.
+func (r *Result) Summary() string {
+	trunc := ""
+	if r.Truncated {
+		trunc = " TRUNCATED"
+	}
+	return fmt.Sprintf("%s/%s: %d inits, %d states, %d transitions, depth %d, %d deadlocks, %d violations%s",
+		r.Model, r.Mode, r.Inits, r.States, r.Transitions, r.Depth, r.Deadlocks, len(r.Violations), trunc)
+}
+
+// workerViol is a violation as detected inside a worker, before its
+// trace is reconstructed.
+type workerViol struct {
+	kind, msg string
+	sel       string // selection of the offending transition ("" = state property)
+	nextKey   string // successor configuration ("" = state property)
+}
+
+// succ is one enumerated transition.
+type succ struct {
+	key string // encoded successor
+	sel string // selection, one byte per process index
+}
+
+// expansion is the result of expanding one configuration.
+type expansion struct {
+	terminal  bool
+	truncated bool
+	incorrect bool
+	enabled   int
+	succs     []succ
+	viols     []workerViol
+}
+
+// Explore runs the bounded exhaustive exploration. newModel must return
+// a fresh Model per call: model instances hold algorithm scratch state
+// and are confined to one worker each.
+func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Result {
+	if opts.MaxBranch == 0 {
+		opts.MaxBranch = 1 << 16
+	}
+	if opts.MaxViolations == 0 {
+		opts.MaxViolations = 5
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = par.Workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	models := make([]*Model[S], workers)
+	for i := range models {
+		models[i] = newModel()
+	}
+	m0 := models[0]
+
+	res := &Result{Model: m0.Name, Mode: opts.Mode, MaxIncorrectDepth: -1}
+
+	visited := make(map[string]int32)
+	var keys []string
+	var parentOf []int32
+	var selOf []string
+
+	add := func(key string, parent int32, sel string) (int32, bool) {
+		if id, ok := visited[key]; ok {
+			return id, false
+		}
+		if opts.MaxStates > 0 && len(keys) >= opts.MaxStates {
+			res.Truncated = true
+			return -1, false
+		}
+		id := int32(len(keys))
+		visited[key] = id
+		keys = append(keys, key)
+		parentOf = append(parentOf, parent)
+		selOf = append(selOf, sel)
+		return id, true
+	}
+
+	// Seed the initial layer.
+	var layer []int32
+	var encBuf []byte
+	m0.Inits(func(cfg []S) bool {
+		encBuf = m0.Encode(encBuf[:0], cfg)
+		if id, fresh := add(string(encBuf), -1, ""); fresh {
+			layer = append(layer, id)
+			res.Inits++
+		}
+		return !res.Truncated
+	})
+	res.States = len(keys)
+
+	// trace reconstructs the path from an initial configuration to state
+	// id, then appends the offending transition if any.
+	trace := func(id int32, v workerViol) []TraceStep {
+		var path []int32
+		for x := id; x >= 0; x = parentOf[x] {
+			path = append(path, x)
+		}
+		out := make([]TraceStep, 0, len(path)+1)
+		for i := len(path) - 1; i >= 0; i-- {
+			out = append(out, TraceStep{Sel: decodeSel(selOf[path[i]]), Config: m0.render(m0.Decode(keys[path[i]]))})
+		}
+		if v.nextKey != "" {
+			out = append(out, TraceStep{Sel: decodeSel(v.sel), Config: m0.render(m0.Decode(v.nextKey))})
+		}
+		return out
+	}
+
+	depth := 0
+	for len(layer) > 0 && len(res.Violations) < opts.MaxViolations {
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			res.Truncated = true
+			break
+		}
+		// Expand the layer: contiguous chunks, one worker (and one model
+		// instance) per chunk; merge back in layer order for determinism.
+		exps := make([]expansion, len(layer))
+		par.Chunks(len(layer), workers, func(w, lo, hi int) {
+			model := models[w]
+			// One deterministic source per worker: bodies must not
+			// actually depend on it (see Model doc).
+			rng := rand.New(rand.NewSource(1))
+			for i := lo; i < hi; i++ {
+				exps[i] = expandOne(model, keys[layer[i]], depth, opts, rng)
+			}
+		})
+		var next []int32
+		for i, ex := range exps {
+			prev := layer[i]
+			if ex.terminal {
+				res.Deadlocks++
+			}
+			if ex.truncated {
+				res.Truncated = true
+			}
+			if ex.incorrect && depth > res.MaxIncorrectDepth {
+				res.MaxIncorrectDepth = depth
+			}
+			if ex.enabled > res.MaxEnabled {
+				res.MaxEnabled = ex.enabled
+			}
+			res.Transitions += int64(len(ex.succs))
+			for _, s := range ex.succs {
+				if id, fresh := add(s.key, prev, s.sel); fresh {
+					next = append(next, id)
+				}
+			}
+			for _, v := range ex.viols {
+				if len(res.Violations) >= opts.MaxViolations {
+					break
+				}
+				d := depth
+				if v.nextKey != "" {
+					d++
+				}
+				res.Violations = append(res.Violations, Violation{
+					Kind: v.kind, Msg: v.msg, Depth: d, Trace: trace(prev, v),
+				})
+			}
+		}
+		res.States = len(keys)
+		depth++
+		res.Depth = depth
+		layer = next
+	}
+	if len(res.Violations) >= opts.MaxViolations {
+		res.Truncated = true
+	}
+	return res
+}
+
+// expandOne checks the state properties of one configuration and
+// enumerates its successors with the transition properties.
+func expandOne[S sim.Cloneable[S]](model *Model[S], key string, depth int, opts Options, rng *rand.Rand) expansion {
+	cfg := model.Decode(key)
+	var ex expansion
+
+	// State properties: exclusion, deadlock, correctness depth. The
+	// configuration's meets vector is computed once and shared with every
+	// successor's event check.
+	wasMeets := spec.MeetsVector(model.Probe, cfg, nil)
+	for _, v := range spec.ExclusionViolationsMeets(model.Probe, wasMeets, depth, nil) {
+		ex.viols = append(ex.viols, workerViol{kind: v.Kind, msg: v.Msg})
+	}
+	var correctPrev []bool
+	if model.Correct != nil {
+		correctPrev = make([]bool, model.Prog.NumProcs)
+		allCorrect := true
+		for p := range correctPrev {
+			correctPrev[p] = model.Correct(cfg, p)
+			allCorrect = allCorrect && correctPrev[p]
+		}
+		ex.incorrect = !allCorrect
+	}
+
+	var encBuf []byte
+	var isMeets []bool
+	enabled, branches := sim.Successors(model.Prog, cfg, opts.Mode, rng, opts.MaxBranch, func(sel []int, nxt []S) bool {
+		encBuf = model.Encode(encBuf[:0], nxt)
+		s := succ{key: string(encBuf), sel: encodeSel(sel)}
+		ex.succs = append(ex.succs, s)
+		isMeets = spec.MeetsVector(model.Probe, nxt, isMeets)
+		for _, v := range spec.EventViolationsMeets(model.Probe, cfg, wasMeets, isMeets, depth+1, nil) {
+			ex.viols = append(ex.viols, workerViol{kind: v.Kind, msg: v.Msg, sel: s.sel, nextKey: s.key})
+		}
+		if correctPrev != nil && (opts.CheckClosure || opts.CheckConvergence) {
+			for p := range correctPrev {
+				correctNow := model.Correct(nxt, p)
+				if opts.CheckClosure && correctPrev[p] && !correctNow {
+					ex.viols = append(ex.viols, workerViol{
+						kind: KindClosure,
+						msg:  fmt.Sprintf("process %d was Correct but is not after selection %v", p, sel),
+						sel:  s.sel, nextKey: s.key,
+					})
+				}
+				if opts.CheckConvergence && !correctNow {
+					// One synchronous step = one completed round: the
+					// stabilization actions have the highest priority, so
+					// every process must be Correct in the successor.
+					ex.viols = append(ex.viols, workerViol{
+						kind: KindConvergence,
+						msg:  fmt.Sprintf("process %d is still incorrect after a full round (selection %v)", p, sel),
+						sel:  s.sel, nextKey: s.key,
+					})
+				}
+			}
+		}
+		return true
+	})
+	ex.enabled = enabled
+	ex.terminal = enabled == 0
+	if ex.terminal && opts.CheckDeadlock {
+		ex.viols = append(ex.viols, workerViol{kind: KindDeadlock, msg: "no process is enabled"})
+	}
+	if opts.Mode == sim.SelectAllSubsets && enabled > 0 {
+		// 2^enabled−1 overflows past 62 enabled processes; any such state
+		// is necessarily truncated under a finite branch cap.
+		if enabled > 62 {
+			ex.truncated = true
+		} else if want := (int64(1) << enabled) - 1; int64(branches) < want {
+			ex.truncated = true
+		}
+	}
+	return ex
+}
+
+func (m *Model[S]) render(cfg []S) string {
+	if m.Render != nil {
+		return m.Render(cfg)
+	}
+	parts := make([]string, len(cfg))
+	for p := range cfg {
+		parts[p] = fmt.Sprintf("%v", cfg[p])
+	}
+	return strings.Join(parts, " | ")
+}
+
+// encodeSel packs a selection as one byte per process index.
+func encodeSel(sel []int) string {
+	b := make([]byte, len(sel))
+	for i, p := range sel {
+		if p > 255 {
+			panic("explore: process index out of byte range")
+		}
+		b[i] = byte(p)
+	}
+	return string(b)
+}
+
+func decodeSel(s string) []int {
+	if s == "" {
+		return nil
+	}
+	out := make([]int, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = int(s[i])
+	}
+	return out
+}
+
+// RenderTrace pretty-prints a counterexample trace.
+func RenderTrace(v Violation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", v.String())
+	for i, st := range v.Trace {
+		switch {
+		case i == 0:
+			fmt.Fprintf(&b, "  init:       %s\n", st.Config)
+		default:
+			fmt.Fprintf(&b, "  exec %-6v %s\n", st.Sel, st.Config)
+		}
+	}
+	return b.String()
+}

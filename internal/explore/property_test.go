@@ -1,0 +1,109 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+// The property-based harness: randomized scenarios feed both the
+// runtime monitors (long runs on arbitrary topologies under real
+// daemons) and the exhaustive checker (complete enumeration on small
+// random topologies). Together they assert the snap-stabilization
+// property "every meeting convened during the run satisfies the spec"
+// over inputs no fixture anticipates.
+
+// TestPropertyRandomScenarios runs every CC variant from random initial
+// configurations on randomized topologies under a rotation of daemons,
+// monitored by the runtime spec checker.
+func TestPropertyRandomScenarios(t *testing.T) {
+	const scenarios = 24
+	for i := 0; i < scenarios; i++ {
+		seed := int64(1000 + i)
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomScenario(rng, 12)
+		variant := []core.Variant{core.CC1, core.CC2, core.CC3}[i%3]
+		var d sim.Daemon
+		switch i % 4 {
+		case 0:
+			d = &sim.WeaklyFair{MaxAge: 6}
+		case 1:
+			d = &sim.Central{}
+		case 2:
+			d = sim.Synchronous{}
+		default:
+			d = sim.RandomSubset{P: 0.5}
+		}
+		alg := core.New(variant, h, nil)
+		env := core.NewAlwaysClient(h.N(), 2)
+		r := core.NewRunner(alg, d, env, seed, true)
+		chk := r.Checker(0)
+		r.Run(1500)
+		if len(chk.Violations) > 0 {
+			t.Fatalf("scenario %d (%s on %s under %s): %s", i, variant, h, d.Name(), chk.Violations[0])
+		}
+	}
+}
+
+// TestPropertyExhaustiveOnRandomTinyTopologies exhaustively checks CC2
+// on small random topologies — committee structures drawn by the
+// generator, not fixtures — from every (S, P) initial assignment.
+func TestPropertyExhaustiveOnRandomTinyTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	checked := 0
+	for checked < 4 {
+		h := hypergraph.RandomScenario(rng, 8)
+		if h.N() > 4 { // keep the CC-layer product space tractable
+			continue
+		}
+		checked++
+		factory := mustCC(t, core.CC2, h, CCOptions{Init: InitCC})
+		res := Explore(factory, Options{
+			Mode: sim.SelectCentral, CheckDeadlock: true, CheckClosure: true, MaxStates: 500_000,
+		})
+		if !res.Ok() {
+			t.Fatalf("random topology %s: violation:\n%s", h, RenderTrace(res.Violations[0]))
+		}
+		if res.Truncated {
+			t.Fatalf("random topology %s: truncated (%s)", h, res.Summary())
+		}
+	}
+}
+
+// TestEngineTransitionsAreEnumerated cross-validates the two execution
+// paths: every transition an Engine takes under a concrete daemon must
+// appear among the successors the explorer enumerates for the pre-step
+// configuration under SelectAllSubsets.
+func TestEngineTransitionsAreEnumerated(t *testing.T) {
+	h := hypergraph.CommitteeRing(3)
+	factory := mustCC(t, core.CC2, h, CCOptions{Init: InitLegit})
+	model := factory()
+
+	// An engine over the *same frozen environment* program.
+	alg, prog := newCCProg(core.CC2, h)
+	_ = alg
+	eng := sim.NewEngine(prog, &sim.WeaklyFair{MaxAge: 4}, 11)
+
+	for step := 0; step < 120; step++ {
+		prev := append([]core.State(nil), eng.Config()...)
+		if eng.Step() == nil {
+			break
+		}
+		nextKey := string(model.Encode(nil, eng.Config()))
+		found := false
+		rng := rand.New(rand.NewSource(1))
+		sim.Successors(model.Prog, prev, sim.SelectAllSubsets, rng, 0, func(_ []int, nxt []core.State) bool {
+			if string(model.Encode(nil, nxt)) == nextKey {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("step %d: engine transition missing from enumerated successors", step)
+		}
+	}
+}

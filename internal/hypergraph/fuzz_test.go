@@ -1,0 +1,77 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzRandomScenario drives the randomized topology generator with
+// fuzzed seeds and size bounds and asserts the structural invariants
+// every committee structure must satisfy: committees exist and have at
+// least two distinct sorted members, vertex↔edge membership is
+// symmetric, the committee conflict graph lists exactly the pairs
+// sharing a member, and the G_H neighbor relation is symmetric
+// (checkInvariants in scenarios_test.go). Seed corpus runs under plain
+// `go test`; `go test -fuzz=FuzzRandomScenario ./internal/hypergraph`
+// explores further.
+func FuzzRandomScenario(f *testing.F) {
+	f.Add(int64(1), 6)
+	f.Add(int64(42), 12)
+	f.Add(int64(-7), 0)      // maxN below the floor must clamp, not panic
+	f.Add(int64(1<<62), 200) // large bound exercises the bigger families
+	f.Fuzz(func(t *testing.T, seed int64, maxN int) {
+		if maxN > 64 {
+			maxN = 64 // keep individual fuzz executions fast
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Several draws per seed: the generator's internal rng state
+		// chains, so later draws hit parameter corners earlier ones set up.
+		for i := 0; i < 4; i++ {
+			h := RandomScenario(rng, maxN)
+			checkInvariants(t, h)
+			if h.N() < 3 || h.M() < 2 {
+				t.Fatalf("degenerate scenario: %s", h)
+			}
+		}
+	})
+}
+
+// FuzzRandomBipartite fuzzes the bipartite generator's parameter space
+// directly (it has the trickiest connectivity/deduplication logic).
+func FuzzRandomBipartite(f *testing.F) {
+	f.Add(int64(1), 3, 4, 8, 3)
+	f.Add(int64(9), 1, 1, 1, 2)
+	f.Fuzz(func(t *testing.T, seed int64, a, b, m, kmax int) {
+		// Clamp into the documented domain; out-of-domain panics are the
+		// documented contract, not bugs.
+		if a < 1 {
+			a = 1
+		}
+		if b < 1 {
+			b = 1
+		}
+		if a > 8 {
+			a = 8
+		}
+		if b > 8 {
+			b = 8
+		}
+		if kmax < 2 {
+			kmax = 2
+		}
+		if kmax > a+b {
+			kmax = a + b
+		}
+		if m < a+b-1 {
+			m = a + b - 1
+		}
+		if m > 2*(a+b) {
+			m = 2 * (a + b)
+		}
+		h := RandomBipartite(a, b, m, kmax, rand.New(rand.NewSource(seed)))
+		checkInvariants(t, h)
+		if !h.Connected() {
+			t.Fatalf("disconnected bipartite a=%d b=%d m=%d kmax=%d: %s", a, b, m, kmax, h)
+		}
+	})
+}

@@ -20,6 +20,9 @@ import (
 //	grid:R,C                        R×C grid of binary committees
 //	kuniform:N,M,K                  random connected K-uniform (M committees)
 //	mixed:N,M,KMAX                  random connected, sizes 2..KMAX
+//	bipartite:A,B,M,KMAX            random bipartite committees (both sides in every committee)
+//	density:N,PCT,KMAX              random, committee count at PCT% of the density sweep
+//	scenario:MAXN                   a random scenario family with <= MAXN professors
 //	custom:{0,1};{1,2,3};...        explicit committee list (0-based)
 //
 // Random families draw from rng (required only for them).
@@ -109,6 +112,33 @@ func Parse(spec string, rng *rand.Rand) (*H, error) {
 			return nil, fmt.Errorf("hypergraph: %s needs a random source", name)
 		}
 		return RandomMixed(v[0], v[1], v[2], rng), nil
+	case "bipartite":
+		v, err := ints(4)
+		if err != nil {
+			return nil, err
+		}
+		if rng == nil {
+			return nil, fmt.Errorf("hypergraph: %s needs a random source", name)
+		}
+		return RandomBipartite(v[0], v[1], v[2], v[3], rng), nil
+	case "density":
+		v, err := ints(3)
+		if err != nil {
+			return nil, err
+		}
+		if rng == nil {
+			return nil, fmt.Errorf("hypergraph: %s needs a random source", name)
+		}
+		return RandomDensity(v[0], float64(v[1])/100, v[2], rng), nil
+	case "scenario":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		if rng == nil {
+			return nil, fmt.Errorf("hypergraph: %s needs a random source", name)
+		}
+		return RandomScenario(rng, v[0]), nil
 	case "custom":
 		var edges []Edge
 		max := -1

@@ -1,0 +1,188 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkInvariants asserts the structural invariants every generated
+// hypergraph must satisfy; shared with the fuzz target.
+func checkInvariants(t testing.TB, h *H) {
+	t.Helper()
+	if h.M() < 1 {
+		t.Fatalf("%s: no committees", h)
+	}
+	// Every edge: >= 2 distinct members, sorted, in range.
+	for i, e := range h.Edges() {
+		if len(e) < 2 {
+			t.Fatalf("%s: edge %d has %d members", h, i, len(e))
+		}
+		for j, v := range e {
+			if v < 0 || v >= h.N() {
+				t.Fatalf("%s: edge %d member %d out of range", h, i, v)
+			}
+			if j > 0 && e[j-1] >= v {
+				t.Fatalf("%s: edge %d not sorted/distinct: %v", h, i, e)
+			}
+		}
+	}
+	// Membership symmetric: v ∈ Edge(e) ⇔ e ∈ EdgesOf(v).
+	for v := 0; v < h.N(); v++ {
+		for _, e := range h.EdgesOf(v) {
+			if !h.Edge(e).Contains(v) {
+				t.Fatalf("%s: EdgesOf(%d) lists %d but edge lacks the vertex", h, v, e)
+			}
+		}
+	}
+	for i, e := range h.Edges() {
+		for _, v := range e {
+			found := false
+			for _, ei := range h.EdgesOf(v) {
+				if ei == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: vertex %d in edge %d but EdgesOf misses it", h, v, i)
+			}
+		}
+	}
+	// Conflict graph consistent with shared members, and symmetric.
+	cg := h.ConflictGraph()
+	for i := 0; i < h.M(); i++ {
+		for j := 0; j < h.M(); j++ {
+			if i == j {
+				continue
+			}
+			conflicts := h.Edge(i).Conflicts(h.Edge(j))
+			listed := false
+			for _, d := range cg[i] {
+				if d == j {
+					listed = true
+					break
+				}
+			}
+			share := false
+			for _, v := range h.Edge(i) {
+				if h.Edge(j).Contains(v) {
+					share = true
+					break
+				}
+			}
+			if conflicts != share || listed != share {
+				t.Fatalf("%s: conflict inconsistency between edges %d and %d (conflicts=%v listed=%v share=%v)",
+					h, i, j, conflicts, listed, share)
+			}
+		}
+	}
+	// G_H neighbor symmetry.
+	for v := 0; v < h.N(); v++ {
+		for _, u := range h.Neighbors(v) {
+			sym := false
+			for _, w := range h.Neighbors(u) {
+				if w == v {
+					sym = true
+					break
+				}
+			}
+			if !sym {
+				t.Fatalf("%s: neighbor relation asymmetric (%d, %d)", h, v, u)
+			}
+		}
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		a, b := 1+rng.Intn(5), 1+rng.Intn(5)
+		kmax := 2 + rng.Intn(3)
+		if kmax > a+b {
+			kmax = a + b
+		}
+		m := a + b - 1 + rng.Intn(6)
+		h := RandomBipartite(a, b, m, kmax, rng)
+		checkInvariants(t, h)
+		if !h.Connected() {
+			t.Fatalf("bipartite a=%d b=%d m=%d: disconnected %s", a, b, m, h)
+		}
+		for i, e := range h.Edges() {
+			hasL, hasR := false, false
+			for _, v := range e {
+				if v < a {
+					hasL = true
+				} else {
+					hasR = true
+				}
+			}
+			if !hasL || !hasR {
+				t.Fatalf("bipartite edge %d single-sided: %v (a=%d)", i, e, a)
+			}
+		}
+	}
+}
+
+func TestRandomDensitySweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prev := 0
+	for _, density := range []float64{0, 0.25, 0.5, 1} {
+		h := RandomDensity(10, density, 3, rng)
+		checkInvariants(t, h)
+		if !h.Connected() {
+			t.Fatalf("density %.2f: disconnected", density)
+		}
+		if h.M() < prev {
+			t.Fatalf("density %.2f: committee count %d dropped below %d", density, h.M(), prev)
+		}
+		prev = h.M()
+	}
+	if sparse := RandomDensity(10, 0, 3, rng); sparse.M() != 9 {
+		t.Fatalf("density 0 should give n-1 committees, got %d", sparse.M())
+	}
+	// Out-of-range densities clamp.
+	checkInvariants(t, RandomDensity(6, -1, 2, rng))
+	checkInvariants(t, RandomDensity(6, 7, 9, rng))
+}
+
+func TestRandomScenarioInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	families := map[string]bool{}
+	for trial := 0; trial < 300; trial++ {
+		h := RandomScenario(rng, 12)
+		checkInvariants(t, h)
+		if h.N() < 3 || h.M() < 2 {
+			t.Fatalf("trial %d: degenerate scenario %s", trial, h)
+		}
+		families[shape(h)] = true
+	}
+	if len(families) < 4 {
+		t.Fatalf("scenario generator lacks diversity: %v", families)
+	}
+}
+
+// shape is a crude scenario classifier used only to assert diversity.
+func shape(h *H) string {
+	switch {
+	case !h.Connected():
+		return "disconnected"
+	case h.MaxHEdge() == 2 && h.M() == h.N():
+		return "ring-like"
+	case h.MaxHEdge() == 2:
+		return "binary"
+	default:
+		return "hyper"
+	}
+}
+
+func TestMaxCommitteesSaturates(t *testing.T) {
+	if got := maxCommittees(4, 2); got != 6 {
+		t.Fatalf("C(4,2) = 6, got %d", got)
+	}
+	if got := maxCommittees(5, 3); got != 20 { // C(5,2)+C(5,3) = 10+10
+		t.Fatalf("want 20, got %d", got)
+	}
+	if got := maxCommittees(100, 50); got != 1<<20 {
+		t.Fatalf("expected saturation, got %d", got)
+	}
+}

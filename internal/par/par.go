@@ -57,3 +57,37 @@ func Map[T any](n int, fn func(i int) T) []T {
 	ForEach(n, func(i int) { out[i] = fn(i) })
 	return out
 }
+
+// Chunks splits [0, n) into at most `workers` contiguous chunks (0 =
+// the pool width) and runs fn(w, lo, hi) for chunk w across the pool,
+// returning the chunk count after all calls complete. Unlike ForEach,
+// each invocation receives a stable worker index — the pattern needed
+// when workers own non-shareable scratch (one model/engine instance per
+// worker) and results must merge back in deterministic chunk order.
+// Chunk w covers [lo, hi) with hi-lo within one of n/workers; fn is not
+// called for empty chunks.
+func Chunks(n, workers int, fn func(w, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	w := workers
+	if w <= 0 {
+		w = Workers
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	chunk := (n + w - 1) / w
+	nchunks := (n + chunk - 1) / chunk // chunks actually invoked (≤ w)
+	ForEach(nchunks, func(wi int) {
+		lo, hi := wi*chunk, (wi+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		fn(wi, lo, hi)
+	})
+	return nchunks
+}

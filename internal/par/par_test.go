@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -48,4 +49,39 @@ func TestMapOrdersResults(t *testing.T) {
 			}
 		}
 	})
+}
+
+func TestChunks(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {5, 4}, {8, 4}, {8, 1}, {3, 0}, {100, 7},
+	} {
+		covered := make([]int, tc.n)
+		var mu sync.Mutex
+		seen := map[int]bool{}
+		got := Chunks(tc.n, tc.workers, func(w, lo, hi int) {
+			if lo >= hi {
+				t.Errorf("n=%d w=%d: empty chunk [%d,%d)", tc.n, tc.workers, lo, hi)
+			}
+			mu.Lock()
+			if seen[w] {
+				t.Errorf("n=%d: worker index %d reused", tc.n, w)
+			}
+			seen[w] = true
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		})
+		if tc.n == 0 {
+			if got != 0 {
+				t.Fatalf("n=0: got %d chunks", got)
+			}
+			continue
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d: index %d covered %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
 }

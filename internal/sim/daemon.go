@@ -14,6 +14,10 @@ import (
 // not retain dst, the returned slice, or the enabled slice beyond the
 // call; the engine reuses all three buffers on the next step.
 //
+// The engine never calls Select on a terminal configuration, but other
+// drivers (tests, exploration harnesses) may: every daemon in this
+// package returns dst unchanged when enabled is empty.
+//
 // Weak fairness — "every continuously enabled process is eventually
 // selected" — is a property of a daemon's computations. Synchronous and
 // the aging daemons below guarantee it deterministically; the random
@@ -41,6 +45,9 @@ type Central struct{ last int }
 func (*Central) Name() string { return "central-rr" }
 
 func (c *Central) Select(dst, enabled []int, _ int, _ *rand.Rand) []int {
+	if len(enabled) == 0 {
+		return dst
+	}
 	// Pick the smallest enabled id strictly greater than last, wrapping.
 	best := -1
 	for _, p := range enabled {
@@ -66,6 +73,9 @@ type CentralRandom struct{}
 func (CentralRandom) Name() string { return "central-random" }
 
 func (CentralRandom) Select(dst, enabled []int, _ int, rng *rand.Rand) []int {
+	if len(enabled) == 0 {
+		return dst
+	}
 	return append(dst, enabled[rng.Intn(len(enabled))])
 }
 
@@ -78,6 +88,9 @@ type RandomSubset struct{ P float64 }
 func (RandomSubset) Name() string { return "random-subset" }
 
 func (d RandomSubset) Select(dst, enabled []int, _ int, rng *rand.Rand) []int {
+	if len(enabled) == 0 {
+		return dst
+	}
 	p := d.P
 	if p <= 0 || p > 1 {
 		p = 0.5
@@ -121,6 +134,15 @@ func (d *WeaklyFair) grow(n int) {
 }
 
 func (d *WeaklyFair) Select(dst, enabled []int, _ int, rng *rand.Rand) []int {
+	if len(enabled) == 0 {
+		// Every previously enabled process was neutralized or executed;
+		// its "continuously enabled" clock restarts.
+		for _, q := range d.prev {
+			d.age[q] = 0
+		}
+		d.prev = d.prev[:0]
+		return dst
+	}
 	p := d.P
 	if p <= 0 || p > 1 {
 		p = 0.5
@@ -192,6 +214,9 @@ type Scripted struct {
 func (*Scripted) Name() string { return "scripted" }
 
 func (d *Scripted) Select(dst, enabled []int, step int, rng *rand.Rand) []int {
+	if len(enabled) == 0 {
+		return dst
+	}
 	if d.pos >= len(d.Schedule) {
 		fb := d.Fallback
 		if fb == nil {
@@ -234,5 +259,8 @@ func (a Adversary) Name() string {
 }
 
 func (a Adversary) Select(dst, enabled []int, step int, rng *rand.Rand) []int {
+	if len(enabled) == 0 {
+		return dst
+	}
 	return append(dst, a.Fn(enabled, step, rng)...)
 }

@@ -1,0 +1,176 @@
+package sim_test
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// allDaemons instantiates one of each daemon in daemon.go. Fresh
+// instances per call: Central and WeaklyFair carry state across Select
+// calls.
+func allDaemons() []sim.Daemon {
+	return []sim.Daemon{
+		sim.Synchronous{},
+		&sim.Central{},
+		sim.CentralRandom{},
+		sim.RandomSubset{P: 0.5},
+		&sim.WeaklyFair{MaxAge: 4},
+		// Exhausted schedule → fallback path; a live schedule panics on
+		// enabled sets that miss its entries (by design, covered below).
+		&sim.Scripted{Fallback: sim.Synchronous{}},
+		sim.Adversary{Label: "first", Fn: func(enabled []int, _ int, _ *rand.Rand) []int {
+			return enabled[:1]
+		}},
+	}
+}
+
+// TestDaemonSelectTable drives every daemon through the Select
+// edge cases: empty enabled set, a single enabled process, and the full
+// process set — asserting the Daemon contract each time (selection is a
+// non-empty duplicate-free subset of enabled, appended to dst; empty
+// enabled returns dst unchanged).
+func TestDaemonSelectTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		enabled []int
+	}{
+		{"empty", nil},
+		{"single", []int{3}},
+		{"pair", []int{1, 4}},
+		{"full", []int{0, 1, 2, 3, 4, 5}},
+	}
+	for _, d := range allDaemons() {
+		rng := rand.New(rand.NewSource(7))
+		for _, tc := range cases {
+			for step := 0; step < 8; step++ { // repeated calls reuse internal state
+				dst := make([]int, 0, 8)
+				sel := d.Select(dst, tc.enabled, step, rng)
+				if len(tc.enabled) == 0 {
+					if len(sel) != 0 {
+						t.Fatalf("%s/%s: empty enabled set selected %v", d.Name(), tc.name, sel)
+					}
+					continue
+				}
+				if len(sel) == 0 {
+					t.Fatalf("%s/%s: selected nothing from %v", d.Name(), tc.name, tc.enabled)
+				}
+				seen := map[int]bool{}
+				for _, p := range sel {
+					if !slices.Contains(tc.enabled, p) {
+						t.Fatalf("%s/%s: selected disabled process %d", d.Name(), tc.name, p)
+					}
+					if seen[p] {
+						t.Fatalf("%s/%s: selected process %d twice", d.Name(), tc.name, p)
+					}
+					seen[p] = true
+				}
+				if len(tc.enabled) == 1 && (len(sel) != 1 || sel[0] != tc.enabled[0]) {
+					t.Fatalf("%s/%s: single enabled process not selected: %v", d.Name(), tc.name, sel)
+				}
+			}
+		}
+	}
+}
+
+// TestDaemonSelectAppendsToPrefix: Select must append to dst, leaving
+// any existing prefix intact — the engine relies on this to reuse its
+// selection buffer allocation-free.
+func TestDaemonSelectAppendsToPrefix(t *testing.T) {
+	enabled := []int{0, 2, 5}
+	for _, d := range allDaemons() {
+		rng := rand.New(rand.NewSource(3))
+		prefix := []int{97, 98}
+		dst := append(make([]int, 0, 16), prefix...)
+		sel := d.Select(dst, enabled, 0, rng)
+		if len(sel) < len(prefix) || sel[0] != 97 || sel[1] != 98 {
+			t.Fatalf("%s: prefix clobbered: %v", d.Name(), sel)
+		}
+		if len(sel) == len(prefix) {
+			t.Fatalf("%s: nothing appended for enabled %v", d.Name(), enabled)
+		}
+		for _, p := range sel[len(prefix):] {
+			if !slices.Contains(enabled, p) {
+				t.Fatalf("%s: appended disabled process %d", d.Name(), p)
+			}
+		}
+	}
+}
+
+// TestDaemonSelectBufferReuse simulates the engine's buffer discipline:
+// the same backing array is passed to consecutive Select calls (sliced
+// back to length zero), and each selection must be valid independent of
+// what the previous call left in the array.
+func TestDaemonSelectBufferReuse(t *testing.T) {
+	sets := [][]int{{0, 1, 2, 3}, {2}, {1, 3}, {0, 1, 2, 3, 4, 5, 6, 7}, {5}}
+	for _, d := range allDaemons() {
+		rng := rand.New(rand.NewSource(11))
+		buf := make([]int, 0, 8)
+		for step, enabled := range sets {
+			sel := d.Select(buf[:0], enabled, step, rng)
+			for _, p := range sel {
+				if !slices.Contains(enabled, p) {
+					t.Fatalf("%s step %d: stale selection %v for enabled %v", d.Name(), step, sel, enabled)
+				}
+			}
+			if len(sel) == 0 {
+				t.Fatalf("%s step %d: empty selection", d.Name(), step)
+			}
+			if cap(sel) == cap(buf) {
+				buf = sel // engine keeps the (possibly grown) buffer
+			}
+		}
+	}
+}
+
+// TestWeaklyFairEmptyEnabledResetsAges: after a call with no enabled
+// process, previously aged processes must not be treated as
+// continuously enabled (their force-include clocks restart).
+func TestWeaklyFairEmptyEnabledResetsAges(t *testing.T) {
+	d := &sim.WeaklyFair{P: 0.0001, MaxAge: 3}
+	rng := rand.New(rand.NewSource(5))
+	enabled := []int{0, 1}
+	// Age process 1 close to the force-include threshold.
+	for i := 0; i < 2; i++ {
+		d.Select(nil, enabled, i, rng)
+	}
+	// A gap with nothing enabled: clocks restart.
+	d.Select(nil, nil, 2, rng)
+	// With P≈0 a fresh clock cannot force-include immediately.
+	sel := d.Select(make([]int, 0, 4), enabled, 3, rng)
+	if len(sel) == 0 {
+		t.Fatal("weakly-fair selected nothing")
+	}
+	// Enabled continuously from here: MaxAge calls later every process
+	// must have been selected at least once.
+	chosen := map[int]bool{}
+	for _, p := range sel {
+		chosen[p] = true
+	}
+	for i := 0; i < 6; i++ {
+		for _, p := range d.Select(make([]int, 0, 4), enabled, 4+i, rng) {
+			chosen[p] = true
+		}
+	}
+	if !chosen[0] || !chosen[1] {
+		t.Fatalf("weak fairness broken after empty-enabled reset: %v", chosen)
+	}
+}
+
+// TestScriptedEmptyEnabledDoesNotConsumeSchedule: a probe call with an
+// empty enabled set must not advance the script position.
+func TestScriptedEmptyEnabledDoesNotConsumeSchedule(t *testing.T) {
+	d := &sim.Scripted{Schedule: [][]int{{2}}}
+	if sel := d.Select(nil, nil, 0, nil); len(sel) != 0 {
+		t.Fatalf("scripted selected %v on empty enabled", sel)
+	}
+	if d.Exhausted() {
+		t.Fatal("empty-enabled probe consumed the schedule")
+	}
+	sel := d.Select(nil, []int{1, 2}, 1, nil)
+	if len(sel) != 1 || sel[0] != 2 {
+		t.Fatalf("schedule entry lost: %v", sel)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file is the nondeterministic-successor API used by the bounded
+// exhaustive model checker (internal/explore). The Engine executes *one*
+// computation — a single resolution of the daemon's choices; Successors
+// instead enumerates *every* configuration reachable in one step, i.e.
+// one branch per daemon selection the chosen daemon class allows. All
+// guards and bodies are evaluated against the pre-step configuration,
+// exactly as in Engine.Step, so a transition enumerated here is a
+// transition some Engine run could take.
+
+// SelectionMode is the class of daemon choices to branch over.
+type SelectionMode int
+
+const (
+	// SelectCentral branches over every singleton selection — the central
+	// daemon's choices (paper §2.2: exactly one enabled process per step).
+	SelectCentral SelectionMode = iota
+	// SelectSynchronous takes the single selection containing every
+	// enabled process — the synchronous daemon's only choice.
+	SelectSynchronous
+	// SelectAllSubsets branches over every non-empty subset of the
+	// enabled processes — the fully general distributed daemon. Every
+	// concrete Daemon's possible choices (including WeaklyFair's and
+	// RandomSubset's) are a subset of these branches, so a property that
+	// holds on all SelectAllSubsets paths holds under every daemon.
+	SelectAllSubsets
+)
+
+func (m SelectionMode) String() string {
+	switch m {
+	case SelectCentral:
+		return "central"
+	case SelectSynchronous:
+		return "synchronous"
+	case SelectAllSubsets:
+		return "all-subsets"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// EnabledOf evaluates every guard of prog against cfg and appends the
+// enabled processes to dst (ascending), returning the result. Unlike
+// Engine.Enabled it needs no engine state, so explorers can call it on
+// decoded configurations.
+func EnabledOf[S Cloneable[S]](prog *Program[S], cfg []S, dst []int) []int {
+	for p := 0; p < prog.NumProcs; p++ {
+		if enabledAction(prog, cfg, p) >= 0 {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// Apply executes the selection sel (each process running its
+// highest-priority enabled action) against cfg and writes the successor
+// into next, which must have length len(cfg). cfg is not mutated; next
+// and cfg must not alias. rng feeds nondeterministic action bodies — an
+// explorer must pass a deterministically re-seeded source (or use
+// deterministic bodies) so that Apply is a pure function of (cfg, sel),
+// otherwise state-graph memoization is unsound. Panics if a selected
+// process is disabled.
+func Apply[S Cloneable[S]](prog *Program[S], cfg, next []S, sel []int, rng *rand.Rand) {
+	copy(next, cfg)
+	for _, p := range sel {
+		a := enabledAction(prog, cfg, p)
+		if a < 0 {
+			panic(fmt.Sprintf("sim: Apply selected disabled process %d", p))
+		}
+		next[p] = cfg[p].Clone()
+		prog.Actions[a].Body(cfg, p, &next[p], rng)
+	}
+}
+
+// Successors enumerates the one-step successors of cfg under mode,
+// calling visit with each daemon selection and the resulting
+// configuration. Both arguments are buffers owned by Successors and
+// reused across branches: visit must copy (or encode) what it retains.
+// visit returning false stops the enumeration early.
+//
+// It returns the number of enabled processes and the number of branches
+// visited. A terminal configuration (no process enabled) yields zero
+// branches. maxBranches caps the enumeration (0 = unlimited): with
+// SelectAllSubsets the branch count is 2^|enabled|−1, so explorers
+// should bound it and treat a hit as truncation, not proof.
+func Successors[S Cloneable[S]](prog *Program[S], cfg []S, mode SelectionMode, rng *rand.Rand, maxBranches int, visit func(sel []int, next []S) bool) (enabled, branches int) {
+	en := EnabledOf(prog, cfg, make([]int, 0, prog.NumProcs))
+	if len(en) == 0 {
+		return 0, 0
+	}
+	next := make([]S, len(cfg))
+	emit := func(sel []int) bool {
+		if maxBranches > 0 && branches >= maxBranches {
+			return false
+		}
+		Apply(prog, cfg, next, sel, rng)
+		branches++
+		return visit(sel, next)
+	}
+	switch mode {
+	case SelectCentral:
+		sel := make([]int, 1)
+		for _, p := range en {
+			sel[0] = p
+			if !emit(sel) {
+				return len(en), branches
+			}
+		}
+	case SelectSynchronous:
+		emit(en)
+	case SelectAllSubsets:
+		k := len(en)
+		if maxBranches <= 0 && k > 30 {
+			panic(fmt.Sprintf("sim: unbounded SelectAllSubsets over %d enabled processes (2^%d branches); pass maxBranches to truncate", k, k))
+		}
+		// With maxBranches set the enumeration stops at the cap, so large
+		// enabled sets truncate instead of exploding; masks beyond 63 bits
+		// are unreachable before any realistic cap.
+		last := ^uint64(0)
+		if k < 64 {
+			last = uint64(1)<<k - 1
+		}
+		sel := make([]int, 0, k)
+		for mask := uint64(1); ; mask++ {
+			sel = sel[:0]
+			for i := 0; i < k && i < 64; i++ {
+				if mask&(uint64(1)<<i) != 0 {
+					sel = append(sel, en[i])
+				}
+			}
+			if !emit(sel) {
+				return len(en), branches
+			}
+			if mask == last {
+				break
+			}
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown SelectionMode %d", int(mode)))
+	}
+	return len(en), branches
+}

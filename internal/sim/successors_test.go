@@ -1,0 +1,183 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// counter is a trivial cloneable state for successor tests.
+type counter struct{ V int }
+
+func (c counter) Clone() counter { return c }
+
+// incProgram: every process with V < limit is enabled and increments V.
+func incProgram(n, limit int) *sim.Program[counter] {
+	return &sim.Program[counter]{
+		NumProcs: n,
+		Actions: []sim.Action[counter]{{
+			Name:  "inc",
+			Guard: func(cfg []counter, p int) bool { return cfg[p].V < limit },
+			Body:  func(cfg []counter, p int, next *counter, _ *rand.Rand) { next.V++ },
+		}},
+		Init: func(p int, _ *rand.Rand) counter { return counter{} },
+	}
+}
+
+func collect(t *testing.T, prog *sim.Program[counter], cfg []counter, mode sim.SelectionMode, maxBranches int) (sels [][]int, nexts [][]counter, enabled, branches int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	enabled, branches = sim.Successors(prog, cfg, mode, rng, maxBranches, func(sel []int, next []counter) bool {
+		sels = append(sels, append([]int(nil), sel...))
+		nexts = append(nexts, append([]counter(nil), next...))
+		return true
+	})
+	return
+}
+
+func TestSuccessorsBranchCounts(t *testing.T) {
+	prog := incProgram(3, 5)
+	cfg := []counter{{0}, {0}, {0}}
+	for _, tc := range []struct {
+		mode     sim.SelectionMode
+		branches int
+	}{
+		{sim.SelectCentral, 3},
+		{sim.SelectSynchronous, 1},
+		{sim.SelectAllSubsets, 7}, // 2^3 - 1
+	} {
+		sels, _, enabled, branches := collect(t, prog, cfg, tc.mode, 0)
+		if enabled != 3 || branches != tc.branches || len(sels) != tc.branches {
+			t.Fatalf("%s: enabled=%d branches=%d (want 3, %d)", tc.mode, enabled, branches, tc.branches)
+		}
+	}
+}
+
+func TestSuccessorsApplySemantics(t *testing.T) {
+	prog := incProgram(3, 5)
+	cfg := []counter{{1}, {2}, {3}}
+	_, nexts, _, _ := collect(t, prog, cfg, sim.SelectAllSubsets, 0)
+	// Mask i+1 in enumeration order increments exactly the selected set.
+	for i, next := range nexts {
+		mask := i + 1
+		for p := 0; p < 3; p++ {
+			want := cfg[p].V
+			if mask&(1<<p) != 0 {
+				want++
+			}
+			if next[p].V != want {
+				t.Fatalf("branch %d: proc %d has %d, want %d", i, p, next[p].V, want)
+			}
+		}
+	}
+	// The input configuration is never mutated.
+	if cfg[0].V != 1 || cfg[1].V != 2 || cfg[2].V != 3 {
+		t.Fatalf("input configuration mutated: %v", cfg)
+	}
+}
+
+func TestSuccessorsPartialEnablement(t *testing.T) {
+	prog := incProgram(3, 5)
+	cfg := []counter{{5}, {0}, {5}} // only process 1 enabled
+	sels, nexts, enabled, branches := collect(t, prog, cfg, sim.SelectAllSubsets, 0)
+	if enabled != 1 || branches != 1 {
+		t.Fatalf("enabled=%d branches=%d, want 1, 1", enabled, branches)
+	}
+	if len(sels[0]) != 1 || sels[0][0] != 1 || nexts[0][1].V != 1 {
+		t.Fatalf("unexpected branch: sel=%v next=%v", sels[0], nexts[0])
+	}
+}
+
+func TestSuccessorsTerminal(t *testing.T) {
+	prog := incProgram(2, 0) // nothing ever enabled
+	cfg := []counter{{0}, {0}}
+	_, _, enabled, branches := collect(t, prog, cfg, sim.SelectAllSubsets, 0)
+	if enabled != 0 || branches != 0 {
+		t.Fatalf("terminal configuration yielded enabled=%d branches=%d", enabled, branches)
+	}
+}
+
+func TestSuccessorsMaxBranchesCap(t *testing.T) {
+	prog := incProgram(4, 5)
+	cfg := make([]counter, 4)
+	_, branches := sim.Successors(prog, cfg, sim.SelectAllSubsets, rand.New(rand.NewSource(1)), 5,
+		func([]int, []counter) bool { return true })
+	if branches != 5 {
+		t.Fatalf("cap ignored: %d branches", branches)
+	}
+}
+
+func TestSuccessorsEarlyStop(t *testing.T) {
+	prog := incProgram(4, 5)
+	cfg := make([]counter, 4)
+	seen := 0
+	_, branches := sim.Successors(prog, cfg, sim.SelectAllSubsets, rand.New(rand.NewSource(1)), 0,
+		func([]int, []counter) bool { seen++; return seen < 3 })
+	if seen != 3 || branches != 3 {
+		t.Fatalf("early stop broken: seen=%d branches=%d", seen, branches)
+	}
+}
+
+func TestSuccessorsPriorityResolution(t *testing.T) {
+	// Two enabled actions: the later-listed (higher-priority) one must
+	// execute, matching Engine semantics (§2.2).
+	prog := &sim.Program[counter]{
+		NumProcs: 1,
+		Actions: []sim.Action[counter]{
+			{Name: "low", Guard: func([]counter, int) bool { return true },
+				Body: func(_ []counter, _ int, next *counter, _ *rand.Rand) { next.V = 1 }},
+			{Name: "high", Guard: func([]counter, int) bool { return true },
+				Body: func(_ []counter, _ int, next *counter, _ *rand.Rand) { next.V = 2 }},
+		},
+		Init: func(int, *rand.Rand) counter { return counter{} },
+	}
+	next := make([]counter, 1)
+	sim.Apply(prog, []counter{{0}}, next, []int{0}, rand.New(rand.NewSource(1)))
+	if next[0].V != 2 {
+		t.Fatalf("priority action not executed: V=%d", next[0].V)
+	}
+}
+
+func TestApplyPanicsOnDisabledSelection(t *testing.T) {
+	prog := incProgram(2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a disabled selection")
+		}
+	}()
+	next := make([]counter, 2)
+	sim.Apply(prog, make([]counter, 2), next, []int{0}, rand.New(rand.NewSource(1)))
+}
+
+// TestSuccessorsCoverEngineSteps: whatever transition the engine takes
+// under any daemon is one of the enumerated SelectAllSubsets branches.
+func TestSuccessorsCoverEngineSteps(t *testing.T) {
+	for _, d := range []sim.Daemon{
+		sim.Synchronous{}, &sim.Central{}, sim.RandomSubset{P: 0.4}, &sim.WeaklyFair{MaxAge: 3},
+	} {
+		prog := incProgram(3, 6)
+		eng := sim.NewEngine(prog, d, 42)
+		for step := 0; step < 30; step++ {
+			prev := append([]counter(nil), eng.Config()...)
+			if eng.Step() == nil {
+				break
+			}
+			got := append([]counter(nil), eng.Config()...)
+			found := false
+			sim.Successors(prog, prev, sim.SelectAllSubsets, rand.New(rand.NewSource(1)), 0,
+				func(_ []int, next []counter) bool {
+					for p := range next {
+						if next[p] != got[p] {
+							return true
+						}
+					}
+					found = true
+					return false
+				})
+			if !found {
+				t.Fatalf("daemon %s step %d: engine transition not enumerated", d.Name(), step)
+			}
+		}
+	}
+}

@@ -58,6 +58,88 @@ const (
 	KindProgress  = "progress"
 )
 
+// MeetsVector evaluates probe.Meets for every committee into dst
+// (grown/resliced as needed) and returns it. Callers on hot paths — the
+// runtime Checker, the exhaustive explorer — compute each
+// configuration's vector once and feed the *Meets variants below, so no
+// committee predicate is evaluated twice for the same configuration.
+func MeetsVector[S any](probe Probe[S], cfg []S, dst []bool) []bool {
+	m := probe.H.M()
+	if cap(dst) < m {
+		dst = make([]bool, m)
+	}
+	dst = dst[:m]
+	for e := 0; e < m; e++ {
+		dst[e] = probe.Meets(cfg, e)
+	}
+	return dst
+}
+
+// ExclusionViolationsMeets appends to dst a violation for every pair of
+// conflicting committees meeting simultaneously (per the configuration's
+// precomputed MeetsVector), and returns the result. Exclusion is a state
+// property: it is checked on every configuration, including initial
+// (possibly corrupted) ones. Both the runtime Checker and the exhaustive
+// explorer (internal/explore) use this predicate, so a sampled run and a
+// model-checked state space judge configurations identically.
+func ExclusionViolationsMeets[S any](probe Probe[S], meets []bool, step int, dst []Violation) []Violation {
+	h := probe.H
+	var meeting []int
+	for e, m := range meets {
+		if m {
+			meeting = append(meeting, e)
+		}
+	}
+	for i := 0; i < len(meeting); i++ {
+		for j := i + 1; j < len(meeting); j++ {
+			if h.Edge(meeting[i]).Conflicts(h.Edge(meeting[j])) {
+				dst = append(dst, Violation{Step: step, Kind: KindExclusion,
+					Msg: fmt.Sprintf("conflicting committees %s and %s meet simultaneously",
+						h.Edge(meeting[i]), h.Edge(meeting[j]))})
+			}
+		}
+	}
+	return dst
+}
+
+// EventViolationsMeets appends to dst the Synchronization and
+// Essential-Discussion violations of one transition prev→next — given
+// the precomputed MeetsVectors of the previous (was) and current (is)
+// configurations — and returns the result:
+//
+//   - a committee that convenes (meets in next but not in prev) must have
+//     had every member waiting in prev (§2.3 Synchronization);
+//   - a committee whose meeting terminates (meets in prev but not in
+//     next) must have had every participant done in prev (§2.4
+//     Essential Discussion, phase 1).
+//
+// Only prev's member states are read (the judged predicates are
+// pre-transition). Because only events *during* the transition are
+// judged, checking every transition from an arbitrary initial
+// configuration checks exactly the snap-stabilization contract (§2.5).
+func EventViolationsMeets[S any](probe Probe[S], prev []S, was, is []bool, step int, dst []Violation) []Violation {
+	h := probe.H
+	for e := 0; e < h.M(); e++ {
+		switch {
+		case is[e] && !was[e]:
+			for _, q := range h.Edge(e) {
+				if !probe.Waiting(prev, q) {
+					dst = append(dst, Violation{Step: step, Kind: KindSync,
+						Msg: fmt.Sprintf("committee %s convened but professor %d was not waiting", h.Edge(e), q)})
+				}
+			}
+		case !is[e] && was[e]:
+			for _, q := range h.Edge(e) {
+				if !probe.Done(prev, q) {
+					dst = append(dst, Violation{Step: step, Kind: KindEssential,
+						Msg: fmt.Sprintf("committee %s terminated but professor %d had not finished its essential discussion", h.Edge(e), q)})
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // Checker validates a run step by step. Feed it consecutive
 // configurations with Check; it accumulates Violations.
 type Checker[S any] struct {
@@ -70,9 +152,10 @@ type Checker[S any] struct {
 
 	Violations []Violation
 
-	prevMeets  []bool
 	havePrev   bool
 	prevCfg    []S
+	prevMeets  []bool // MeetsVector of prevCfg, computed when it was current
+	meetsBuf   []bool
 	allWaitFor []int // per edge: consecutive steps with all members waiting and not meeting
 }
 
@@ -82,6 +165,7 @@ func NewChecker[S any](probe Probe[S], progressWindow int) *Checker[S] {
 		Probe:          probe,
 		ProgressWindow: progressWindow,
 		prevMeets:      make([]bool, probe.H.M()),
+		meetsBuf:       make([]bool, probe.H.M()),
 		allWaitFor:     make([]int, probe.H.M()),
 	}
 }
@@ -95,49 +179,13 @@ func (c *Checker[S]) violate(step int, kind, format string, args ...any) {
 // meetings there are treated as pre-fault and not judged.
 func (c *Checker[S]) Check(step int, cfg []S) {
 	h := c.Probe.H
-	meets := make([]bool, h.M())
-	var meeting []int
-	for e := 0; e < h.M(); e++ {
-		meets[e] = c.Probe.Meets(cfg, e)
-		if meets[e] {
-			meeting = append(meeting, e)
-		}
-	}
+	meets := MeetsVector(c.Probe, cfg, c.meetsBuf) // one evaluation per edge per step
 
 	// Exclusion holds in every configuration, including the initial one.
-	for i := 0; i < len(meeting); i++ {
-		for j := i + 1; j < len(meeting); j++ {
-			if h.Edge(meeting[i]).Conflicts(h.Edge(meeting[j])) {
-				c.violate(step, KindExclusion, "conflicting committees %s and %s meet simultaneously",
-					h.Edge(meeting[i]), h.Edge(meeting[j]))
-			}
-		}
-	}
+	c.Violations = ExclusionViolationsMeets(c.Probe, meets, step, c.Violations)
 
 	if c.havePrev {
-		for e := 0; e < h.M(); e++ {
-			switch {
-			case meets[e] && !c.prevMeets[e]:
-				// Convene event: Synchronization requires every member to
-				// have been waiting in the previous configuration.
-				for _, q := range h.Edge(e) {
-					if !c.Probe.Waiting(c.prevCfg, q) {
-						c.violate(step, KindSync,
-							"committee %s convened but professor %d was not waiting", h.Edge(e), q)
-					}
-				}
-			case !meets[e] && c.prevMeets[e]:
-				// Terminate event: Essential Discussion requires every
-				// participant to have completed phase 1 before anyone
-				// leaves.
-				for _, q := range h.Edge(e) {
-					if !c.Probe.Done(c.prevCfg, q) {
-						c.violate(step, KindEssential,
-							"committee %s terminated but professor %d had not finished its essential discussion", h.Edge(e), q)
-					}
-				}
-			}
-		}
+		c.Violations = EventViolationsMeets(c.Probe, c.prevCfg, c.prevMeets, meets, step, c.Violations)
 
 		if c.ProgressWindow > 0 {
 			for e := 0; e < h.M(); e++ {
@@ -162,7 +210,7 @@ func (c *Checker[S]) Check(step int, cfg []S) {
 		}
 	}
 
-	copy(c.prevMeets, meets)
+	c.prevMeets, c.meetsBuf = meets, c.prevMeets
 	c.prevCfg = append(c.prevCfg[:0], cfg...) // states are value types; shallow copy suffices for reads
 	c.havePrev = true
 }
