@@ -10,11 +10,19 @@
 // configurations × real daemons, monitored by the runtime spec checkers.
 //
 //	cccheck -alg cc2 -topo ring:3                         # exhaustive, all daemon modes
+//	cccheck -alg cc2 -topo ring:4 -init cc -daemon central  # the scaled instance (78k states, <1s)
 //	cccheck -alg cc2 -topo triples:3 -init cc -daemon central
 //	cccheck -alg cc1 -topo star:4 -init random -random-inits 128
 //	cccheck -alg cc2 -topo ring:3 -mutate leave-early     # must be caught (exit 1 + trace)
 //	cccheck -mode random -runs 64 -steps 4000             # randomized scenario harness
 //	cccheck -alg dining -topo ring:3                      # baselines: legit init only
+//	cccheck -alg token-ring -topo ring:5 -symmetry        # quotient modulo ring rotation
+//
+// A run that hits a bound (-max-states/-max-depth/-max-branch) reports
+// "bounded", never "verified". -symmetry requires a model with a
+// verified automorphism group (the token-ring baseline on rings; the
+// CC algorithms on disjoint:K,S) and is exact: same verdict, states
+// quotiented into rotation orbits.
 //
 // Exit status: 0 if every check passed, 1 if any violation was found
 // (counterexample traces are printed), 2 on usage errors.
@@ -50,6 +58,7 @@ func main() {
 		noConverge = flag.Bool("no-converge", false, "skip the one-round convergence check (synchronous mode only)")
 		noDeadlock = flag.Bool("no-deadlock", false, "do not treat terminal configurations as violations")
 		noClosure  = flag.Bool("no-closure", false, "skip the Correct(p)-closure check")
+		symmetry   = flag.Bool("symmetry", false, "explore modulo the model's rotation/block automorphism group (exact; only for models that declare one)")
 		mutate     = flag.String("mutate", "", "deliberately break a guard: "+strings.Join(explore.Mutations(), " | "))
 		seed       = flag.Int64("seed", 1, "random seed")
 		runs       = flag.Int("runs", 32, "random mode: scenarios to run")
@@ -75,7 +84,7 @@ func main() {
 			*topo = "ring:3"
 		}
 		runExhaustive(*algName, *topo, *daemons, *initMode, *randInits, *maxStates, *maxDepth,
-			*maxBranch, !*noConverge, !*noDeadlock, !*noClosure, *mutate, *seed, *traces)
+			*maxBranch, !*noConverge, !*noDeadlock, !*noClosure, *symmetry, *mutate, *seed, *traces)
 	case "random":
 		runRandom(*algName, *topo, *daemons, *runs, *steps, *maxN, *seed, *mutate)
 	default:
@@ -111,7 +120,7 @@ func parseSelectionModes(s string) []sim.SelectionMode {
 }
 
 func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxStates, maxDepth,
-	maxBranch int, checkConverge, checkDeadlock, checkClosure bool, mutation string, seed int64, traces int) {
+	maxBranch int, checkConverge, checkDeadlock, checkClosure, symmetry bool, mutation string, seed int64, traces int) {
 	h, err := hypergraph.Parse(topoSpec, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		fatalf("%v", err)
@@ -120,6 +129,7 @@ func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxSt
 
 	fmt.Printf("topology: %s\n", h)
 	failed := false
+	bounded := false
 	for _, m := range modes {
 		opts := explore.Options{
 			Mode:          m,
@@ -128,6 +138,7 @@ func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxSt
 			MaxBranch:     maxBranch,
 			MaxViolations: traces,
 			CheckDeadlock: checkDeadlock,
+			Symmetry:      symmetry,
 		}
 		var res *explore.Result
 		switch algName {
@@ -143,6 +154,8 @@ func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxSt
 			if err != nil {
 				fatalf("%v", err)
 			}
+			requireSyms(symmetry, factory().Syms == nil,
+				"the CC algorithms read the identifier order (maxByID tie-breaks, min-id leader election), so nontrivial rotations are not automorphisms of CC ∘ TC on connected topologies; -symmetry is exact for CC only on block-symmetric disjoint:K,S topologies with a non-random init family")
 			opts.CheckClosure = checkClosure
 			if m == sim.SelectSynchronous {
 				opts.CheckConvergence = checkConverge
@@ -160,6 +173,8 @@ func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxSt
 			if err != nil {
 				fatalf("%v", err)
 			}
+			requireSyms(symmetry, factory().Syms == nil,
+				"-symmetry needs a declared automorphism group: the token-ring baseline declares ring rotations; dining does not (its fork orientation and request tie-break read the committee index order)")
 			res = explore.Explore(factory, opts)
 		}
 		fmt.Println(res.Summary())
@@ -172,12 +187,29 @@ func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxSt
 		if !res.Ok() {
 			failed = true
 		}
+		if res.Truncated {
+			bounded = true
+		}
 	}
-	if failed {
+	switch {
+	case failed:
 		fmt.Println("RESULT: VIOLATIONS FOUND")
 		os.Exit(1)
+	case bounded:
+		// A truncated run is evidence, not proof: say "bounded", never
+		// "verified".
+		fmt.Println("RESULT: all checks passed within bounds (bounded — NOT a verification)")
+	default:
+		fmt.Println("RESULT: all checks passed — verified exhaustively")
 	}
-	fmt.Println("RESULT: all checks passed")
+}
+
+// requireSyms rejects -symmetry for models without a verified
+// automorphism group, explaining why the group is empty.
+func requireSyms(symmetry, empty bool, why string) {
+	if symmetry && empty {
+		fatalf("this model declares no automorphisms: %s", why)
+	}
 }
 
 // --- Random scenario harness --------------------------------------------------

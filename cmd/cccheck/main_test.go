@@ -52,6 +52,39 @@ func TestCCCheckMutationCaught(t *testing.T) {
 	}
 }
 
+// TestCCCheckSymmetry: the token-ring baseline on a ring explores
+// modulo rotation; the reduced run must reach the same verdict as the
+// unreduced one with fewer states (the differential battery proves the
+// counts orbit-consistent; here the CLI surface is exercised).
+func TestCCCheckSymmetry(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-alg", "token-ring", "-topo", "ring:4", "-daemon", "central", "-symmetry")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "(mod symmetry)") {
+		t.Fatalf("symmetry did not engage:\n%s", out)
+	}
+}
+
+// TestCCCheckBoundedNeverSaysVerified: a truncated run reports
+// "bounded" and must not claim a verification.
+func TestCCCheckBoundedNeverSaysVerified(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-alg", "cc2", "-topo", "ring:3", "-init", "cc", "-daemon", "central", "-max-states", "500")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "bounded") {
+		t.Fatalf("truncated run does not say bounded:\n%s", out)
+	}
+	if strings.Contains(out, "verified") {
+		t.Fatalf("truncated run claims verification:\n%s", out)
+	}
+}
+
 func TestCCCheckRandomHarness(t *testing.T) {
 	bin := cmdtest.Build(t, ".")
 	out, code := cmdtest.Run(t, bin, 3*time.Minute,
@@ -77,6 +110,8 @@ func TestCCCheckFlagErrors(t *testing.T) {
 		{[]string{"-mutate", "nope"}, "unknown mutation"},
 		{[]string{"-mode", "random", "-alg", "dining"}, "random mode supports the CC algorithms"},
 		{[]string{"-alg", "dining", "-mutate", "leave-early"}, "-mutate applies to the CC algorithms"},
+		{[]string{"-alg", "cc2", "-topo", "ring:3", "-symmetry"}, "declares no automorphisms"},
+		{[]string{"-alg", "dining", "-topo", "ring:3", "-symmetry"}, "declares no automorphisms"},
 	} {
 		out, code := cmdtest.Run(t, bin, time.Minute, tc.args...)
 		if code != 2 {

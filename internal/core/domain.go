@@ -1,0 +1,67 @@
+package core
+
+import "math/bits"
+
+// FieldDomains describes the value domain of every field of process p's
+// composed CC ∘ TC state, as cardinalities (plus the status offset).
+// Like EnumStates, this lives next to the algorithms so that a change
+// to a variable or its domain updates the exhaustive checker's binary
+// state codec in the same place. The explorer derives fixed per-field
+// bit budgets from these cardinalities; any encoded value outside its
+// domain is a codec bug and panics there.
+//
+// Domain catalogue (deg is |N(p)| in G_H, edeg is |E_p|, n is |V|):
+//
+//	S       statuses the variant admits (CC1: idle..done; CC2/CC3: looking..done)
+//	P       E_p ∪ {⊥}
+//	T, L    booleans
+//	R       [0, max(1, edeg)) — CC3 keeps the cursor normalized mod |E_p|
+//	TC.Lid  one of the n identifiers
+//	TC.Dist [0, n] (bestLE bounds believed distances below n; faults may
+//	        leave n itself, see token.RandomState)
+//	TC.Parent, TC.Des  N(p) ∪ {-1}
+//	TC.Vis  [0, deg]
+//	TC.A, TC.C  booleans; TC.H ∈ {Hold, Sent}
+type FieldDomains struct {
+	StatusLo Status // smallest admissible status value
+	Status   int    // number of admissible statuses
+	Pointer  int    // |E_p| + 1 (⊥ first)
+	Cursor   int    // max(1, |E_p|)
+	Lid      int    // n
+	Dist     int    // n + 1
+	Parent   int    // deg + 1 (-1 first)
+	Vis      int    // deg + 1
+	Des      int    // deg + 1 (-1 first)
+}
+
+// Domains returns the per-field domains of process p's composed state.
+func (a *Alg) Domains(p int) FieldDomains {
+	n := a.H.N()
+	deg := len(a.H.Neighbors(p))
+	edeg := len(a.H.EdgesOf(p))
+	d := FieldDomains{
+		StatusLo: Looking,
+		Status:   3,
+		Pointer:  edeg + 1,
+		Cursor:   max(1, edeg),
+		Lid:      n,
+		Dist:     n + 1,
+		Parent:   deg + 1,
+		Vis:      deg + 1,
+		Des:      deg + 1,
+	}
+	if a.Variant == CC1 {
+		d.StatusLo, d.Status = Idle, 4
+	}
+	return d
+}
+
+// BitWidth returns the number of bits needed to address card distinct
+// values. A singleton domain needs zero bits: the codec then stores
+// nothing and decoding restores the single admissible value.
+func BitWidth(card int) int {
+	if card <= 1 {
+		return 0
+	}
+	return bits.Len(uint(card - 1))
+}

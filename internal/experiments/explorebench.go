@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+// The explorer throughput benchmark: the same bounded exhaustive
+// workloads run through the binary-codec sharded engine
+// (explore.Explore) and through the preserved PR 2 string-codec serial
+// engine (explore.Reference), yielding states/sec and bytes/state for
+// both plus their ratios. ccbench -explore-json writes the result as
+// BENCH_explore.json — the perf trajectory pin for the explorer, next
+// to BENCH_step.json for the step engine — and -explore-check compares
+// a fresh measurement's speedups against a committed file, failing on a
+// >2× regression (the ratio of ratios is what transfers across
+// machines; absolute states/sec do not).
+
+// ExploreBench is one workload measurement.
+type ExploreBench struct {
+	Workload    string `json:"workload"`
+	Mode        string `json:"mode"`
+	States      int    `json:"states"`
+	Transitions int64  `json:"transitions"`
+	Truncated   bool   `json:"truncated,omitempty"`
+
+	EngineStatesPerSec    float64 `json:"engine_states_per_sec"`
+	EngineBytesPerState   float64 `json:"engine_bytes_per_state"`
+	BaselineStatesPerSec  float64 `json:"baseline_states_per_sec"`
+	BaselineBytesPerState float64 `json:"baseline_bytes_per_state"`
+	Speedup               float64 `json:"speedup"`
+	BytesRatio            float64 `json:"bytes_ratio"`
+}
+
+type exploreWorkload struct {
+	name    string
+	factory func() (run func(ref bool) *explore.Result, err error)
+}
+
+// exploreBenchWorkloads spans the cost spectrum: check-heavy CC cells
+// (central and all-subsets branching) and a deep dedup-bound token-ring
+// cell where the visited-set and codec dominate.
+func exploreBenchWorkloads() []exploreWorkload {
+	ccCell := func(variant core.Variant, h *hypergraph.H, init explore.InitMode, mode sim.SelectionMode) func() (func(bool) *explore.Result, error) {
+		return func() (func(bool) *explore.Result, error) {
+			factory, err := explore.CC(variant, h, explore.CCOptions{Init: init})
+			if err != nil {
+				return nil, err
+			}
+			opts := explore.Options{
+				Mode: mode, MaxStates: 6_000_000,
+				CheckDeadlock: true, CheckClosure: true,
+			}
+			return func(ref bool) *explore.Result {
+				if ref {
+					return explore.Reference(factory, opts)
+				}
+				return explore.Explore(factory, opts)
+			}, nil
+		}
+	}
+	tokenCell := func(n, maxStates int) func() (func(bool) *explore.Result, error) {
+		return func() (func(bool) *explore.Result, error) {
+			factory, err := explore.Baseline(baseline.TokenRing, hypergraph.CommitteeRing(n), 1)
+			if err != nil {
+				return nil, err
+			}
+			opts := explore.Options{
+				Mode: sim.SelectCentral, MaxStates: maxStates, CheckDeadlock: true,
+			}
+			return func(ref bool) *explore.Result {
+				if ref {
+					return explore.Reference(factory, opts)
+				}
+				return explore.Explore(factory, opts)
+			}, nil
+		}
+	}
+	return []exploreWorkload{
+		{"cc2/ring:3/cc-full/central", ccCell(core.CC2, hypergraph.CommitteeRing(3), explore.InitCCFull, sim.SelectCentral)},
+		{"cc2/ring:3/cc-full/all-subsets", ccCell(core.CC2, hypergraph.CommitteeRing(3), explore.InitCCFull, sim.SelectAllSubsets)},
+		{"cc2/ring:4/cc/central", ccCell(core.CC2, hypergraph.CommitteeRing(4), explore.InitCC, sim.SelectCentral)},
+		{"token-ring/ring:7/central/1M", tokenCell(7, 1_000_000)},
+	}
+}
+
+// RunExploreBench measures every workload through both engines,
+// asserting identical state counts and verdicts (a mismatching bench
+// is a bug report, not a measurement).
+func RunExploreBench() ([]ExploreBench, error) {
+	var out []ExploreBench
+	for _, w := range exploreBenchWorkloads() {
+		run, err := w.factory()
+		if err != nil {
+			return nil, fmt.Errorf("explore bench %s: %v", w.name, err)
+		}
+		t0 := time.Now()
+		engine := run(false)
+		dEngine := time.Since(t0)
+		t0 = time.Now()
+		base := run(true)
+		dBase := time.Since(t0)
+		if engine.States != base.States || engine.Transitions != base.Transitions ||
+			engine.Ok() != base.Ok() || engine.Truncated != base.Truncated {
+			return nil, fmt.Errorf("explore bench %s: engines diverged:\n  %s\n  %s", w.name, engine.Summary(), base.Summary())
+		}
+		eSps := float64(engine.States) / dEngine.Seconds()
+		bSps := float64(base.States) / dBase.Seconds()
+		eBps := float64(engine.StateBytes) / float64(engine.States)
+		bBps := float64(base.StateBytes) / float64(base.States)
+		out = append(out, ExploreBench{
+			Workload: w.name, Mode: engine.Mode.String(),
+			States: engine.States, Transitions: engine.Transitions, Truncated: engine.Truncated,
+			EngineStatesPerSec: eSps, EngineBytesPerState: eBps,
+			BaselineStatesPerSec: bSps, BaselineBytesPerState: bBps,
+			Speedup: eSps / bSps, BytesRatio: eBps / bBps,
+		})
+	}
+	return out, nil
+}

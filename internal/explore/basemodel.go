@@ -16,11 +16,23 @@ import (
 // There is no Correct(p) predicate either, so the closure and
 // convergence checks are unavailable; exclusion, synchronization,
 // essential discussion and deadlock-freedom still apply.
+//
+// The token-ring baseline on a committee ring additionally declares the
+// rotation group: its guards are purely structural (no identifier
+// order), so process rotation is a full automorphism and -symmetry
+// explores it modulo rotation. Dining does not qualify — its initial
+// fork orientation and request tie-break read the committee index order
+// (see symmetry.go).
 func Baseline(kind baseline.Kind, h *hypergraph.H, disc int) (func() *Model[baseline.BState], error) {
 	if h.N()+h.M() > 250 {
 		return nil, fmt.Errorf("explore: topology too large for the state codec (n+m=%d; max 250)", h.N()+h.M())
 	}
 	name := fmt.Sprintf("%s/%s", kind, h)
+	layout := newBaseLayout(h, disc, kind == baseline.Dining)
+	var syms []func(dst, src []baseline.BState)
+	if kind == baseline.TokenRing {
+		syms = tokenRingSyms(h)
+	}
 	return func() *Model[baseline.BState] {
 		a := baseline.New(kind, h, disc)
 		prog := a.Program()
@@ -29,10 +41,11 @@ func Baseline(kind baseline.Kind, h *hypergraph.H, disc int) (func() *Model[base
 			Name:  name,
 			Prog:  prog,
 			Probe: a.Probe(),
-			Encode: func(dst []byte, cfg []baseline.BState) []byte {
-				return encodeBase(dst, cfg)
+			Codec: baseCodec(layout),
+			Ref: StringCodec[baseline.BState]{
+				Encode: encodeBase,
+				Decode: func(key string) []baseline.BState { return decodeBase(key, n) },
 			},
-			Decode: func(key string) []baseline.BState { return decodeBase(key, n) },
 			Inits: func(yield func(cfg []baseline.BState) bool) {
 				cfg := make([]baseline.BState, n)
 				for p := 0; p < n; p++ {
@@ -41,78 +54,9 @@ func Baseline(kind baseline.Kind, h *hypergraph.H, disc int) (func() *Model[base
 				yield(cfg)
 			},
 			Render: func(cfg []baseline.BState) string { return renderBase(a, cfg) },
+			Syms:   syms,
 		}
 	}, nil
-}
-
-// encodeBase encodes a baseline configuration: per process a status
-// byte, Club and Age as offset int16s, a phase byte, a flag byte
-// (HasTok, Handing), a fork-vector length byte, then one byte per
-// conflict neighbor packing (Fork, Dirty, Asked). The length prefix
-// makes the encoding self-describing, so Decode needs no topology.
-func encodeBase(dst []byte, cfg []baseline.BState) []byte {
-	for p := range cfg {
-		s := &cfg[p]
-		flags := byte(0)
-		if s.HasTok {
-			flags |= 1
-		}
-		if s.Handing {
-			flags |= 2
-		}
-		dst = append(dst, s.S)
-		dst = appendI16(dst, s.Club)
-		dst = appendI16(dst, s.Age)
-		dst = append(dst, s.Phase, flags, byte(len(s.Fork)))
-		for i := range s.Fork {
-			b := byte(0)
-			if s.Fork[i] {
-				b |= 1
-			}
-			if s.Dirty[i] {
-				b |= 2
-			}
-			if s.Asked[i] {
-				b |= 4
-			}
-			dst = append(dst, b)
-		}
-	}
-	return dst
-}
-
-func decodeBase(key string, n int) []baseline.BState {
-	cfg := make([]baseline.BState, n)
-	o := 0
-	for p := 0; p < n; p++ {
-		s := &cfg[p]
-		s.S = key[o]
-		s.Club = getI16(key, o+1)
-		s.Age = getI16(key, o+3)
-		s.Phase = key[o+5]
-		flags := key[o+6]
-		s.HasTok = flags&1 != 0
-		s.Handing = flags&2 != 0
-		k := int(key[o+7])
-		o += 8
-		if k > 0 {
-			buf := make([]bool, 3*k)
-			s.Fork = buf[0*k : 1*k : 1*k]
-			s.Dirty = buf[1*k : 2*k : 2*k]
-			s.Asked = buf[2*k : 3*k : 3*k]
-			for i := 0; i < k; i++ {
-				b := key[o+i]
-				s.Fork[i] = b&1 != 0
-				s.Dirty[i] = b&2 != 0
-				s.Asked[i] = b&4 != 0
-			}
-			o += k
-		}
-	}
-	if o != len(key) {
-		panic(fmt.Sprintf("explore: baseline key length %d decoded as %d", len(key), o))
-	}
-	return cfg
 }
 
 func renderBase(a *baseline.Alg, cfg []baseline.BState) string {

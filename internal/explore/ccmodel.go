@@ -90,7 +90,8 @@ type CCOptions struct {
 
 // CC returns a Model factory for the given variant over h. Each call of
 // the factory builds an independent Alg (guards use per-Alg scratch, so
-// one instance per worker).
+// one instance per worker); the binary codec layout is topology-only
+// and shared read-only across workers.
 func CC(variant core.Variant, h *hypergraph.H, opts CCOptions) (func() *Model[core.State], error) {
 	if h.N() > 250 || h.M() > 250 {
 		return nil, fmt.Errorf("explore: topology too large for the state codec (n=%d, m=%d; max 250)", h.N(), h.M())
@@ -109,6 +110,24 @@ func CC(variant core.Variant, h *hypergraph.H, opts CCOptions) (func() *Model[co
 	if opts.Mutation != "" {
 		name = fmt.Sprintf("%s+mutate:%s", variant, opts.Mutation)
 	}
+	layoutAlg, _ := newCCProg(variant, h)
+	layout := newCCLayout(layoutAlg)
+	// Block permutations of order-isomorphic single-committee components
+	// are the only id-order-preserving (hence sound) CC automorphisms —
+	// see symmetry.go. InitRandom can plant foreign leader ids, which
+	// reintroduces cross-component id comparisons, so it is excluded.
+	var syms []func(dst, src []core.State)
+	if opts.Init != InitRandom {
+		syms = ccBlockSyms(layoutAlg)
+	}
+	// Correct(p) reads only the closed G_H neighborhood of p (the same
+	// locality every CC ∘ TC guard declares), so its dependency
+	// neighborhood is p plus its co-members.
+	deps := make([][]int, h.N())
+	for p := range deps {
+		nb := h.Neighbors(p)
+		deps[p] = append(append(make([]int, 0, len(nb)+1), nb...), p)
+	}
 	return func() *Model[core.State] {
 		alg, prog := newCCProg(variant, h)
 		if opts.Mutation != "" {
@@ -117,14 +136,19 @@ func CC(variant core.Variant, h *hypergraph.H, opts CCOptions) (func() *Model[co
 			}
 		}
 		return &Model[core.State]{
-			Name:    name,
-			Prog:    prog,
-			Probe:   alg.Probe(),
-			Encode:  encodeCC,
-			Decode:  func(key string) []core.State { return decodeCC(key, h.N()) },
+			Name:  name,
+			Prog:  prog,
+			Probe: alg.Probe(),
+			Codec: ccCodec(layout),
+			Ref: StringCodec[core.State]{
+				Encode: encodeCC,
+				Decode: func(key string) []core.State { return decodeCC(key, h.N()) },
+			},
 			Inits:   ccInits(alg, opts),
 			Correct: alg.Correct,
 			Render:  func(cfg []core.State) string { return renderCC(alg, cfg) },
+			Syms:    syms,
+			Deps:    func(p int) []int { return deps[p] },
 		}
 	}, nil
 }
@@ -203,86 +227,7 @@ func ccInits(alg *core.Alg, opts CCOptions) func(yield func(cfg []core.State) bo
 	}
 }
 
-// --- Canonical codec ----------------------------------------------------------
-
-// appendI16 encodes a small signed int (≥ -1) as two bytes.
-func appendI16(dst []byte, v int) []byte {
-	u := v + 1
-	if u < 0 || u > 0xFFFF {
-		panic(fmt.Sprintf("explore: value %d out of codec range", v))
-	}
-	return append(dst, byte(u>>8), byte(u))
-}
-
-func getI16(key string, i int) int {
-	return int(key[i])<<8 | int(key[i+1]) - 1
-}
-
-// encodeCC produces the canonical byte encoding of a CC ∘ TC
-// configuration: per process, a status byte, a packed flag byte
-// (T, L, A, H, C), and the seven small ints P, R, Lid, Dist, Parent,
-// Vis, Des as offset int16s.
-func encodeCC(dst []byte, cfg []core.State) []byte {
-	for p := range cfg {
-		s := &cfg[p]
-		flags := byte(0)
-		if s.T {
-			flags |= 1
-		}
-		if s.L {
-			flags |= 2
-		}
-		if s.TC.A {
-			flags |= 4
-		}
-		if s.TC.H != 0 {
-			flags |= 8
-		}
-		if s.TC.C != 0 {
-			flags |= 16
-		}
-		dst = append(dst, byte(s.S), flags)
-		dst = appendI16(dst, s.P)
-		dst = appendI16(dst, s.R)
-		dst = appendI16(dst, s.TC.Lid)
-		dst = appendI16(dst, s.TC.Dist)
-		dst = appendI16(dst, s.TC.Parent)
-		dst = appendI16(dst, s.TC.Vis)
-		dst = appendI16(dst, s.TC.Des)
-	}
-	return dst
-}
-
-func decodeCC(key string, n int) []core.State {
-	const per = 2 + 7*2
-	if len(key) != n*per {
-		panic(fmt.Sprintf("explore: key length %d for %d processes", len(key), n))
-	}
-	cfg := make([]core.State, n)
-	for p := 0; p < n; p++ {
-		o := p * per
-		s := &cfg[p]
-		s.S = core.Status(key[o])
-		flags := key[o+1]
-		s.T = flags&1 != 0
-		s.L = flags&2 != 0
-		s.TC.A = flags&4 != 0
-		if flags&8 != 0 {
-			s.TC.H = 1
-		}
-		if flags&16 != 0 {
-			s.TC.C = 1
-		}
-		s.P = getI16(key, o+2)
-		s.R = getI16(key, o+4)
-		s.TC.Lid = getI16(key, o+6)
-		s.TC.Dist = getI16(key, o+8)
-		s.TC.Parent = getI16(key, o+10)
-		s.TC.Vis = getI16(key, o+12)
-		s.TC.Des = getI16(key, o+14)
-	}
-	return cfg
-}
+// --- Rendering ----------------------------------------------------------------
 
 // renderCC pretty-prints a configuration for counterexample traces.
 func renderCC(alg *core.Alg, cfg []core.State) string {

@@ -22,17 +22,30 @@
 // satisfies the committee-coordination spec — the snap-stabilization
 // contract of §2.5 — not merely every meeting observed on sampled
 // schedules. Counterexamples come with a full trace from an initial
-// configuration.
+// configuration, and Replay re-executes every emitted trace through
+// sim.Apply as a vacuity guard.
 //
-// The frontier expands breadth-first, fanning each depth layer across
-// the internal/par worker pool; results are merged in deterministic
-// layer order, so state counts and counterexamples are identical at any
-// pool width.
+// The hot core is built for scale (SPIN-style explicit-state levers):
+// states live as fixed-width bit-packed encodings (Codec) in one
+// append-only arena; deduplication runs through a lock-striped sharded
+// hash set (Visited) that workers probe concurrently while expanding a
+// BFS layer — no serial dedup loop — and a deterministic min-merge on
+// discovery positions keeps every count, id, and counterexample
+// byte-identical at any worker count. Models whose dynamics are
+// invariant under a declared automorphism group (Syms) can additionally
+// be explored modulo symmetry (Options.Symmetry): every state is
+// canonicalized to the lexicographically least encoding in its orbit,
+// shrinking the space by up to the group order with the same verdict.
+// The PR 2 string-codec serial engine survives as Reference, the
+// differential-test oracle.
 package explore
 
 import (
+	"cmp"
+	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"strings"
 
 	"repro/internal/par"
@@ -66,11 +79,13 @@ type Model[S sim.Cloneable[S]] struct {
 	// Probe supplies the abstract spec predicates (same ones the runtime
 	// monitors use).
 	Probe spec.Probe[S]
-	// Encode appends a canonical byte encoding of cfg to dst. Two
-	// configurations are identified iff their encodings are equal.
-	Encode func(dst []byte, cfg []S) []byte
-	// Decode inverts Encode.
-	Decode func(key string) []S
+	// Codec is the binary state codec the engine stores and dedups
+	// through. Two configurations are identified iff their encodings
+	// are equal.
+	Codec Codec[S]
+	// Ref is the PR 2 string codec, used only by Reference (the
+	// differential oracle) and the bench baseline.
+	Ref StringCodec[S]
 	// Inits streams the initial configurations; stop when yield returns
 	// false.
 	Inits func(yield func(cfg []S) bool)
@@ -80,6 +95,19 @@ type Model[S sim.Cloneable[S]] struct {
 	// Render pretty-prints a configuration for counterexample traces
 	// (optional; a generic rendering is used when nil).
 	Render func(cfg []S) string
+	// Syms is the model's verified automorphism group, identity
+	// excluded: each element writes the image of src under one
+	// automorphism into dst (len NumProcs). Declared only when the
+	// permutation provably commutes with the transition relation — see
+	// symmetry.go for what qualifies and why the CC ∘ TC rings do not.
+	Syms []func(dst, src []S)
+	// Deps lists, for process p, the processes whose Correct value may
+	// depend on p's state (the closed dependency neighborhood, p
+	// included). With it, the engine recomputes Correct on a transition
+	// only for processes a selected process can influence and reuses
+	// the parent's values elsewhere — the same locality contract the
+	// incremental step engine uses. nil falls back to recomputing all.
+	Deps func(p int) []int
 }
 
 // Options bound and parameterize an exploration.
@@ -112,6 +140,11 @@ type Options struct {
 	// one step completes one round; unfair modes may defer corrections
 	// arbitrarily long.
 	CheckConvergence bool
+	// Symmetry explores modulo the model's declared automorphism group:
+	// states are canonicalized to the least encoding in their orbit.
+	// Exact (same verdict) precisely because Syms holds only verified
+	// automorphisms; no effect on models that declare none.
+	Symmetry bool
 	// Workers overrides the worker-pool width (0 = par.Workers).
 	Workers int
 }
@@ -123,6 +156,9 @@ type TraceStep struct {
 	Sel []int
 	// Config is the rendered configuration.
 	Config string
+	// Key is the configuration's binary encoding (canonical orbit
+	// representative under Options.Symmetry), enabling Replay.
+	Key []uint64
 }
 
 // Violation is one property violation, with a counterexample trace from
@@ -144,16 +180,21 @@ type Result struct {
 	Mode  sim.SelectionMode
 
 	Inits       int   // initial configurations seeded
-	States      int   // distinct configurations reached
+	States      int   // distinct configurations reached (orbits under Symmetry)
 	Transitions int64 // transitions enumerated
 	Depth       int   // deepest completed BFS layer
 	MaxEnabled  int   // largest enabled set seen
 	Truncated   bool  // a bound was hit (MaxStates/MaxDepth/MaxBranch, or MaxViolations stopped the run)
+	Symmetry    bool  // explored modulo the model's automorphism group
 
 	Deadlocks int // terminal configurations (counted even when not checked)
 	// MaxIncorrectDepth is the deepest configuration violating
 	// AllCorrect (-1 if none, or Correct unavailable).
 	MaxIncorrectDepth int
+
+	// StateBytes is the retained footprint of the dedup structures
+	// (arena + hash set), for the bytes-per-state trajectory.
+	StateBytes int64
 
 	Violations []Violation
 }
@@ -161,38 +202,308 @@ type Result struct {
 // Ok reports whether the exploration found no violations.
 func (r *Result) Ok() bool { return len(r.Violations) == 0 }
 
+// Verdict classifies the run: "verified" is a completed enumeration
+// with no violations, "bounded" means a bound was hit — the explored
+// portion is clean but nothing beyond it is claimed — and "violated"
+// means counterexamples were found. A truncated run is never reported
+// as verified.
+func (r *Result) Verdict() string {
+	switch {
+	case !r.Ok():
+		return "violated"
+	case r.Truncated:
+		return "bounded"
+	default:
+		return "verified"
+	}
+}
+
 // Summary renders a one-line result.
 func (r *Result) Summary() string {
-	trunc := ""
-	if r.Truncated {
-		trunc = " TRUNCATED"
+	sym := ""
+	if r.Symmetry {
+		sym = " (mod symmetry)"
 	}
-	return fmt.Sprintf("%s/%s: %d inits, %d states, %d transitions, depth %d, %d deadlocks, %d violations%s",
-		r.Model, r.Mode, r.Inits, r.States, r.Transitions, r.Depth, r.Deadlocks, len(r.Violations), trunc)
+	return fmt.Sprintf("%s/%s: %d inits, %d states%s, %d transitions, depth %d, %d deadlocks, %d violations — verdict: %s",
+		r.Model, r.Mode, r.Inits, r.States, sym, r.Transitions, r.Depth, r.Deadlocks, len(r.Violations), r.Verdict())
 }
 
 // workerViol is a violation as detected inside a worker, before its
 // trace is reconstructed.
 type workerViol struct {
 	kind, msg string
-	sel       string // selection of the offending transition ("" = state property)
-	nextKey   string // successor configuration ("" = state property)
+	sel       []int    // selection of the offending transition (nil = state property)
+	key       []uint64 // successor encoding (nil = state property)
 }
 
-// succ is one enumerated transition.
-type succ struct {
-	key string // encoded successor
-	sel string // selection, one byte per process index
+// layerAgg accumulates one worker's expansion results for one layer.
+// Everything in it is either order-insensitive (sums, maxima, flags —
+// merged across workers after the layer barrier) or tagged with the
+// item index (violations, sorted back into deterministic item order),
+// so the merged outcome is identical at any worker count and nothing
+// per-item is allocated on the hot path.
+type layerAgg struct {
+	deadlocks   int
+	transitions int64
+	maxEnabled  int
+	truncated   bool
+	incorrect   bool
+	viols       []itemViol
 }
 
-// expansion is the result of expanding one configuration.
-type expansion struct {
-	terminal  bool
-	truncated bool
-	incorrect bool
-	enabled   int
-	succs     []succ
-	viols     []workerViol
+type itemViol struct {
+	item int
+	wv   workerViol
+}
+
+func (a *layerAgg) reset() {
+	a.deadlocks, a.transitions, a.maxEnabled = 0, 0, 0
+	a.truncated, a.incorrect = false, false
+	a.viols = a.viols[:0]
+}
+
+// workerState is the per-worker scratch: one model instance plus every
+// buffer the expansion hot path needs, so expanding a configuration
+// allocates nothing.
+type workerState[S sim.Cloneable[S]] struct {
+	model *Model[S]
+	opts  *Options
+	rng   *rand.Rand
+
+	cfg     []S      // decode buffer for the expanded configuration
+	enc     []uint64 // encode scratch (canonical key after canonKey)
+	baseEnc []uint64 // encoding of the configuration being expanded
+	symCfg  []S      // symmetry-image scratch
+	symEnc  []uint64
+	succ    sim.SuccScratch[S]
+	was, is []bool // meets vectors
+	correct []bool
+	selBuf  []byte
+
+	// Incremental-check scratch: per-successor epoch marks over edges
+	// (meets recomputation) and processes (Correct recomputation).
+	epoch    uint64
+	edgeMark []uint64
+	procMark []uint64
+
+	// Per-expansion cache of applied per-process block payloads: with
+	// deterministic bodies, process p's applied block is identical in
+	// every selection containing p, so SelectAllSubsets encodes each
+	// enabled process once instead of once per subset.
+	stateEpoch uint64
+	payEpoch   []uint64
+	payload    []uint64
+}
+
+func newWorkerState[S sim.Cloneable[S]](m *Model[S], opts *Options) *workerState[S] {
+	n := m.Prog.NumProcs
+	return &workerState[S]{
+		model:    m,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(1)),
+		cfg:      make([]S, n),
+		enc:      make([]uint64, m.Codec.Words),
+		baseEnc:  make([]uint64, m.Codec.Words),
+		symCfg:   make([]S, n),
+		symEnc:   make([]uint64, m.Codec.Words),
+		edgeMark: make([]uint64, m.Probe.H.M()),
+		procMark: make([]uint64, n),
+		payEpoch: make([]uint64, n),
+		payload:  make([]uint64, n),
+	}
+}
+
+// canonKey encodes cfg, canonicalized to the least encoding in its
+// automorphism orbit when symmetry reduction is active. The returned
+// slice is worker scratch, valid until the next call.
+func (ws *workerState[S]) canonKey(cfg []S) []uint64 {
+	m := ws.model
+	m.Codec.Encode(ws.enc, cfg)
+	if !ws.opts.Symmetry {
+		return ws.enc
+	}
+	for _, sym := range m.Syms {
+		sym(ws.symCfg, cfg)
+		m.Codec.Encode(ws.symEnc, ws.symCfg)
+		if wordsLess(ws.symEnc, ws.enc) {
+			ws.enc, ws.symEnc = ws.symEnc, ws.enc
+		}
+	}
+	return ws.enc
+}
+
+func wordsLess(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func copyWords(w []uint64) []uint64 { return append([]uint64(nil), w...) }
+
+// expand checks the state properties of configuration id, enumerates
+// its successors under opts.Mode, probes each into vs (phase-A side of
+// the deterministic merge) and records the transition properties into
+// the worker's layer aggregate.
+func (ws *workerState[S]) expand(vs *Visited, agg *layerAgg, id int32, item, depth int) {
+	m := ws.model
+	opts := ws.opts
+	m.Codec.Decode(ws.cfg, vs.Key(id))
+	cfg := ws.cfg
+	viol := func(wv workerViol) { agg.viols = append(agg.viols, itemViol{item: item, wv: wv}) }
+
+	// State properties: exclusion, deadlock, correctness depth. The
+	// configuration's meets vector is computed once and shared with every
+	// successor's event check.
+	ws.was = spec.MeetsVector(m.Probe, cfg, ws.was)
+	for _, v := range spec.ExclusionViolationsMeets(m.Probe, ws.was, depth, nil) {
+		viol(workerViol{kind: v.Kind, msg: v.Msg})
+	}
+	var correctPrev []bool
+	if m.Correct != nil {
+		if cap(ws.correct) < m.Prog.NumProcs {
+			ws.correct = make([]bool, m.Prog.NumProcs)
+		}
+		correctPrev = ws.correct[:m.Prog.NumProcs]
+		allCorrect := true
+		for p := range correctPrev {
+			correctPrev[p] = m.Correct(cfg, p)
+			allCorrect = allCorrect && correctPrev[p]
+		}
+		if !allCorrect {
+			agg.incorrect = true
+		}
+	}
+
+	// Successor keys are built by patching only the selected processes'
+	// blocks into the parent's encoding when the codec supports it (and
+	// symmetry canonicalization, which must encode whole orbit images,
+	// is off).
+	patch := m.Codec.EncodeProc != nil && !(opts.Symmetry && len(m.Syms) > 0)
+	if patch {
+		copy(ws.baseEnc, vs.Key(id))
+		ws.stateEpoch++
+	}
+	// Once the state bound is exhausted (stable across the whole layer:
+	// promotion is serial, so every worker sees the same count), fresh
+	// successors are doomed — a read-only membership check replaces the
+	// insertion probe, so bounded runs stop allocating pending entries
+	// per dropped state while the truncation flag still fires exactly
+	// when the PR 2 engine's add() would have refused a fresh state.
+	// Checking States() rather than the concurrently-moving pending
+	// count keeps the decision, and hence the reports, deterministic.
+	atCap := opts.MaxStates > 0 && vs.States() >= opts.MaxStates
+	branch := 0
+	enabled, branches := sim.SuccessorsBuf(m.Prog, cfg, opts.Mode, ws.rng, opts.MaxBranch, &ws.succ, func(sel []int, nxt []S) bool {
+		var key []uint64
+		if patch {
+			key = ws.enc
+			copy(key, ws.baseEnc)
+			for _, p := range sel {
+				if ws.payEpoch[p] != ws.stateEpoch {
+					ws.payEpoch[p] = ws.stateEpoch
+					ws.payload[p] = m.Codec.EncodeProc(nxt, p)
+				}
+				patchWords(key, m.Codec.ProcOff[p], m.Codec.ProcBits[p], ws.payload[p])
+			}
+		} else {
+			key = ws.canonKey(nxt)
+		}
+		if atCap {
+			if !vs.Contains(key, hashWords(key)) {
+				agg.truncated = true
+			}
+		} else {
+			pos := uint64(item)<<32 | uint64(branch)
+			ws.selBuf = appendSel(ws.selBuf[:0], sel)
+			vs.Probe(key, hashWords(key), pos, id, ws.selBuf)
+		}
+		branch++
+
+		// Incremental transition checks: a successor differs from cfg
+		// only at the selected processes, so only committees incident to
+		// them can change their meets status (Probe.Meets reads member
+		// states only, so processes beyond the professor range — the
+		// baselines' committee agents — touch no committee), and only
+		// processes in the closed dependency neighborhood can change
+		// Correct.
+		ws.epoch++
+		h := m.Probe.H
+		mEdges := h.M()
+		if cap(ws.is) < mEdges {
+			ws.is = make([]bool, mEdges)
+		}
+		ws.is = ws.is[:mEdges]
+		copy(ws.is, ws.was)
+		for _, p := range sel {
+			if p >= h.N() {
+				continue
+			}
+			for _, e := range h.EdgesOf(p) {
+				if ws.edgeMark[e] != ws.epoch {
+					ws.edgeMark[e] = ws.epoch
+					ws.is[e] = m.Probe.Meets(nxt, e)
+				}
+			}
+		}
+		for _, v := range spec.EventViolationsMeets(m.Probe, cfg, ws.was, ws.is, depth+1, nil) {
+			viol(workerViol{kind: v.Kind, msg: v.Msg, sel: copySel(sel), key: copyWords(key)})
+		}
+		if correctPrev != nil && (opts.CheckClosure || opts.CheckConvergence) {
+			if m.Deps != nil {
+				for _, p := range sel {
+					for _, q := range m.Deps(p) {
+						ws.procMark[q] = ws.epoch
+					}
+				}
+			}
+			for p := range correctPrev {
+				correctNow := correctPrev[p]
+				if m.Deps == nil || ws.procMark[p] == ws.epoch {
+					correctNow = m.Correct(nxt, p)
+				}
+				if opts.CheckClosure && correctPrev[p] && !correctNow {
+					viol(workerViol{
+						kind: KindClosure,
+						msg:  fmt.Sprintf("process %d was Correct but is not after selection %v", p, sel),
+						sel:  copySel(sel), key: copyWords(key),
+					})
+				}
+				if opts.CheckConvergence && !correctNow {
+					// One synchronous step = one completed round: the
+					// stabilization actions have the highest priority, so
+					// every process must be Correct in the successor.
+					viol(workerViol{
+						kind: KindConvergence,
+						msg:  fmt.Sprintf("process %d is still incorrect after a full round (selection %v)", p, sel),
+						sel:  copySel(sel), key: copyWords(key),
+					})
+				}
+			}
+		}
+		return true
+	})
+	agg.transitions += int64(branches)
+	if enabled > agg.maxEnabled {
+		agg.maxEnabled = enabled
+	}
+	if enabled == 0 {
+		agg.deadlocks++
+		if opts.CheckDeadlock {
+			viol(workerViol{kind: KindDeadlock, msg: "no process is enabled"})
+		}
+	}
+	if opts.Mode == sim.SelectAllSubsets && enabled > 0 {
+		// 2^enabled−1 overflows past 62 enabled processes; any such state
+		// is necessarily truncated under a finite branch cap.
+		if enabled > 62 {
+			agg.truncated = true
+		} else if want := (int64(1) << enabled) - 1; int64(branches) < want {
+			agg.truncated = true
+		}
+	}
 }
 
 // Explore runs the bounded exhaustive exploration. newModel must return
@@ -212,64 +523,56 @@ func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Resul
 	if workers < 1 {
 		workers = 1
 	}
-	models := make([]*Model[S], workers)
-	for i := range models {
-		models[i] = newModel()
+	wss := make([]*workerState[S], workers)
+	for i := range wss {
+		wss[i] = newWorkerState(newModel(), &opts)
 	}
-	m0 := models[0]
+	m0 := wss[0].model
 
-	res := &Result{Model: m0.Name, Mode: opts.Mode, MaxIncorrectDepth: -1}
+	res := &Result{
+		Model: m0.Name, Mode: opts.Mode, MaxIncorrectDepth: -1,
+		Symmetry: opts.Symmetry && len(m0.Syms) > 0,
+	}
 
-	visited := make(map[string]int32)
-	var keys []string
+	vs := NewVisited(m0.Codec.Words)
+	vs.SetSerial(workers == 1)
+	aggs := make([]layerAgg, workers)
 	var parentOf []int32
 	var selOf []string
 
-	add := func(key string, parent int32, sel string) (int32, bool) {
-		if id, ok := visited[key]; ok {
-			return id, false
+	// promote drains the pending entries in deterministic discovery
+	// order and assigns dense ids, enforcing the state bound.
+	promote := func() []int32 {
+		fresh := vs.Drain()
+		next := make([]int32, 0, len(fresh))
+		for _, f := range fresh {
+			if opts.MaxStates > 0 && vs.States() >= opts.MaxStates {
+				res.Truncated = true
+				vs.Drop(f)
+				continue
+			}
+			id := vs.Promote(f)
+			parentOf = append(parentOf, f.Parent)
+			selOf = append(selOf, f.Sel)
+			next = append(next, id)
 		}
-		if opts.MaxStates > 0 && len(keys) >= opts.MaxStates {
-			res.Truncated = true
-			return -1, false
-		}
-		id := int32(len(keys))
-		visited[key] = id
-		keys = append(keys, key)
-		parentOf = append(parentOf, parent)
-		selOf = append(selOf, sel)
-		return id, true
+		vs.Reset()
+		return next
 	}
 
-	// Seed the initial layer.
-	var layer []int32
-	var encBuf []byte
+	// Seed the initial layer. The stream stops once more distinct inits
+	// than the state bound have been seen — everything past the bound
+	// would be dropped anyway.
+	seq := uint64(0)
 	m0.Inits(func(cfg []S) bool {
-		encBuf = m0.Encode(encBuf[:0], cfg)
-		if id, fresh := add(string(encBuf), -1, ""); fresh {
-			layer = append(layer, id)
-			res.Inits++
-		}
-		return !res.Truncated
+		key := wss[0].canonKey(cfg)
+		vs.Probe(key, hashWords(key), seq, -1, nil)
+		seq++
+		return opts.MaxStates <= 0 || vs.Pending() <= opts.MaxStates
 	})
-	res.States = len(keys)
-
-	// trace reconstructs the path from an initial configuration to state
-	// id, then appends the offending transition if any.
-	trace := func(id int32, v workerViol) []TraceStep {
-		var path []int32
-		for x := id; x >= 0; x = parentOf[x] {
-			path = append(path, x)
-		}
-		out := make([]TraceStep, 0, len(path)+1)
-		for i := len(path) - 1; i >= 0; i-- {
-			out = append(out, TraceStep{Sel: decodeSel(selOf[path[i]]), Config: m0.render(m0.Decode(keys[path[i]]))})
-		}
-		if v.nextKey != "" {
-			out = append(out, TraceStep{Sel: decodeSel(v.sel), Config: m0.render(m0.Decode(v.nextKey))})
-		}
-		return out
-	}
+	layer := promote()
+	res.Inits = len(layer)
+	res.States = vs.States()
 
 	depth := 0
 	for len(layer) > 0 && len(res.Violations) < opts.MaxViolations {
@@ -277,53 +580,57 @@ func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Resul
 			res.Truncated = true
 			break
 		}
-		// Expand the layer: contiguous chunks, one worker (and one model
-		// instance) per chunk; merge back in layer order for determinism.
-		exps := make([]expansion, len(layer))
-		par.Chunks(len(layer), workers, func(w, lo, hi int) {
-			model := models[w]
-			// One deterministic source per worker: bodies must not
-			// actually depend on it (see Model doc).
-			rng := rand.New(rand.NewSource(1))
-			for i := lo; i < hi; i++ {
-				exps[i] = expandOne(model, keys[layer[i]], depth, opts, rng)
-			}
+		// Phase A (concurrent): expand the layer; workers hash and probe
+		// successors into the sharded set as they go, accumulating
+		// order-insensitive statistics per worker. Phase B (serial):
+		// promote the fresh states in deterministic discovery order and
+		// merge the aggregates (sums and maxima commute; violations are
+		// item-tagged and sorted back into item order).
+		for w := range aggs {
+			aggs[w].reset()
+		}
+		par.ForEachWorker(len(layer), workers, func(w, i int) {
+			wss[w].expand(vs, &aggs[w], layer[i], i, depth)
 		})
-		var next []int32
-		for i, ex := range exps {
-			prev := layer[i]
-			if ex.terminal {
-				res.Deadlocks++
-			}
-			if ex.truncated {
+		next := promote()
+
+		var viols []itemViol
+		for w := range aggs {
+			a := &aggs[w]
+			res.Deadlocks += a.deadlocks
+			res.Transitions += a.transitions
+			if a.truncated {
 				res.Truncated = true
 			}
-			if ex.incorrect && depth > res.MaxIncorrectDepth {
+			if a.incorrect && depth > res.MaxIncorrectDepth {
 				res.MaxIncorrectDepth = depth
 			}
-			if ex.enabled > res.MaxEnabled {
-				res.MaxEnabled = ex.enabled
+			if a.maxEnabled > res.MaxEnabled {
+				res.MaxEnabled = a.maxEnabled
 			}
-			res.Transitions += int64(len(ex.succs))
-			for _, s := range ex.succs {
-				if id, fresh := add(s.key, prev, s.sel); fresh {
-					next = append(next, id)
-				}
+			if len(a.viols) > 0 {
+				viols = append(viols, a.viols...)
 			}
-			for _, v := range ex.viols {
+		}
+		if len(viols) > 0 {
+			// Stable: one item is expanded by one worker, which appends
+			// its violations in detection order.
+			slices.SortStableFunc(viols, func(a, b itemViol) int { return cmp.Compare(a.item, b.item) })
+			for _, iv := range viols {
 				if len(res.Violations) >= opts.MaxViolations {
 					break
 				}
 				d := depth
-				if v.nextKey != "" {
+				if iv.wv.key != nil {
 					d++
 				}
 				res.Violations = append(res.Violations, Violation{
-					Kind: v.kind, Msg: v.msg, Depth: d, Trace: trace(prev, v),
+					Kind: iv.wv.kind, Msg: iv.wv.msg, Depth: d,
+					Trace: buildTrace(m0, vs, parentOf, selOf, layer[iv.item], iv.wv),
 				})
 			}
 		}
-		res.States = len(keys)
+		res.States = vs.States()
 		depth++
 		res.Depth = depth
 		layer = next
@@ -331,82 +638,118 @@ func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Resul
 	if len(res.Violations) >= opts.MaxViolations {
 		res.Truncated = true
 	}
+	res.StateBytes = vs.Bytes()
 	return res
 }
 
-// expandOne checks the state properties of one configuration and
-// enumerates its successors with the transition properties.
-func expandOne[S sim.Cloneable[S]](model *Model[S], key string, depth int, opts Options, rng *rand.Rand) expansion {
-	cfg := model.Decode(key)
-	var ex expansion
-
-	// State properties: exclusion, deadlock, correctness depth. The
-	// configuration's meets vector is computed once and shared with every
-	// successor's event check.
-	wasMeets := spec.MeetsVector(model.Probe, cfg, nil)
-	for _, v := range spec.ExclusionViolationsMeets(model.Probe, wasMeets, depth, nil) {
-		ex.viols = append(ex.viols, workerViol{kind: v.Kind, msg: v.Msg})
+// buildTrace reconstructs the path from an initial configuration to
+// state id, then appends the offending transition if any.
+func buildTrace[S sim.Cloneable[S]](m *Model[S], vs *Visited, parentOf []int32, selOf []string, id int32, wv workerViol) []TraceStep {
+	var path []int32
+	for x := id; x >= 0; x = parentOf[x] {
+		path = append(path, x)
 	}
-	var correctPrev []bool
-	if model.Correct != nil {
-		correctPrev = make([]bool, model.Prog.NumProcs)
-		allCorrect := true
-		for p := range correctPrev {
-			correctPrev[p] = model.Correct(cfg, p)
-			allCorrect = allCorrect && correctPrev[p]
-		}
-		ex.incorrect = !allCorrect
+	decode := func(key []uint64) []S {
+		cfg := make([]S, m.Prog.NumProcs)
+		m.Codec.Decode(cfg, key)
+		return cfg
 	}
+	out := make([]TraceStep, 0, len(path)+1)
+	for i := len(path) - 1; i >= 0; i-- {
+		x := path[i]
+		key := copyWords(vs.Key(x))
+		out = append(out, TraceStep{Sel: decodeSel(selOf[x]), Config: m.render(decode(key)), Key: key})
+	}
+	if wv.key != nil {
+		out = append(out, TraceStep{Sel: wv.sel, Config: m.render(decode(wv.key)), Key: wv.key})
+	}
+	return out
+}
 
-	var encBuf []byte
-	var isMeets []bool
-	enabled, branches := sim.Successors(model.Prog, cfg, opts.Mode, rng, opts.MaxBranch, func(sel []int, nxt []S) bool {
-		encBuf = model.Encode(encBuf[:0], nxt)
-		s := succ{key: string(encBuf), sel: encodeSel(sel)}
-		ex.succs = append(ex.succs, s)
-		isMeets = spec.MeetsVector(model.Probe, nxt, isMeets)
-		for _, v := range spec.EventViolationsMeets(model.Probe, cfg, wasMeets, isMeets, depth+1, nil) {
-			ex.viols = append(ex.viols, workerViol{kind: v.Kind, msg: v.Msg, sel: s.sel, nextKey: s.key})
+// Replay re-executes a counterexample trace step for step through
+// sim.Apply and re-detects the reported violation at the end — the
+// vacuity guard behind the mutation-catch tests: a trace that does not
+// replay, or replays without reproducing its violation, is a checker
+// bug. symmetry must echo Result.Symmetry: under symmetry reduction the
+// trace holds orbit representatives, so each applied step is compared
+// modulo the automorphism group (exact for verified automorphisms).
+func Replay[S sim.Cloneable[S]](m *Model[S], v Violation, symmetry bool) error {
+	n := m.Prog.NumProcs
+	if len(v.Trace) == 0 {
+		return errors.New("explore: empty trace")
+	}
+	if v.Trace[0].Sel != nil {
+		return errors.New("explore: trace does not start at an initial configuration")
+	}
+	opts := Options{Symmetry: symmetry}
+	ws := newWorkerState(m, &opts)
+	cur := make([]S, n)
+	nxt := make([]S, n)
+	m.Codec.Decode(cur, v.Trace[0].Key)
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i < len(v.Trace); i++ {
+		step := v.Trace[i]
+		sim.Apply(m.Prog, cur, nxt, step.Sel, rng)
+		got := ws.canonKey(nxt)
+		for w := range got {
+			if got[w] != step.Key[w] {
+				return fmt.Errorf("explore: step %d of the trace does not replay: applying %v diverges from the recorded state", i, step.Sel)
+			}
 		}
-		if correctPrev != nil && (opts.CheckClosure || opts.CheckConvergence) {
-			for p := range correctPrev {
-				correctNow := model.Correct(nxt, p)
-				if opts.CheckClosure && correctPrev[p] && !correctNow {
-					ex.viols = append(ex.viols, workerViol{
-						kind: KindClosure,
-						msg:  fmt.Sprintf("process %d was Correct but is not after selection %v", p, sel),
-						sel:  s.sel, nextKey: s.key,
-					})
+		// Continue from the recorded representative (identical to nxt
+		// without symmetry; its canonical image with).
+		m.Codec.Decode(cur, step.Key)
+	}
+	return replayDetect(m, ws, cur, v)
+}
+
+// replayDetect re-runs the property checks at the end of a replayed
+// trace and confirms a violation of v.Kind is (re)detected there.
+func replayDetect[S sim.Cloneable[S]](m *Model[S], ws *workerState[S], last []S, v Violation) error {
+	n := m.Prog.NumProcs
+	kinds := map[string]bool{}
+	if v.Kind == KindDeadlock {
+		if en := sim.EnabledOf(m.Prog, last, nil); len(en) == 0 {
+			kinds[KindDeadlock] = true
+		}
+	}
+	was := spec.MeetsVector(m.Probe, last, nil)
+	for _, sv := range spec.ExclusionViolationsMeets(m.Probe, was, v.Depth, nil) {
+		kinds[sv.Kind] = true
+	}
+	if len(v.Trace) >= 2 {
+		// Transition properties: re-check the final recorded transition
+		// against the *applied* successor, exactly as the expansion did.
+		// Under symmetry the recorded final state is the successor's
+		// canonical image — a permutation of the applied one — and
+		// pairing it with the un-permuted predecessor would misalign the
+		// edge-wise event comparison, so the successor is re-derived.
+		fin := v.Trace[len(v.Trace)-1]
+		prev := make([]S, n)
+		m.Codec.Decode(prev, v.Trace[len(v.Trace)-2].Key)
+		cur := make([]S, n)
+		sim.Apply(m.Prog, prev, cur, fin.Sel, rand.New(rand.NewSource(1)))
+		pw := spec.MeetsVector(m.Probe, prev, nil)
+		cw := spec.MeetsVector(m.Probe, cur, nil)
+		for _, sv := range spec.EventViolationsMeets(m.Probe, prev, pw, cw, v.Depth, nil) {
+			kinds[sv.Kind] = true
+		}
+		if m.Correct != nil {
+			for p := 0; p < n; p++ {
+				correctNow := m.Correct(cur, p)
+				if m.Correct(prev, p) && !correctNow {
+					kinds[KindClosure] = true
 				}
-				if opts.CheckConvergence && !correctNow {
-					// One synchronous step = one completed round: the
-					// stabilization actions have the highest priority, so
-					// every process must be Correct in the successor.
-					ex.viols = append(ex.viols, workerViol{
-						kind: KindConvergence,
-						msg:  fmt.Sprintf("process %d is still incorrect after a full round (selection %v)", p, sel),
-						sel:  s.sel, nextKey: s.key,
-					})
+				if !correctNow {
+					kinds[KindConvergence] = true
 				}
 			}
 		}
-		return true
-	})
-	ex.enabled = enabled
-	ex.terminal = enabled == 0
-	if ex.terminal && opts.CheckDeadlock {
-		ex.viols = append(ex.viols, workerViol{kind: KindDeadlock, msg: "no process is enabled"})
 	}
-	if opts.Mode == sim.SelectAllSubsets && enabled > 0 {
-		// 2^enabled−1 overflows past 62 enabled processes; any such state
-		// is necessarily truncated under a finite branch cap.
-		if enabled > 62 {
-			ex.truncated = true
-		} else if want := (int64(1) << enabled) - 1; int64(branches) < want {
-			ex.truncated = true
-		}
+	if !kinds[v.Kind] {
+		return fmt.Errorf("explore: replayed trace does not reproduce a %s violation", v.Kind)
 	}
-	return ex
+	return nil
 }
 
 func (m *Model[S]) render(cfg []S) string {
@@ -420,17 +763,18 @@ func (m *Model[S]) render(cfg []S) string {
 	return strings.Join(parts, " | ")
 }
 
-// encodeSel packs a selection as one byte per process index.
-func encodeSel(sel []int) string {
-	b := make([]byte, len(sel))
-	for i, p := range sel {
+// appendSel packs a selection as one byte per process index.
+func appendSel(dst []byte, sel []int) []byte {
+	for _, p := range sel {
 		if p > 255 {
 			panic("explore: process index out of byte range")
 		}
-		b[i] = byte(p)
+		dst = append(dst, byte(p))
 	}
-	return string(b)
+	return dst
 }
+
+func copySel(sel []int) []int { return append([]int(nil), sel...) }
 
 func decodeSel(s string) []int {
 	if s == "" {

@@ -187,6 +187,53 @@ func TestBaselineDiningDeadlockFound(t *testing.T) {
 	}
 }
 
+// TestExhaustiveCC2Ring4 is the scale acceptance check this PR adds:
+// the 4-committee ring's full CC-fault family verifies exhaustively
+// under central branching (78k reachable configurations) — out of
+// reach for the PR 2 engine's CI budget, routine for the binary-codec
+// explorer. CI runs the same instance through the cccheck CLI.
+func TestExhaustiveCC2Ring4(t *testing.T) {
+	factory := mustCC(t, core.CC2, hypergraph.CommitteeRing(4), CCOptions{Init: InitCC})
+	res := Explore(factory, Options{Mode: sim.SelectCentral, CheckDeadlock: true, CheckClosure: true})
+	if res.Truncated || !res.Ok() || res.Deadlocks != 0 {
+		t.Fatalf("ring:4: %s", res.Summary())
+	}
+	if res.Verdict() != "verified" {
+		t.Fatalf("ring:4 verdict: %s", res.Verdict())
+	}
+	if res.Inits != 6561 { // (3 statuses x 3 pointers)^4
+		t.Fatalf("ring:4: expected 6561 initial configurations, got %d", res.Inits)
+	}
+}
+
+// TestTokenRingSimultaneousWedgeFound pins a finding the all-subsets
+// branching surfaced: the token-ring baseline's two-step handover
+// handshake has a terminal configuration on the 3-ring that only
+// simultaneous activations reach — central schedules verify
+// deadlock-free, the fully general distributed daemon does not. The
+// counterexample replays through sim.Apply. (The snap-stabilizing CC
+// algorithms verify deadlock-free under the same branching.)
+func TestTokenRingSimultaneousWedgeFound(t *testing.T) {
+	factory, err := Baseline(baseline.TokenRing, hypergraph.CommitteeRing(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central := Explore(factory, Options{Mode: sim.SelectCentral, CheckDeadlock: true})
+	if central.Deadlocks != 0 || !central.Ok() {
+		t.Fatalf("central schedules unexpectedly wedge: %s", central.Summary())
+	}
+	all := Explore(factory, Options{Mode: sim.SelectAllSubsets, CheckDeadlock: true, MaxViolations: 1})
+	if all.Deadlocks == 0 {
+		t.Fatal("simultaneous-schedule wedge disappeared — update this pin and the README finding")
+	}
+	if len(all.Violations) == 0 {
+		t.Fatal("wedge not reported as a deadlock violation")
+	}
+	if err := Replay(factory(), all.Violations[0], false); err != nil {
+		t.Fatalf("wedge trace does not replay: %v", err)
+	}
+}
+
 // TestCCCodecRoundTrip: Encode∘Decode is the identity on random
 // composed states, so state-graph memoization identifies exactly the
 // equal configurations.

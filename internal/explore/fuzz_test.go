@@ -1,0 +1,237 @@
+package explore
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+// fuzzTopo derives a small fixed topology from a fuzz byte.
+func fuzzTopo(b byte) *hypergraph.H {
+	switch b % 5 {
+	case 0:
+		return hypergraph.CommitteeRing(3 + int(b/5)%3)
+	case 1:
+		return hypergraph.Star(3 + int(b/5)%3)
+	case 2:
+		return hypergraph.ChainOfTriples(2 + int(b/5)%2)
+	case 3:
+		return hypergraph.Figure1()
+	default:
+		return hypergraph.DisjointCommittees(2+int(b/5)%2, 2+int(b/5)%2)
+	}
+}
+
+// FuzzCodecRoundTrip: the binary codecs must be exact inverses over
+// random valid composed states — for the CC codec across all three
+// variants (core.Alg.RandomState draws every field from its full
+// domain, token layer included) and for the baseline codec across
+// engine-reachable dining/token-ring states. State identity in the
+// explorer is encoding equality, so any round-trip defect is a
+// soundness bug, not a cosmetic one.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(1))
+	f.Add(int64(42), byte(7), byte(2))
+	f.Add(int64(-3), byte(11), byte(3))
+	f.Fuzz(func(t *testing.T, seed int64, topoByte, variantByte byte) {
+		h := fuzzTopo(topoByte)
+		rng := rand.New(rand.NewSource(seed))
+
+		// CC codec over fully random states.
+		variant := []core.Variant{core.CC1, core.CC2, core.CC3}[variantByte%3]
+		alg := core.New(variant, h, core.NewScripted(h.N()))
+		layout := newCCLayout(alg)
+		cfg := make([]core.State, h.N())
+		for p := range cfg {
+			cfg[p] = alg.RandomState(p, rng)
+		}
+		enc := make([]uint64, layout.words)
+		layout.encode(enc, cfg)
+		back := make([]core.State, h.N())
+		layout.decode(back, enc)
+		for p := range cfg {
+			if cfg[p] != back[p] {
+				t.Fatalf("CC round trip: process %d: %+v != %+v", p, cfg[p], back[p])
+			}
+		}
+		enc2 := make([]uint64, layout.words)
+		layout.encode(enc2, back)
+		if !wordsEqual(enc, enc2) {
+			t.Fatal("CC re-encoding differs")
+		}
+		// Patch-encoding a process into its own slot is the identity.
+		for p := range cfg {
+			patchWords(enc2, layout.procOff[p], layout.procBits[p], layout.encodeProc(cfg, p))
+		}
+		if !wordsEqual(enc, enc2) {
+			t.Fatal("CC patch encoding diverges from full encoding")
+		}
+
+		// Baseline codec over engine-reachable states (BState's
+		// per-neighbor vectors have no uniform random generator; a short
+		// run under a random daemon covers the fork machinery).
+		kind := baseline.Dining
+		if variantByte%2 == 1 {
+			kind = baseline.TokenRing
+		}
+		a := baseline.New(kind, h, 1+int(variantByte%3))
+		bl := newBaseLayout(h, a.Disc, kind == baseline.Dining)
+		eng := sim.NewEngine(a.Program(), sim.RandomSubset{P: 0.5}, seed)
+		bEnc := make([]uint64, bl.words)
+		bEnc2 := make([]uint64, bl.words)
+		bBack := make([]baseline.BState, a.NumProcs())
+		for i := 0; i < 24; i++ {
+			bcfg := eng.Config()
+			bl.encode(bEnc, bcfg)
+			bl.decode(bBack, bEnc)
+			if !reflect.DeepEqual(normalizeB(bcfg), normalizeB(bBack)) {
+				t.Fatalf("baseline round trip diverged at step %d", i)
+			}
+			bl.encode(bEnc2, bBack)
+			if !wordsEqual(bEnc, bEnc2) {
+				t.Fatalf("baseline re-encoding differs at step %d", i)
+			}
+			if bl.incr {
+				for p := range bcfg {
+					patchWords(bEnc2, bl.procOff[p], bl.procBits[p], bl.encodeProc(bcfg, p))
+				}
+				if !wordsEqual(bEnc, bEnc2) {
+					t.Fatal("baseline patch encoding diverges from full encoding")
+				}
+			}
+			if eng.Step() == nil {
+				break
+			}
+		}
+	})
+}
+
+// normalizeB maps empty fork vectors to nil so DeepEqual compares
+// decoded states by value (the codec may materialize zero-length
+// slices where the engine holds nil).
+func normalizeB(cfg []baseline.BState) []baseline.BState {
+	out := append([]baseline.BState(nil), cfg...)
+	for i := range out {
+		if len(out[i].Fork) == 0 {
+			out[i].Fork, out[i].Dirty, out[i].Asked = nil, nil, nil
+		}
+	}
+	return out
+}
+
+// FuzzVisitedSet: the concurrent sharded set must be linearizable
+// against a mutex-map oracle under the explorer's phase discipline —
+// concurrent probes, then a serial drain/promote. The oracle resolves
+// duplicate proposals by minimum position, exactly the determinism
+// contract the BFS relies on.
+func FuzzVisitedSet(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(3))
+	f.Add([]byte{0, 0, 0, 1, 1, 2, 255, 254, 3, 3, 3, 9}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, layersByte uint8) {
+		const words = 2
+		vs := NewVisited(words)
+		type oracleEntry struct {
+			pos    uint64
+			parent int32
+			sel    string
+			id     int32 // -1 while pending
+		}
+		oracle := map[[words]uint64]*oracleEntry{}
+		nextID := int32(0)
+
+		layers := 1 + int(layersByte%4)
+		chunk := len(data)/layers + 1
+		for layer := 0; layer < layers; layer++ {
+			lo := layer * chunk
+			if lo >= len(data) {
+				break
+			}
+			hi := min(lo+chunk, len(data))
+			ops := data[lo:hi]
+
+			// Oracle (serial, min-pos merge over this layer's proposals).
+			for i, b := range ops {
+				key := [words]uint64{uint64(b % 13), uint64(b / 13)}
+				pos := uint64(layer)<<32 | uint64(i)
+				parent := int32(int(b)%int(nextID+1)) - 1
+				sel := []byte{b}
+				if e, ok := oracle[key]; ok {
+					if e.id < 0 && pos < e.pos {
+						e.pos, e.parent, e.sel = pos, parent, string(sel)
+					}
+					continue
+				}
+				oracle[key] = &oracleEntry{pos: pos, parent: parent, sel: string(sel), id: -1}
+			}
+
+			// Concurrent probes, striped over 4 goroutines.
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := g; i < len(ops); i += 4 {
+						b := ops[i]
+						key := []uint64{uint64(b % 13), uint64(b / 13)}
+						pos := uint64(layer)<<32 | uint64(i)
+						parent := int32(int(b)%int(nextID+1)) - 1
+						vs.Probe(key, hashWords(key), pos, parent, []byte{b})
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			// Serial drain: entries must match the oracle's fresh set,
+			// sorted by position, and promote in that order.
+			fresh := vs.Drain()
+			var expect []*oracleEntry
+			for _, e := range oracle {
+				if e.id < 0 {
+					expect = append(expect, e)
+				}
+			}
+			if len(fresh) != len(expect) {
+				t.Fatalf("layer %d: %d fresh vs %d expected", layer, len(fresh), len(expect))
+			}
+			for i, fr := range fresh {
+				if i > 0 && fresh[i-1].Pos >= fr.Pos {
+					t.Fatalf("layer %d: drain not strictly sorted", layer)
+				}
+				key := [words]uint64{fr.key[0], fr.key[1]}
+				e := oracle[key]
+				if e == nil || e.id >= 0 {
+					t.Fatalf("layer %d: drained unknown or already-promoted key", layer)
+				}
+				if e.pos != fr.Pos || e.parent != fr.Parent || e.sel != fr.Sel {
+					t.Fatalf("layer %d: entry mismatch: oracle (%d,%d,%q) vs (%d,%d,%q)",
+						layer, e.pos, e.parent, e.sel, fr.Pos, fr.Parent, fr.Sel)
+				}
+				id := vs.Promote(fr)
+				if id != nextID {
+					t.Fatalf("layer %d: promoted id %d, want %d", layer, id, nextID)
+				}
+				e.id = id
+				nextID++
+			}
+			vs.Reset()
+
+			// Every promoted key must now answer with its id.
+			for key, e := range oracle {
+				k := []uint64{key[0], key[1]}
+				if got := vs.Probe(k, hashWords(k), ^uint64(0), -1, nil); got != e.id {
+					t.Fatalf("layer %d: lookup of promoted key returned %d, want %d", layer, got, e.id)
+				}
+			}
+			vs.Reset()
+		}
+		if vs.States() != int(nextID) {
+			t.Fatalf("state count %d, want %d", vs.States(), nextID)
+		}
+	})
+}

@@ -87,16 +87,19 @@ func TestEngineTransitionsAreEnumerated(t *testing.T) {
 	_ = alg
 	eng := sim.NewEngine(prog, &sim.WeaklyFair{MaxAge: 4}, 11)
 
+	enc := make([]uint64, model.Codec.Words)
 	for step := 0; step < 120; step++ {
 		prev := append([]core.State(nil), eng.Config()...)
 		if eng.Step() == nil {
 			break
 		}
-		nextKey := string(model.Encode(nil, eng.Config()))
+		model.Codec.Encode(enc, eng.Config())
+		nextKey := wordsString(enc)
 		found := false
 		rng := rand.New(rand.NewSource(1))
 		sim.Successors(model.Prog, prev, sim.SelectAllSubsets, rng, 0, func(_ []int, nxt []core.State) bool {
-			if string(model.Encode(nil, nxt)) == nextKey {
+			model.Codec.Encode(enc, nxt)
+			if wordsString(enc) == nextKey {
 				found = true
 				return false
 			}

@@ -1,0 +1,395 @@
+package explore
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Visited is the explorer's concurrent deduplication structure: a
+// lock-striped, power-of-two-sharded open-addressing hash set over
+// fixed-width binary state encodings, backed by one append-only state
+// arena keyed by dense state index.
+//
+// The BFS uses it in a two-phase rhythm that keeps every report
+// byte-identical at any worker count:
+//
+//  1. During a layer expansion (concurrent), workers Probe each
+//     successor directly: known states answer immediately, unknown
+//     states become *pending* entries. A pending entry remembers the
+//     least (item, branch) layer position that proposed it — a min
+//     merge under the shard lock, so the surviving parent/selection is
+//     the one the PR 2 serial loop would have picked regardless of
+//     which worker got there first.
+//  2. Between layers (serial), Drain returns the pending entries
+//     sorted by that position; the caller promotes them in order,
+//     which appends their encodings to the arena and assigns dense
+//     ids — exactly the PR 2 discovery order.
+//
+// Promoted encodings live only in the arena (slots store the id), so
+// the steady-state cost per state is words*8 bytes of arena plus one
+// 8-byte slot (amortized over the table's load factor).
+type Visited struct {
+	words  int
+	shards []vshard
+	smask  uint64
+
+	arena    []uint64 // promoted states: id n at [n*words, (n+1)*words)
+	nstates  int
+	serial   bool    // single worker: skip the stripe locks
+	drainBuf []Fresh // reused across Drain calls
+
+	pending atomic.Int64
+}
+
+const (
+	slotEmpty int32 = -1 // never used
+	slotTomb  int32 = -2 // dropped pending entry (capacity bound)
+	slotPend  int32 = -3 // pending: pidx names the shard-local entry
+)
+
+// vslot is 8 bytes: the key itself lives in the arena (promoted) or
+// the shard's pending buffer, and full hashes are recomputed on resize,
+// so the steady-state table cost is 8 bytes per slot. pidx is the
+// pending-entry index while pending; promotion repurposes it as a
+// 32-bit hash tag, so probe chains reject mismatches without touching
+// the arena (the random-access load that would otherwise dominate
+// lookups in large spaces).
+type vslot struct {
+	ref  int32 // state id when >= 0, else one of the sentinels above
+	pidx int32 // pending index (ref == slotPend) or hash tag (ref >= 0)
+}
+
+type vshard struct {
+	mu     sync.Mutex
+	slots  []vslot
+	filled int // non-empty slots, tombstones included (probe-chain load)
+	pend   []pendEntry
+	keys   []uint64 // backing storage for pending keys
+}
+
+type pendEntry struct {
+	hash   uint64
+	pos    uint64 // least (item, branch) proposing this state
+	parent int32
+	sel    string
+	key    []uint64 // aliases vshard.keys
+}
+
+// Fresh is one drained pending entry, in deterministic discovery order.
+type Fresh struct {
+	Pos    uint64
+	Parent int32
+	Sel    string
+
+	hash uint64
+	key  []uint64
+}
+
+// selString interns a selection byte string: the overwhelmingly common
+// single-process selections (central branching) share one string per
+// process index instead of allocating per fresh state.
+func selString(sel []byte) string {
+	switch len(sel) {
+	case 0:
+		return ""
+	case 1:
+		return singleSel[sel[0]]
+	}
+	return string(sel)
+}
+
+var singleSel = func() (t [256]string) {
+	for i := range t {
+		t[i] = string([]byte{byte(i)})
+	}
+	return
+}()
+
+// NewVisited builds a set for states of the given word width.
+func NewVisited(words int) *Visited {
+	const nshards = 64
+	v := &Visited{words: words, smask: nshards - 1, shards: make([]vshard, nshards)}
+	for i := range v.shards {
+		v.shards[i].slots = make([]vslot, 64)
+		for j := range v.shards[i].slots {
+			v.shards[i].slots[j].ref = slotEmpty
+		}
+	}
+	return v
+}
+
+// hashWords mixes a state encoding (splitmix64-style finalizer per
+// word; fixed seed, so runs are reproducible).
+func hashWords(key []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range key {
+		h ^= w
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+	}
+	h ^= h >> 31
+	return h
+}
+
+// States returns the number of promoted states.
+func (v *Visited) States() int { return v.nstates }
+
+// Pending returns the number of pending entries (serial phases only —
+// the init-stream bound check; workers never read it).
+func (v *Visited) Pending() int { return int(v.pending.Load()) }
+
+// Key returns the encoding of promoted state id (read-only view into
+// the arena; valid until the next promotion batch reallocates it, so
+// decode before the next Drain/promote cycle or copy).
+func (v *Visited) Key(id int32) []uint64 {
+	off := int(id) * v.words
+	return v.arena[off : off+v.words : off+v.words]
+}
+
+// Bytes reports the retained footprint of the dedup structures: arena
+// plus slot tables plus pending buffers, entry structs included (the
+// README/bench bytes-per-state accounting).
+func (v *Visited) Bytes() int64 {
+	const pendEntrySize = 64 // hash+pos+parent+string header+slice header
+	b := int64(cap(v.arena)) * 8
+	for i := range v.shards {
+		sh := &v.shards[i]
+		b += int64(cap(sh.slots)) * 8
+		b += int64(cap(sh.keys)) * 8
+		b += int64(cap(sh.pend)) * pendEntrySize
+	}
+	b += int64(cap(v.drainBuf)) * 48
+	return b
+}
+
+// Probe looks up key (with its precomputed hash) and, when absent,
+// records it as pending with the proposing layer position, parent and
+// selection. When the key is already pending, the least position wins.
+// Returns the promoted id (>= 0) when the state is already part of the
+// arena, or a negative value otherwise. sel is copied only when a
+// pending entry is created or improved.
+func (v *Visited) Probe(key []uint64, hash uint64, pos uint64, parent int32, sel []byte) int32 {
+	sh := &v.shards[hash&v.smask]
+	if v.serial {
+		return v.probeLocked(sh, key, hash, pos, parent, sel)
+	}
+	sh.mu.Lock()
+	id := v.probeLocked(sh, key, hash, pos, parent, sel)
+	sh.mu.Unlock()
+	return id
+}
+
+// SetSerial marks the set as single-goroutine (one worker): Probe then
+// skips the stripe locks. Purely an optimization; results are identical.
+func (v *Visited) SetSerial(serial bool) { v.serial = serial }
+
+func (v *Visited) probeLocked(sh *vshard, key []uint64, hash uint64, pos uint64, parent int32, sel []byte) int32 {
+	mask := uint64(len(sh.slots) - 1)
+	idx := (hash >> 6) & mask
+	tag := int32(hash)
+	firstTomb := -1
+	for {
+		s := &sh.slots[idx]
+		switch {
+		case s.ref == slotEmpty:
+			at := int(idx)
+			if firstTomb >= 0 {
+				at = firstTomb
+			} else {
+				sh.filled++
+			}
+			v.insertPending(sh, at, key, hash, pos, parent, sel)
+			if sh.filled*3 > len(sh.slots)*2 {
+				v.growLocked(sh)
+			}
+			return slotPend
+		case s.ref == slotTomb:
+			if firstTomb < 0 {
+				firstTomb = int(idx)
+			}
+		case s.ref >= 0:
+			if s.pidx == tag && wordsEqual(v.arenaKey(s.ref), key) {
+				return s.ref
+			}
+		default: // pending
+			e := &sh.pend[s.pidx]
+			if e.hash == hash && wordsEqual(e.key, key) {
+				if pos < e.pos {
+					e.pos, e.parent, e.sel = pos, parent, selString(sel)
+				}
+				return slotPend
+			}
+		}
+		idx = (idx + 1) & mask
+	}
+}
+
+// Contains reports whether key is already known (promoted or pending)
+// without inserting. The explorer calls it only in layers where the
+// state bound is already exhausted — no worker inserts then, so the
+// lock-free read is race-free.
+func (v *Visited) Contains(key []uint64, hash uint64) bool {
+	sh := &v.shards[hash&v.smask]
+	mask := uint64(len(sh.slots) - 1)
+	idx := (hash >> 6) & mask
+	tag := int32(hash)
+	for {
+		s := &sh.slots[idx]
+		switch {
+		case s.ref == slotEmpty:
+			return false
+		case s.ref == slotTomb:
+		case s.ref >= 0:
+			if s.pidx == tag && wordsEqual(v.arenaKey(s.ref), key) {
+				return true
+			}
+		default:
+			e := &sh.pend[s.pidx]
+			if e.hash == hash && wordsEqual(e.key, key) {
+				return true
+			}
+		}
+		idx = (idx + 1) & mask
+	}
+}
+
+func (v *Visited) arenaKey(id int32) []uint64 {
+	off := int(id) * v.words
+	return v.arena[off : off+v.words]
+}
+
+func wordsEqual(a, b []uint64) bool {
+	for i, w := range b {
+		if a[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *Visited) insertPending(sh *vshard, at int, key []uint64, hash uint64, pos uint64, parent int32, sel []byte) {
+	off := len(sh.keys)
+	sh.keys = append(sh.keys, key...)
+	sh.pend = append(sh.pend, pendEntry{
+		hash: hash, pos: pos, parent: parent, sel: selString(sel),
+		key: sh.keys[off : off+v.words : off+v.words],
+	})
+	sh.slots[at] = vslot{ref: slotPend, pidx: int32(len(sh.pend) - 1)}
+	v.pending.Add(1)
+}
+
+// growLocked doubles a shard's slot table, dropping tombstones.
+func (v *Visited) growLocked(sh *vshard) {
+	old := sh.slots
+	sh.slots = make([]vslot, 2*len(old))
+	for i := range sh.slots {
+		sh.slots[i].ref = slotEmpty
+	}
+	sh.filled = 0
+	mask := uint64(len(sh.slots) - 1)
+	for _, s := range old {
+		if s.ref == slotEmpty || s.ref == slotTomb {
+			continue
+		}
+		idx := (v.slotHash(sh, &s) >> 6) & mask
+		for sh.slots[idx].ref != slotEmpty {
+			idx = (idx + 1) & mask
+		}
+		sh.slots[idx] = s
+		sh.filled++
+	}
+}
+
+// slotHash recomputes the hash of an occupied slot's key.
+func (v *Visited) slotHash(sh *vshard, s *vslot) uint64 {
+	if s.ref >= 0 {
+		off := int(s.ref) * v.words
+		return hashWords(v.arena[off : off+v.words])
+	}
+	return sh.pend[s.pidx].hash
+}
+
+// Drain collects the pending entries of all shards, sorted by layer
+// position — the deterministic promotion order. Serial phases only;
+// the returned slice is reused by the next Drain.
+func (v *Visited) Drain() []Fresh {
+	out := v.drainBuf[:0]
+	for i := range v.shards {
+		for _, e := range v.shards[i].pend {
+			out = append(out, Fresh{Pos: e.pos, Parent: e.parent, Sel: e.sel, hash: e.hash, key: e.key})
+		}
+	}
+	slices.SortFunc(out, func(a, b Fresh) int { return cmp.Compare(a.Pos, b.Pos) })
+	// Reuse the buffer while its capacity tracks the layer size, but
+	// release the slack after a spike (a huge seed layer would otherwise
+	// stay resident for the whole run).
+	if cap(out) > 2*len(out)+4096 {
+		v.drainBuf = nil
+	} else {
+		v.drainBuf = out
+	}
+	return out
+}
+
+// Promote assigns the next dense id to a drained entry, appending its
+// encoding to the arena. Serial phases only; every drained entry must
+// be either promoted or dropped before the next expansion phase.
+func (v *Visited) Promote(f Fresh) int32 {
+	id := int32(v.nstates)
+	v.arena = append(v.arena, f.key...)
+	v.nstates++
+	v.setRef(f, id)
+	return id
+}
+
+// Drop discards a drained entry (capacity bound hit): its slot becomes
+// a tombstone, so the state may be proposed — and dropped — again, as
+// under the PR 2 engine's bound.
+func (v *Visited) Drop(f Fresh) { v.setRef(f, slotTomb) }
+
+func (v *Visited) setRef(f Fresh, ref int32) {
+	sh := &v.shards[f.hash&v.smask]
+	mask := uint64(len(sh.slots) - 1)
+	idx := (f.hash >> 6) & mask
+	for {
+		s := &sh.slots[idx]
+		if s.ref == slotPend && sh.pend[s.pidx].hash == f.hash && wordsEqual(sh.pend[s.pidx].key, f.key) {
+			s.ref, s.pidx = ref, int32(f.hash)
+			return
+		}
+		if s.ref == slotEmpty {
+			panic("explore: drained entry not found in its shard")
+		}
+		idx = (idx + 1) & mask
+	}
+}
+
+// Reset clears the pending side after a promotion batch, reusing the
+// buffers. Serial phases only.
+func (v *Visited) Reset() {
+	for i := range v.shards {
+		sh := &v.shards[i]
+		// Reuse pending buffers while their capacity tracks the layer
+		// size; release the slack after a spike (a huge seed layer
+		// would otherwise stay resident — and counted — for the run).
+		if cap(sh.pend) > 2*len(sh.pend)+64 {
+			sh.pend, sh.keys = nil, nil
+		} else {
+			sh.pend = sh.pend[:0]
+			sh.keys = sh.keys[:0]
+		}
+	}
+	v.pending.Store(0)
+}
+
+// check panics unless the set is in a consistent between-phase state
+// (used by tests).
+func (v *Visited) check() {
+	if v.Pending() != 0 {
+		panic(fmt.Sprintf("explore: %d pending entries across a phase boundary", v.Pending()))
+	}
+}

@@ -58,6 +58,50 @@ func Map[T any](n int, fn func(i int) T) []T {
 	return out
 }
 
+// ForEachWorker runs fn(w, i) for every i in [0, n) across at most
+// `workers` goroutines (0 = the pool width), passing each invocation a
+// stable worker index w in [0, workers). Scheduling is dynamic (an
+// atomic cursor), so unlike Chunks the load balances even when item
+// costs are skewed — the pattern the exhaustive explorer needs: workers
+// own non-shareable scratch (one model instance each, selected by w)
+// while any worker may pick up any item. fn must make its results
+// deterministic in i alone (write only slot i, or merge through an
+// order-insensitive structure); which worker runs which item is not.
+func ForEachWorker(n, workers int, fn func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := workers
+	if w <= 0 {
+		w = Workers
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 // Chunks splits [0, n) into at most `workers` contiguous chunks (0 =
 // the pool width) and runs fn(w, lo, hi) for chunk w across the pool,
 // returning the chunk count after all calls complete. Unlike ForEach,

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -89,30 +90,82 @@ func Apply[S Cloneable[S]](prog *Program[S], cfg, next []S, sel []int, rng *rand
 // SelectAllSubsets the branch count is 2^|enabled|−1, so explorers
 // should bound it and treat a hit as truncation, not proof.
 func Successors[S Cloneable[S]](prog *Program[S], cfg []S, mode SelectionMode, rng *rand.Rand, maxBranches int, visit func(sel []int, next []S) bool) (enabled, branches int) {
-	en := EnabledOf(prog, cfg, make([]int, 0, prog.NumProcs))
+	return SuccessorsBuf(prog, cfg, mode, rng, maxBranches, nil, visit)
+}
+
+// SuccScratch holds the reusable buffers of SuccessorsBuf. A zero value
+// is ready to use; the buffers grow on demand and are overwritten by
+// every call, so one scratch must not be shared across goroutines.
+type SuccScratch[S any] struct {
+	en     []int
+	acts   []int
+	next   []S
+	sel    []int
+	selIdx []int
+}
+
+// SuccessorsBuf is Successors with caller-owned scratch and cached
+// enabled actions, so explorers expanding millions of configurations
+// stay allocation-free and evaluate each process's guards exactly once
+// per configuration: every branch reuses the actions found by the
+// initial enabled-set pass instead of re-resolving them per selected
+// process (with SelectAllSubsets that re-resolution is Σ|sel| =
+// k·2^(k-1) guard evaluations per configuration — the dominant cost of
+// the PR 2 engine on that mode). sc may be nil (per-call buffers, as
+// Successors).
+func SuccessorsBuf[S Cloneable[S]](prog *Program[S], cfg []S, mode SelectionMode, rng *rand.Rand, maxBranches int, sc *SuccScratch[S], visit func(sel []int, next []S) bool) (enabled, branches int) {
+	if sc == nil {
+		sc = &SuccScratch[S]{}
+	}
+	en, acts := sc.en[:0], sc.acts[:0]
+	for p := 0; p < prog.NumProcs; p++ {
+		if a := enabledAction(prog, cfg, p); a >= 0 {
+			en = append(en, p)
+			acts = append(acts, a)
+		}
+	}
+	sc.en, sc.acts = en, acts
 	if len(en) == 0 {
 		return 0, 0
 	}
-	next := make([]S, len(cfg))
-	emit := func(sel []int) bool {
+	if cap(sc.next) < len(cfg) {
+		sc.next = make([]S, len(cfg))
+	}
+	next := sc.next[:len(cfg)]
+	// emit applies the selection en[idx] for idx in selIdx using the
+	// cached actions, then visits.
+	emit := func(sel, selIdx []int) bool {
 		if maxBranches > 0 && branches >= maxBranches {
 			return false
 		}
-		Apply(prog, cfg, next, sel, rng)
+		copy(next, cfg)
+		for _, i := range selIdx {
+			p := en[i]
+			next[p] = cfg[p].Clone()
+			prog.Actions[acts[i]].Body(cfg, p, &next[p], rng)
+		}
 		branches++
 		return visit(sel, next)
 	}
+	if cap(sc.sel) < len(en) {
+		sc.sel = make([]int, 0, len(en))
+		sc.selIdx = make([]int, 0, len(en))
+	}
 	switch mode {
 	case SelectCentral:
-		sel := make([]int, 1)
-		for _, p := range en {
-			sel[0] = p
-			if !emit(sel) {
+		sel, selIdx := sc.sel[:1], sc.selIdx[:1]
+		for i, p := range en {
+			sel[0], selIdx[0] = p, i
+			if !emit(sel, selIdx) {
 				return len(en), branches
 			}
 		}
 	case SelectSynchronous:
-		emit(en)
+		selIdx := sc.selIdx[:0]
+		for i := range en {
+			selIdx = append(selIdx, i)
+		}
+		emit(en, selIdx)
 	case SelectAllSubsets:
 		k := len(en)
 		if maxBranches <= 0 && k > 30 {
@@ -125,15 +178,39 @@ func Successors[S Cloneable[S]](prog *Program[S], cfg []S, mode SelectionMode, r
 		if k < 64 {
 			last = uint64(1)<<k - 1
 		}
-		sel := make([]int, 0, k)
+		// Incremental enumeration in mask-increment order: consecutive
+		// masks differ in the bits a binary counter flips, amortized two
+		// per increment, so next is maintained by toggling those
+		// processes (apply on 1-bits, restore cfg on 0-bits) instead of
+		// rebuilding the whole configuration per subset — Σ|sel| body
+		// applications become O(2^k). Same masks, same order, same
+		// successors as the naive loop.
+		copy(next, cfg)
+		prev := uint64(0)
+		sel := sc.sel[:0]
 		for mask := uint64(1); ; mask++ {
+			if maxBranches > 0 && branches >= maxBranches {
+				return len(en), branches
+			}
+			for diff := (mask ^ prev) & last; diff != 0; diff &= diff - 1 {
+				i := bits.TrailingZeros64(diff)
+				p := en[i]
+				if mask&(uint64(1)<<i) != 0 {
+					next[p] = cfg[p].Clone()
+					prog.Actions[acts[i]].Body(cfg, p, &next[p], rng)
+				} else {
+					next[p] = cfg[p]
+				}
+			}
+			prev = mask
 			sel = sel[:0]
 			for i := 0; i < k && i < 64; i++ {
 				if mask&(uint64(1)<<i) != 0 {
 					sel = append(sel, en[i])
 				}
 			}
-			if !emit(sel) {
+			branches++
+			if !visit(sel, next) {
 				return len(en), branches
 			}
 			if mask == last {
