@@ -35,12 +35,13 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment ID or 'all'")
-		seed      = flag.Int64("seed", 1, "base random seed")
-		quick     = flag.Bool("quick", false, "reduced sizes")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		parallel  = flag.Bool("parallel", true, "fan experiments and their cells across the worker pool")
-		workers   = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
+		exp          = flag.String("exp", "all", "experiment ID or 'all'")
+		seed         = flag.Int64("seed", 1, "base random seed")
+		quick        = flag.Bool("quick", false, "reduced sizes")
+		list         = flag.Bool("list", false, "list experiments and exit")
+		parallel     = flag.Bool("parallel", true, "fan experiments and their cells across the worker pool")
+		workers      = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
+		cacheDir     = flag.String("cache", "", "verdict-store directory: serve the MC experiment's exhaustive cells from cache and persist fresh ones (shared with cccheck -cache and ccserve)")
 		benchJSON    = flag.String("bench-json", "", "run the engine-step microbenchmark and write JSON to this path")
 		exploreJSON  = flag.String("explore-json", "", "run the explorer throughput benchmark (binary engine vs PR 2 string-codec oracle) and write JSON to this path")
 		exploreCheck = flag.String("explore-check", "", "compare a fresh explorer benchmark against this committed BENCH_explore.json; exit 1 on a >2x speedup regression")
@@ -98,7 +99,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, CacheDir: *cacheDir}
 	results, err := experiments.RunAll(ids, cfg, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -8,58 +8,79 @@
 // snap-stabilization contract as a proof-by-enumeration). In random mode
 // it is a scenario harness: randomized topologies × random initial
 // configurations × real daemons, monitored by the runtime spec checkers.
+// In campaign mode the flags become comma lists and the cartesian grid
+// fans across the worker pool.
 //
 //	cccheck -alg cc2 -topo ring:3                         # exhaustive, all daemon modes
 //	cccheck -alg cc2 -topo ring:4 -init cc -daemon central  # the scaled instance (78k states, <1s)
-//	cccheck -alg cc2 -topo triples:3 -init cc -daemon central
+//	cccheck -alg cc2 -topo ring:3 -cache ./verdicts       # reuse/persist verdicts (shared with ccserve)
 //	cccheck -alg cc1 -topo star:4 -init random -random-inits 128
 //	cccheck -alg cc2 -topo ring:3 -mutate leave-early     # must be caught (exit 1 + trace)
 //	cccheck -mode random -runs 64 -steps 4000             # randomized scenario harness
 //	cccheck -alg dining -topo ring:3                      # baselines: legit init only
 //	cccheck -alg token-ring -topo ring:5 -symmetry        # quotient modulo ring rotation
+//	cccheck -mode campaign -alg cc1,cc2,cc3 -topo ring:3,star:4 \
+//	        -daemon central,synchronous -init legit,cc -cache ./verdicts -j 8
 //
-// A run that hits a bound (-max-states/-max-depth/-max-branch) reports
-// "bounded", never "verified". -symmetry requires a model with a
-// verified automorphism group (the token-ring baseline on rings; the
-// CC algorithms on disjoint:K,S) and is exact: same verdict, states
-// quotiented into rotation orbits.
+// A campaign streams per-cell progress, persists every completed cell
+// before moving on, and prints one aggregate report whose bytes are
+// identical at any -j; an interrupted campaign (Ctrl-C) resumes from
+// the cache on the next run. A run that hits a bound
+// (-max-states/-max-depth/-max-branch) reports "bounded", never
+// "verified". -symmetry requires a model with a verified automorphism
+// group (the token-ring baseline on rings; the CC algorithms on
+// disjoint:K,S) and is exact: same verdict, states quotiented into
+// rotation orbits.
+//
+// Unknown flag-grammar values — a misspelled daemon, an out-of-range
+// topology size like ring:0, a trailing comma in a campaign list — are
+// usage errors (exit 2 with a message), never silent defaults.
 //
 // Exit status: 0 if every check passed, 1 if any violation was found
 // (counterexample traces are printed), 2 on usage errors.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
-	"repro/internal/baseline"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/hypergraph"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		algName    = flag.String("alg", "cc2", "cc1 | cc2 | cc3 | dining | token-ring")
-		topo       = flag.String("topo", "", "topology spec (see internal/hypergraph.Parse); default ring:3 in exhaustive mode, random scenarios in random mode")
-		mode       = flag.String("mode", "exhaustive", "exhaustive | random")
-		daemons    = flag.String("daemon", "", "comma list; exhaustive: central|synchronous|all (default all three); random: weakly-fair|central|synchronous|random")
-		initMode   = flag.String("init", "cc-full", "initial-configuration family: legit | cc | cc-full | random")
+		algName    = flag.String("alg", "cc2", "algorithm: cc1 | cc2 | cc3 | dining | token-ring (campaign mode: comma list)")
+		topo       = flag.String("topo", "", "topology spec (see internal/hypergraph.Parse); default ring:3 in exhaustive/campaign mode, random scenarios in random mode (campaign mode: comma list)")
+		mode       = flag.String("mode", "exhaustive", "exhaustive | random | campaign")
+		daemons    = flag.String("daemon", "", "comma list; exhaustive/campaign: central|synchronous|all (default all three); random: weakly-fair|central|synchronous|random")
+		initMode   = flag.String("init", "", "initial-configuration family: legit | cc | cc-full | random (default cc-full for CC, legit for the baselines; campaign mode: comma list)")
 		randInits  = flag.Int("random-inits", 256, "initial configurations for -init random")
-		maxStates  = flag.Int("max-states", 2_000_000, "distinct-configuration bound (0 = unlimited)")
+		maxStates  = flag.Int("max-states", 2_000_000, "distinct-configuration bound (0 or negative = unlimited)")
 		maxDepth   = flag.Int("max-depth", 0, "BFS depth bound (0 = unlimited)")
 		maxBranch  = flag.Int("max-branch", 1<<16, "per-configuration branch bound")
 		noConverge = flag.Bool("no-converge", false, "skip the one-round convergence check (synchronous mode only)")
 		noDeadlock = flag.Bool("no-deadlock", false, "do not treat terminal configurations as violations")
 		noClosure  = flag.Bool("no-closure", false, "skip the Correct(p)-closure check")
 		symmetry   = flag.Bool("symmetry", false, "explore modulo the model's rotation/block automorphism group (exact; only for models that declare one)")
-		mutate     = flag.String("mutate", "", "deliberately break a guard: "+strings.Join(explore.Mutations(), " | "))
+		mutate     = flag.String("mutate", "", "deliberately break a guard: "+strings.Join(explore.Mutations(), " | ")+" (campaign mode: comma list, 'none' = unmutated)")
+		cacheDir   = flag.String("cache", "", "content-addressed verdict store directory: serve cached verdicts, persist fresh ones (shared with ccserve and ccbench -cache)")
+		campJSON   = flag.String("campaign-json", "", "campaign mode: read the grid from this JSON campaign.Spec file instead of the flags")
 		seed       = flag.Int64("seed", 1, "random seed")
 		runs       = flag.Int("runs", 32, "random mode: scenarios to run")
 		steps      = flag.Int("steps", 4000, "random mode: steps per scenario")
@@ -68,116 +89,130 @@ func main() {
 		workers    = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %v", flag.Args())
+	}
 	if *workers > 0 {
 		par.Workers = *workers
 	}
+	if *maxStates == 0 {
+		// The flag has always meant "0 = unlimited"; JobSpec encodes
+		// unlimited as a negative bound (its JSON zero value means
+		// "default"), so translate here.
+		*maxStates = -1
+	}
 
-	switch *algName {
-	case "cc1", "cc2", "cc3", "dining", "token-ring":
+	switch *mode {
+	case "exhaustive", "campaign":
+		if *topo == "" {
+			*topo = "ring:3"
+		}
+	case "random":
 	default:
-		fatalf("unknown algorithm %q", *algName)
+		fatalf("unknown mode %q (exhaustive | random | campaign)", *mode)
+	}
+	if *campJSON != "" && *mode != "campaign" {
+		fatalf("-campaign-json applies to -mode campaign only (current mode: %s)", *mode)
+	}
+
+	scalars := store.JobSpec{
+		RandomInits: *randInits, Seed: *seed,
+		MaxStates: *maxStates, MaxDepth: *maxDepth, MaxBranch: *maxBranch,
+		MaxViolations: *traces, Symmetry: *symmetry,
+		NoDeadlock: *noDeadlock, NoClosure: *noClosure, NoConverge: *noConverge,
 	}
 
 	switch *mode {
 	case "exhaustive":
-		if *topo == "" {
-			*topo = "ring:3"
+		switch *algName {
+		case "cc1", "cc2", "cc3", "dining", "token-ring":
+		default:
+			fatalf("unknown algorithm %q (cc1 | cc2 | cc3 | dining | token-ring)", *algName)
 		}
-		runExhaustive(*algName, *topo, *daemons, *initMode, *randInits, *maxStates, *maxDepth,
-			*maxBranch, !*noConverge, !*noDeadlock, !*noClosure, *symmetry, *mutate, *seed, *traces)
+		runExhaustive(*algName, *topo, *daemons, *initMode, *mutate, scalars, *cacheDir)
+	case "campaign":
+		runCampaign(*algName, *topo, *daemons, *initMode, *mutate, scalars, *cacheDir, *campJSON)
 	case "random":
+		switch *algName {
+		case "cc1", "cc2", "cc3", "dining", "token-ring":
+		default:
+			fatalf("unknown algorithm %q (cc1 | cc2 | cc3 | dining | token-ring)", *algName)
+		}
 		runRandom(*algName, *topo, *daemons, *runs, *steps, *maxN, *seed, *mutate)
-	default:
-		fatalf("unknown mode %q (exhaustive | random)", *mode)
 	}
 }
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "cccheck: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "cccheck: run 'cccheck -h' for usage")
 	os.Exit(2)
+}
+
+func openStore(dir string) *store.Store {
+	if dir == "" {
+		return nil
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return st
 }
 
 // --- Exhaustive mode ----------------------------------------------------------
 
-func parseSelectionModes(s string) []sim.SelectionMode {
-	if s == "" {
-		return []sim.SelectionMode{sim.SelectCentral, sim.SelectSynchronous, sim.SelectAllSubsets}
-	}
-	var out []sim.SelectionMode
-	for _, f := range strings.Split(s, ",") {
-		switch strings.TrimSpace(f) {
-		case "central":
-			out = append(out, sim.SelectCentral)
-		case "synchronous", "sync":
-			out = append(out, sim.SelectSynchronous)
-		case "all", "all-subsets":
-			out = append(out, sim.SelectAllSubsets)
-		default:
-			fatalf("unknown exhaustive daemon mode %q (central | synchronous | all)", f)
-		}
-	}
-	return out
-}
-
-func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxStates, maxDepth,
-	maxBranch int, checkConverge, checkDeadlock, checkClosure, symmetry bool, mutation string, seed int64, traces int) {
-	h, err := hypergraph.Parse(topoSpec, rand.New(rand.NewSource(seed)))
+// runExhaustive checks one (alg, topo, init) instance under each of the
+// requested daemon branching modes. Every (instance, mode) cell is a
+// content-addressed job executed through the same runner as campaigns
+// and ccserve, so with -cache their verdicts are interchangeable.
+func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalars store.JobSpec, cacheDir string) {
+	st := openStore(cacheDir)
+	daemonList, err := campaign.ParseList("daemon", daemons)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	modes := parseSelectionModes(daemons)
-
+	if len(daemonList) == 0 {
+		daemonList = campaign.Daemons()
+	}
+	specs := make([]store.JobSpec, len(daemonList))
+	for i, d := range daemonList {
+		s := scalars
+		s.Alg, s.Topo, s.Daemon, s.Init, s.Mutation = algName, topoSpec, d, initName, mutation
+		specs[i] = s.Canonical()
+		if err := campaign.Validate(specs[i]); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	h, err := hypergraph.Parse(specs[0].Topo, rand.New(rand.NewSource(specs[0].Seed)))
+	if err != nil {
+		fatalf("%v", err) // unreachable: Validate parsed it
+	}
 	fmt.Printf("topology: %s\n", h)
+
 	failed := false
 	bounded := false
-	for _, m := range modes {
-		opts := explore.Options{
-			Mode:          m,
-			MaxStates:     maxStates,
-			MaxDepth:      maxDepth,
-			MaxBranch:     maxBranch,
-			MaxViolations: traces,
-			CheckDeadlock: checkDeadlock,
-			Symmetry:      symmetry,
-		}
+	for _, s := range specs {
 		var res *explore.Result
-		switch algName {
-		case "cc1", "cc2", "cc3":
-			variant := map[string]core.Variant{"cc1": core.CC1, "cc2": core.CC2, "cc3": core.CC3}[algName]
-			im, err := explore.ParseInitMode(initName)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			factory, err := explore.CC(variant, h, explore.CCOptions{
-				Init: im, RandomCount: randInits, Seed: seed, Mutation: mutation,
-			})
-			if err != nil {
-				fatalf("%v", err)
-			}
-			requireSyms(symmetry, factory().Syms == nil,
-				"the CC algorithms read the identifier order (maxByID tie-breaks, min-id leader election), so nontrivial rotations are not automorphisms of CC ∘ TC on connected topologies; -symmetry is exact for CC only on block-symmetric disjoint:K,S topologies with a non-random init family")
-			opts.CheckClosure = checkClosure
-			if m == sim.SelectSynchronous {
-				opts.CheckConvergence = checkConverge
-			}
-			res = explore.Explore(factory, opts)
-		default: // baselines: not stabilizing, legit init only
-			if mutation != "" {
-				fatalf("-mutate applies to the CC algorithms only")
-			}
-			kind := baseline.Dining
-			if algName == "token-ring" {
-				kind = baseline.TokenRing
-			}
-			factory, err := explore.Baseline(kind, h, 1)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			requireSyms(symmetry, factory().Syms == nil,
-				"-symmetry needs a declared automorphism group: the token-ring baseline declares ring rotations; dining does not (its fork orientation and request tie-break read the committee index order)")
-			res = explore.Explore(factory, opts)
+		cached := false
+		if st != nil {
+			res, _, cached = st.Get(s)
 		}
-		fmt.Println(res.Summary())
+		if res == nil {
+			res, err = campaign.Execute(s, par.Workers)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if st != nil {
+				if _, err := st.Put(s, res); err != nil {
+					fatalf("%v", err)
+				}
+			}
+		}
+		tag := ""
+		if cached {
+			tag = "  [cache hit]"
+		}
+		fmt.Println(res.Summary() + tag)
 		if res.MaxIncorrectDepth >= 0 {
 			fmt.Printf("  deepest non-AllCorrect configuration: depth %d\n", res.MaxIncorrectDepth)
 		}
@@ -204,12 +239,84 @@ func runExhaustive(algName, topoSpec, daemons, initName string, randInits, maxSt
 	}
 }
 
-// requireSyms rejects -symmetry for models without a verified
-// automorphism group, explaining why the group is empty.
-func requireSyms(symmetry, empty bool, why string) {
-	if symmetry && empty {
-		fatalf("this model declares no automorphisms: %s", why)
+// --- Campaign mode ------------------------------------------------------------
+
+func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.JobSpec, cacheDir, jsonPath string) {
+	var cspec campaign.Spec
+	if jsonPath != "" {
+		// The spec file carries the whole grid; explicitly-set grid or
+		// scalar flags would be silently ignored — reject the mix.
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "alg", "topo", "daemon", "init", "mutate", "random-inits", "seed",
+				"max-states", "max-depth", "max-branch", "traces", "symmetry",
+				"no-deadlock", "no-closure", "no-converge":
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			fatalf("-campaign-json takes the whole grid from the file; drop %s", strings.Join(conflicting, " "))
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := unmarshalStrict(data, &cspec); err != nil {
+			fatalf("%s: %v", jsonPath, err)
+		}
+	} else {
+		var err error
+		cspec, err = campaign.ParseSpec(algs, topos, daemons, inits, mutations)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cspec.SetScalars(scalars)
 	}
+	cells, err := cspec.Expand()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st := openStore(cacheDir)
+	fmt.Printf("campaign: %d cells", len(cells))
+	if st != nil {
+		fmt.Printf(" (cache %s)", st.Dir())
+	}
+	fmt.Println()
+
+	// Ctrl-C / SIGTERM stops scheduling new cells; completed ones are
+	// already persisted, so the next identical run resumes from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep := campaign.Run(ctx, st, cells, campaign.RunOptions{
+		Workers: par.Workers,
+		Progress: func(ev campaign.Event) {
+			switch ev.Status {
+			case campaign.StatusSkipped:
+				fmt.Printf("  [%d/%d] %-44s  skipped (interrupted)\n", ev.Index+1, ev.Total, ev.Spec)
+			case campaign.StatusFailed:
+				fmt.Printf("  [%d/%d] %-44s  FAILED\n", ev.Index+1, ev.Total, ev.Spec)
+			case campaign.StatusHit:
+				fmt.Printf("  [%d/%d] %-44s  %s (cache hit)\n", ev.Index+1, ev.Total, ev.Spec, ev.Verdict)
+			default:
+				fmt.Printf("  [%d/%d] %-44s  %s (%d states, %v)\n", ev.Index+1, ev.Total, ev.Spec, ev.Verdict, ev.States, ev.Elapsed.Round(time.Millisecond))
+			}
+		},
+	})
+	fmt.Println()
+	rep.Render(os.Stdout)
+	if !rep.Complete() {
+		fmt.Println("campaign interrupted — re-run the same command to resume from the cache")
+	}
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+}
+
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 // --- Random scenario harness --------------------------------------------------

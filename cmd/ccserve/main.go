@@ -1,0 +1,115 @@
+// Command ccserve exposes the exhaustive checker as an HTTP service
+// backed by the content-addressed verdict store: submit a job spec,
+// poll its verdict, and let identical submissions — from any client,
+// or from cccheck/ccbench runs sharing the same -cache directory —
+// dedupe against in-flight work and completed entries instead of
+// recomputing.
+//
+//	ccserve -addr :8344 -cache ./verdicts
+//
+//	curl -s localhost:8344/healthz
+//	curl -s -X POST localhost:8344/v1/jobs -d '{"alg":"cc2","topo":"ring:3","daemon":"central","init":"cc-full"}'
+//	curl -s localhost:8344/v1/jobs/<id>
+//	curl -s localhost:8344/v1/jobs/<id>/result
+//	curl -s -X POST localhost:8344/v1/campaigns -d '{"algs":["cc1","cc2"],"topos":["ring:3"],"inits":["cc"]}'
+//	curl -s localhost:8344/v1/campaigns/<id>
+//	curl -s localhost:8344/metrics
+//
+// Concurrency: at most -jobs explorations run at once, each with
+// -job-workers explorer goroutines (default: jobs × workers ≈
+// GOMAXPROCS), so any number of concurrent clients shares a bounded
+// pool. Specs whose state bound exceeds -max-states-cap are rejected
+// with 400.
+//
+// Exit status: 0 on clean shutdown (SIGINT/SIGTERM), 2 on usage or
+// startup errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8344", "listen address")
+		cacheDir   = flag.String("cache", "", "verdict-store directory (required; shared with cccheck/ccbench -cache)")
+		jobs       = flag.Int("jobs", 2, "explorations running concurrently")
+		jobWorkers = flag.Int("job-workers", 0, "explorer goroutines per job (0 = GOMAXPROCS/jobs)")
+		maxStates  = flag.Int("max-states-cap", 6_000_000, "reject jobs whose state bound exceeds this (negative = uncapped)")
+		retain     = flag.Int("retain-jobs", 1024, "finished jobs kept in memory; older ones re-hydrate from the store on demand (negative = unlimited)")
+		maxQueue   = flag.Int("max-queue", 256, "jobs waiting for a worker slot before submissions get 503 (negative = unlimited)")
+		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %v", flag.Args())
+	}
+	if *cacheDir == "" {
+		fatalf("-cache DIR is required (the verdict store shared with cccheck/ccbench)")
+	}
+	if *jobs < 1 {
+		fatalf("-jobs must be >= 1, got %d", *jobs)
+	}
+	st, err := store.Open(*cacheDir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := serve.New(serve.Config{
+		Store: st, Jobs: *jobs, JobWorkers: *jobWorkers,
+		MaxStatesCap: *maxStates, RetainJobs: *retain, MaxQueue: *maxQueue, Log: logf,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	// The resolved address matters with -addr :0 (tests, scripts).
+	log.Printf("ccserve: listening on %s (cache %s, %d job slots)", ln.Addr(), *cacheDir, *jobs)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("%v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("ccserve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fatalf("shutdown: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ccserve: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cmdtest"
+)
+
+func TestCCServeFlagErrors(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{nil, "-cache DIR is required"},
+		{[]string{"-cache", t.TempDir(), "-jobs", "0"}, "-jobs must be >= 1"},
+		{[]string{"-cache", t.TempDir(), "positional"}, "unexpected arguments"},
+	} {
+		out, code := cmdtest.Run(t, bin, time.Minute, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2:\n%s", tc.args, code, out)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("%v: missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
+// TestCCServeBootSmoke drives the real binary the way the CI smoke
+// does: boot on an ephemeral port, probe /healthz, submit the same job
+// twice, assert the second submission is a cache hit with a
+// byte-identical verdict body, then shut down cleanly on SIGTERM.
+func TestCCServeBootSmoke(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache", t.TempDir(), "-jobs", "1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first log line announces the resolved address.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	re := regexp.MustCompile(`listening on (\S+)`)
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("server never announced its address")
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"ok": true`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	spec := `{"alg":"cc2","topo":"ring:3","daemon":"central","init":"legit"}`
+	post := func() (int, string) {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+	_, first := post()
+	id := regexp.MustCompile(`"id": "([0-9a-f]+)"`).FindStringSubmatch(first)
+	if id == nil {
+		t.Fatalf("no job id in %s", first)
+	}
+	result := func() (int, []byte) {
+		resp, err := http.Get(base + "/v1/jobs/" + id[1] + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+	var res1 []byte
+	deadline := time.Now().Add(time.Minute)
+	for {
+		code, raw := result()
+		if code == 200 {
+			res1 = raw
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %d %s", code, raw)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	code, second := post()
+	if code != 200 || !strings.Contains(second, `"cached": true`) {
+		t.Fatalf("second submission not a cache hit: %d %s", code, second)
+	}
+	_, res2 := result()
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("verdict bodies differ between submissions")
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server did not exit cleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+}

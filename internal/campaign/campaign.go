@@ -1,0 +1,350 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/par"
+	"repro/internal/store"
+)
+
+// Spec is a declarative campaign: the cartesian grid of the list
+// fields, sharing the scalar bounds. It round-trips through JSON
+// (cccheck -campaign-json, POST /v1/campaigns) and is also built from
+// the comma-list flag grammar (ParseList).
+type Spec struct {
+	// Algs and Topos are required; empty lists are an error.
+	Algs  []string `json:"algs"`
+	Topos []string `json:"topos"`
+	// Daemons defaults to all three branching modes.
+	Daemons []string `json:"daemons,omitempty"`
+	// Inits defaults to the per-algorithm default family (cc-full for
+	// CC, legit for the baselines).
+	Inits []string `json:"inits,omitempty"`
+	// Mutations defaults to none; the value "none" names the unmutated
+	// cell, so grids can mix it with seeded mutations.
+	Mutations []string `json:"mutations,omitempty"`
+
+	RandomInits   int   `json:"random_inits,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	MaxStates     int   `json:"max_states,omitempty"`
+	MaxDepth      int   `json:"max_depth,omitempty"`
+	MaxBranch     int   `json:"max_branch,omitempty"`
+	MaxViolations int   `json:"max_violations,omitempty"`
+	Symmetry      bool  `json:"symmetry,omitempty"`
+	NoDeadlock    bool  `json:"no_deadlock,omitempty"`
+	NoClosure     bool  `json:"no_closure,omitempty"`
+	NoConverge    bool  `json:"no_converge,omitempty"`
+}
+
+// SetScalars copies every scalar bound and toggle from a JobSpec into
+// the grid — the single place that knows the scalar field
+// correspondence, so CLIs building a Spec from flags cannot silently
+// drop one.
+func (s *Spec) SetScalars(j store.JobSpec) {
+	s.RandomInits = j.RandomInits
+	s.Seed = j.Seed
+	s.MaxStates = j.MaxStates
+	s.MaxDepth = j.MaxDepth
+	s.MaxBranch = j.MaxBranch
+	s.MaxViolations = j.MaxViolations
+	s.Symmetry = j.Symmetry
+	s.NoDeadlock = j.NoDeadlock
+	s.NoClosure = j.NoClosure
+	s.NoConverge = j.NoConverge
+}
+
+// ParseList splits a comma-list flag value strictly: every element
+// must be non-empty after trimming, so typos like "cc1,,cc2" or a
+// trailing "cc1," are usage errors instead of silently collapsing.
+// An empty input yields an empty list (the field's default applies).
+func ParseList(flagName, s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("campaign: empty element in -%s list %q", flagName, s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseSpec builds the grid from the comma-list flag grammar
+// (e.g. -alg cc1,cc2 -topo ring:3,star:4 -daemon central,sync). Every
+// list is parsed strictly; value validation happens in Expand.
+func ParseSpec(algs, topos, daemons, inits, mutations string) (Spec, error) {
+	var s Spec
+	var err error
+	if s.Algs, err = ParseList("alg", algs); err != nil {
+		return s, err
+	}
+	if s.Topos, err = ParseList("topo", topos); err != nil {
+		return s, err
+	}
+	if s.Daemons, err = ParseList("daemon", daemons); err != nil {
+		return s, err
+	}
+	if s.Inits, err = ParseList("init", inits); err != nil {
+		return s, err
+	}
+	if s.Mutations, err = ParseList("mutate", mutations); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Expand materializes the grid into canonical, validated job specs in
+// deterministic order (alg-major, then topo, daemon, init, mutation),
+// deduplicated by content key (aliases can make distinct grid cells
+// identical jobs). Any invalid cell fails the whole expansion — a
+// campaign with a typo runs nothing rather than silently running a
+// subset.
+func (s Spec) Expand() ([]store.JobSpec, error) {
+	if len(s.Algs) == 0 {
+		return nil, fmt.Errorf("campaign: no algorithms given (want a comma list of %s)", strings.Join(Algs(), " | "))
+	}
+	if len(s.Topos) == 0 {
+		return nil, fmt.Errorf("campaign: no topologies given (e.g. ring:3,star:4)")
+	}
+	daemons := s.Daemons
+	if len(daemons) == 0 {
+		daemons = Daemons()
+	}
+	inits := s.Inits
+	if len(inits) == 0 {
+		inits = []string{""}
+	}
+	mutations := s.Mutations
+	if len(mutations) == 0 {
+		mutations = []string{""}
+	}
+	var cells []store.JobSpec
+	seen := map[string]bool{}
+	for _, alg := range s.Algs {
+		for _, topo := range s.Topos {
+			for _, daemon := range daemons {
+				for _, init := range inits {
+					for _, mut := range mutations {
+						spec := store.JobSpec{
+							Alg: alg, Topo: topo, Daemon: daemon, Init: init, Mutation: mut,
+							RandomInits: s.RandomInits, Seed: s.Seed,
+							MaxStates: s.MaxStates, MaxDepth: s.MaxDepth, MaxBranch: s.MaxBranch,
+							MaxViolations: s.MaxViolations, Symmetry: s.Symmetry,
+							NoDeadlock: s.NoDeadlock, NoClosure: s.NoClosure, NoConverge: s.NoConverge,
+						}.Canonical()
+						if err := Validate(spec); err != nil {
+							return nil, fmt.Errorf("%v (cell %s)", err, spec)
+						}
+						key := spec.Key()
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						cells = append(cells, spec)
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Cell statuses, as reported in events and the aggregate report.
+const (
+	StatusHit     = "hit"     // verdict served from the store
+	StatusDone    = "done"    // explored this run (and persisted)
+	StatusSkipped = "skipped" // not run: the campaign was interrupted
+	StatusFailed  = "failed"  // the job errored (spec raced a cache wipe, I/O failure)
+)
+
+// Event is one per-cell progress notification, streamed as cells
+// finish. Ordering across cells follows completion (hence varies with
+// the pool width); everything in the final Report is deterministic.
+type Event struct {
+	Index   int // cell index in expansion order
+	Total   int
+	Spec    store.JobSpec
+	Key     string
+	Status  string
+	Verdict string
+	States  int
+	Elapsed time.Duration
+}
+
+// CellResult is one cell of the aggregate report.
+type CellResult struct {
+	Spec        store.JobSpec `json:"spec"`
+	Key         string        `json:"key"`
+	Status      string        `json:"status"`
+	Verdict     string        `json:"verdict,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	Inits       int           `json:"inits,omitempty"`
+	States      int           `json:"states,omitempty"`
+	Transitions int64         `json:"transitions,omitempty"`
+	Deadlocks   int           `json:"deadlocks,omitempty"`
+	Violations  int           `json:"violations,omitempty"`
+}
+
+// Report is the deterministic aggregate of one campaign run: cells in
+// expansion order, no timing, so the bytes are identical at any pool
+// width and any cache state reached by the same set of completed cells.
+type Report struct {
+	Cells     int `json:"cells"`
+	CacheHits int `json:"cache_hits"`
+	Explored  int `json:"explored"`
+	Verified  int `json:"verified"`
+	Bounded   int `json:"bounded"`
+	Violated  int `json:"violated"`
+	Skipped   int `json:"skipped"`
+	Failed    int `json:"failed"`
+
+	Results []CellResult `json:"results"`
+}
+
+// JSON renders the report deterministically.
+func (r *Report) JSON() []byte {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("campaign: report marshal cannot fail: %v", err))
+	}
+	return append(data, '\n')
+}
+
+// Ok reports whether no cell violated or failed (skipped cells are
+// not failures: the campaign was interrupted, not refuted).
+func (r *Report) Ok() bool { return r.Violated == 0 && r.Failed == 0 }
+
+// Complete reports whether every cell ran (nothing skipped).
+func (r *Report) Complete() bool { return r.Skipped == 0 }
+
+// Render writes the human-readable aggregate.
+func (r *Report) Render(w io.Writer) {
+	for _, c := range r.Results {
+		switch c.Status {
+		case StatusSkipped:
+			fmt.Fprintf(w, "%-44s  skipped (interrupted)\n", c.Spec)
+		case StatusFailed:
+			fmt.Fprintf(w, "%-44s  FAILED: %s\n", c.Spec, c.Error)
+		default:
+			cached := ""
+			if c.Status == StatusHit {
+				cached = "  [cache]"
+			}
+			fmt.Fprintf(w, "%-44s  %-8s  %8d states  %10d transitions  %d violations%s\n",
+				c.Spec, c.Verdict, c.States, c.Transitions, c.Violations, cached)
+		}
+	}
+	fmt.Fprintf(w, "campaign: %d cells — %d verified, %d bounded, %d violated, %d failed, %d skipped (%d cache hits, %d explored)\n",
+		r.Cells, r.Verified, r.Bounded, r.Violated, r.Failed, r.Skipped, r.CacheHits, r.Explored)
+}
+
+// RunOptions parameterize a campaign run.
+type RunOptions struct {
+	// Workers is the cell-pool width (0 = par.Workers): how many cells
+	// explore concurrently.
+	Workers int
+	// JobWorkers is the explorer width per cell (0 = 1; cells already
+	// fan across the pool).
+	JobWorkers int
+	// Progress, if non-nil, receives one event per finished cell.
+	// Calls are serialized.
+	Progress func(Event)
+}
+
+// Run executes the cells (from Expand) against the store: cache hits
+// are served without recomputation, misses are explored and persisted
+// before the cell completes, and a cancelled context marks the
+// remaining cells skipped — re-running the same campaign later resumes
+// from the store. st may be nil (no caching, everything explores).
+// The returned report is byte-identical at any opts.Workers for a
+// given starting cache state.
+func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOptions) *Report {
+	rep := &Report{Cells: len(cells), Results: make([]CellResult, len(cells))}
+	var progMu sync.Mutex
+	emit := func(ev Event) {
+		if opts.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		defer progMu.Unlock()
+		opts.Progress(ev)
+	}
+
+	par.ForEachWorker(len(cells), opts.Workers, func(w, i int) {
+		spec := cells[i].Canonical()
+		cell := CellResult{Spec: spec, Key: spec.Key()}
+		start := time.Now()
+		switch {
+		case ctx.Err() != nil:
+			cell.Status = StatusSkipped
+		default:
+			var res *explore.Result
+			if st != nil {
+				if hit, _, ok := st.Get(spec); ok {
+					res = hit
+					cell.Status = StatusHit
+				}
+			}
+			if res == nil {
+				var err error
+				res, err = Execute(spec, opts.JobWorkers)
+				if err == nil && st != nil {
+					_, err = st.Put(spec, res)
+				}
+				if err != nil {
+					cell.Status = StatusFailed
+					cell.Error = err.Error()
+				} else {
+					cell.Status = StatusDone
+				}
+			}
+			if res != nil && cell.Status != StatusFailed {
+				cell.Verdict = res.Verdict()
+				cell.Inits = res.Inits
+				cell.States = res.States
+				cell.Transitions = res.Transitions
+				cell.Deadlocks = res.Deadlocks
+				cell.Violations = len(res.Violations)
+			}
+		}
+		rep.Results[i] = cell
+		emit(Event{
+			Index: i, Total: len(cells), Spec: spec, Key: cell.Key,
+			Status: cell.Status, Verdict: cell.Verdict, States: cell.States,
+			Elapsed: time.Since(start),
+		})
+	})
+
+	for i := range rep.Results {
+		switch rep.Results[i].Status {
+		case StatusHit:
+			rep.CacheHits++
+		case StatusDone:
+			rep.Explored++
+		case StatusSkipped:
+			rep.Skipped++
+		case StatusFailed:
+			rep.Failed++
+		}
+		switch rep.Results[i].Verdict {
+		case "verified":
+			rep.Verified++
+		case "bounded":
+			rep.Bounded++
+		case "violated":
+			rep.Violated++
+		}
+	}
+	return rep
+}

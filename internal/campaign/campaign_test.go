@@ -1,0 +1,324 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestParseListStrict: comma-list grammar rejects empty elements
+// instead of silently collapsing them.
+func TestParseListStrict(t *testing.T) {
+	for _, bad := range []string{"a,,b", "a,", ",a", " , ", ","} {
+		if _, err := campaign.ParseList("alg", bad); err == nil {
+			t.Errorf("ParseList(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "empty element") {
+			t.Errorf("ParseList(%q): unhelpful error %v", bad, err)
+		}
+	}
+	got, err := campaign.ParseList("alg", " cc1 , cc2 ")
+	if err != nil || len(got) != 2 || got[0] != "cc1" || got[1] != "cc2" {
+		t.Fatalf("ParseList trimming: %v %v", got, err)
+	}
+	if got, err := campaign.ParseList("alg", "  "); err != nil || got != nil {
+		t.Fatalf("blank list: %v %v", got, err)
+	}
+}
+
+// TestValidateRejections: every unknown or inconsistent flag-grammar
+// value is an error naming the offending value — the table behind the
+// cccheck/ccserve usage errors.
+func TestValidateRejections(t *testing.T) {
+	base := store.JobSpec{Alg: "cc2", Topo: "ring:3", Daemon: "central", Init: "legit"}
+	for _, tc := range []struct {
+		name string
+		mod  func(s *store.JobSpec)
+		want string
+	}{
+		{"unknown alg", func(s *store.JobSpec) { s.Alg = "cc9" }, "unknown algorithm"},
+		{"empty alg", func(s *store.JobSpec) { s.Alg = "" }, "missing algorithm"},
+		{"misspelled daemon", func(s *store.JobSpec) { s.Daemon = "centrall" }, "unknown daemon mode"},
+		{"unknown init", func(s *store.JobSpec) { s.Init = "bogus" }, "unknown init mode"},
+		{"empty topo arg", func(s *store.JobSpec) { s.Topo = "ring:" }, "bad int"},
+		{"out-of-range topo", func(s *store.JobSpec) { s.Topo = "ring:0" }, "needs n >= 3"},
+		{"negative topo", func(s *store.JobSpec) { s.Topo = "disjoint:0,1" }, "invalid topology"},
+		{"unknown topo", func(s *store.JobSpec) { s.Topo = "blob:3" }, "unknown topology"},
+		{"unknown mutation", func(s *store.JobSpec) { s.Mutation = "bogus" }, "unknown mutation"},
+		{"baseline non-legit init", func(s *store.JobSpec) { s.Alg = "dining"; s.Init = "cc" }, "only -init legit"},
+		{"baseline mutation", func(s *store.JobSpec) { s.Alg = "token-ring"; s.Init = "legit"; s.Mutation = "leave-early" }, "CC algorithms only"},
+		{"cc symmetry on a ring", func(s *store.JobSpec) { s.Symmetry = true }, "declares no automorphisms"},
+		{"dining symmetry", func(s *store.JobSpec) { s.Alg = "dining"; s.Symmetry = true }, "declares no automorphisms"},
+	} {
+		spec := base
+		tc.mod(&spec)
+		err := campaign.Validate(spec)
+		if err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// And the accepted shapes stay accepted.
+	for _, ok := range []store.JobSpec{
+		base,
+		{Alg: "cc1", Topo: "star:4", Daemon: "sync", Init: "cc"},
+		{Alg: "token-ring", Topo: "ring:4", Daemon: "central", Symmetry: true},
+		{Alg: "cc2", Topo: "disjoint:2,2", Daemon: "central", Init: "cc", Symmetry: true},
+		{Alg: "cc2", Topo: "ring:3", Daemon: "all", Init: "random", Seed: 3},
+		{Alg: "cc2", Topo: "ring:3", Daemon: "central", Init: "legit", Mutation: "leave-early"},
+	} {
+		if err := campaign.Validate(ok); err != nil {
+			t.Errorf("rejected valid spec %+v: %v", ok, err)
+		}
+	}
+}
+
+// TestExpand: deterministic order, alias dedup, and whole-grid
+// rejection on one bad cell.
+func TestExpand(t *testing.T) {
+	spec, err := campaign.ParseSpec("cc1,cc2", "ring:3", "central,sync,synchronous", "legit", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sync and synchronous collapse: 2 algs × 2 daemons.
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4: %v", len(cells), cells)
+	}
+	want := []string{
+		"cc1/ring:3/central/legit", "cc1/ring:3/synchronous/legit",
+		"cc2/ring:3/central/legit", "cc2/ring:3/synchronous/legit",
+	}
+	for i, c := range cells {
+		if c.String() != want[i] {
+			t.Errorf("cell %d = %s, want %s", i, c, want[i])
+		}
+	}
+
+	bad := campaign.Spec{Algs: []string{"cc1", "cc9"}, Topos: []string{"ring:3"}}
+	if _, err := bad.Expand(); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("bad grid: %v", err)
+	}
+	if _, err := (campaign.Spec{Topos: []string{"ring:3"}}).Expand(); err == nil {
+		t.Fatal("grid without algorithms accepted")
+	}
+	if _, err := (campaign.Spec{Algs: []string{"cc1"}}).Expand(); err == nil {
+		t.Fatal("grid without topologies accepted")
+	}
+}
+
+// TestExecuteMatchesDirectExplore: the shared runner maps a JobSpec
+// onto exactly the options cccheck used to build by hand — proven by
+// JSON equality of the results.
+func TestExecuteMatchesDirectExplore(t *testing.T) {
+	spec := store.JobSpec{Alg: "cc2", Topo: "ring:3", Daemon: "synchronous", Init: "cc"}
+	got, err := campaign.Execute(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hypergraph.Parse("ring:3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := explore.CC(core.CC2, h, explore.CCOptions{Init: explore.InitCC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := explore.Explore(factory, explore.Options{
+		Mode:          sim.SelectSynchronous,
+		MaxStates:     store.DefaultMaxStates,
+		MaxBranch:     1 << 16,
+		MaxViolations: 3,
+		CheckDeadlock: true, CheckClosure: true, CheckConvergence: true,
+		Workers: 2,
+	})
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("Execute diverges from direct explore:\n%s\nvs\n%s", gj, wj)
+	}
+}
+
+// TestRunByteIdenticalAcrossWorkers: a fresh campaign's aggregate
+// report has identical bytes at any pool width (with and without a
+// store).
+func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
+	spec, err := campaign.ParseSpec("cc1,cc2", "ring:3", "central,synchronous", "legit", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports [][]byte
+	for _, w := range []int{1, 8} {
+		rep := campaign.Run(context.Background(), openStore(t), cells, campaign.RunOptions{Workers: w})
+		reports = append(reports, rep.JSON())
+	}
+	noStore := campaign.Run(context.Background(), nil, cells, campaign.RunOptions{Workers: 3})
+	reports = append(reports, noStore.JSON())
+	for i := 1; i < len(reports); i++ {
+		if !bytes.Equal(reports[0], reports[i]) {
+			t.Fatalf("report %d differs:\n%s\nvs\n%s", i, reports[0], reports[i])
+		}
+	}
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		_, err = io.Copy(out, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestResumeAfterKillDeterminism is the resumability acceptance test:
+// a campaign killed partway leaves only complete cache entries behind;
+// resuming it serially and at -j 8 from the same snapshot produces
+// byte-identical aggregate reports; and a third run reports 100% cache
+// hits, again byte-identically at any width.
+func TestResumeAfterKillDeterminism(t *testing.T) {
+	spec, err := campaign.ParseSpec("cc1,cc2", "ring:3", "central,synchronous", "legit,cc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("grid size %d, want 8", len(cells))
+	}
+
+	// "Kill" the campaign after the second completed cell: cancel the
+	// context, which skips every cell not yet started. Cells already in
+	// flight still complete and persist — exactly what a SIGTERM-ed
+	// cccheck does.
+	st := openStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	rep1 := campaign.Run(ctx, st, cells, campaign.RunOptions{
+		Workers: 2,
+		Progress: func(ev campaign.Event) {
+			if ev.Status == campaign.StatusDone && done.Add(1) == 2 {
+				cancel()
+			}
+		},
+	})
+	if rep1.Complete() {
+		t.Fatal("interrupted run claims completion")
+	}
+	if rep1.Skipped == 0 || rep1.Explored == 0 {
+		t.Fatalf("unexpected interrupted shape: %+v", rep1)
+	}
+	if st.Len() != rep1.Explored {
+		t.Fatalf("store holds %d entries, %d explored", st.Len(), rep1.Explored)
+	}
+
+	// Resume from identical snapshots of the partial cache, serially
+	// and at -j 8: the aggregates must match byte for byte.
+	snapA, snapB := copyDir(t, st.Dir()), copyDir(t, st.Dir())
+	stA, _ := store.Open(snapA)
+	stB, _ := store.Open(snapB)
+	repSerial := campaign.Run(context.Background(), stA, cells, campaign.RunOptions{Workers: 1})
+	repPar := campaign.Run(context.Background(), stB, cells, campaign.RunOptions{Workers: 8})
+	if !bytes.Equal(repSerial.JSON(), repPar.JSON()) {
+		t.Fatalf("resumed aggregates differ between -j 1 and -j 8:\n%s\nvs\n%s", repSerial.JSON(), repPar.JSON())
+	}
+	if repSerial.CacheHits != rep1.Explored {
+		t.Fatalf("resume hit %d cells, want the %d persisted before the kill", repSerial.CacheHits, rep1.Explored)
+	}
+	if !repSerial.Complete() || !repSerial.Ok() || repSerial.Verified != len(cells) {
+		t.Fatalf("resumed campaign not clean: %+v", repSerial)
+	}
+
+	// A repeated run is 100% cache hits, byte-identical at any width.
+	rep3a := campaign.Run(context.Background(), stA, cells, campaign.RunOptions{Workers: 1})
+	rep3b := campaign.Run(context.Background(), stA, cells, campaign.RunOptions{Workers: 8})
+	if rep3a.CacheHits != len(cells) {
+		t.Fatalf("repeat run: %d hits, want %d", rep3a.CacheHits, len(cells))
+	}
+	if !bytes.Equal(rep3a.JSON(), rep3b.JSON()) {
+		t.Fatal("repeat aggregates differ across widths")
+	}
+}
+
+// TestRunViolatedCell: a mutated cell is reported violated and fails
+// the campaign without failing its clean neighbors.
+func TestRunViolatedCell(t *testing.T) {
+	spec := campaign.Spec{
+		Algs: []string{"cc2"}, Topos: []string{"ring:3"},
+		Daemons: []string{"central"}, Inits: []string{"legit"},
+		Mutations: []string{"none", "leave-early"},
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	rep := campaign.Run(context.Background(), nil, cells, campaign.RunOptions{})
+	if rep.Ok() {
+		t.Fatal("campaign with a mutated cell reports Ok")
+	}
+	if rep.Verified != 1 || rep.Violated != 1 {
+		t.Fatalf("unexpected aggregate: %+v", rep)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "violated") || !strings.Contains(buf.String(), "1 violated") {
+		t.Fatalf("render missing verdicts:\n%s", buf.String())
+	}
+}

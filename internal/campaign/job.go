@@ -1,0 +1,191 @@
+// Package campaign turns the exhaustive checker into a batch system:
+// a declarative grid (algorithms × topologies × daemon branchings ×
+// init families × mutations) expands into content-addressed job specs,
+// a scheduler fans them across the worker pool, skips jobs whose
+// verdict is already in the store, and emits one deterministic
+// aggregate report regardless of the pool width. Because every
+// completed cell is persisted before the next is scheduled, a killed
+// campaign resumes from where it stopped: re-running it re-executes
+// only the missing cells.
+//
+// This file is the shared single-job runner: the one place that maps a
+// store.JobSpec onto an explore.Model and explore.Options. cccheck,
+// ccbench and ccserve all execute jobs through it, which is what makes
+// their cached verdicts interchangeable.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Algs lists the supported algorithm names.
+func Algs() []string { return []string{"cc1", "cc2", "cc3", "dining", "token-ring"} }
+
+// Daemons lists the canonical daemon-branching names (the aliases
+// "sync" and "all" canonicalize onto the last two).
+func Daemons() []string { return []string{"central", "synchronous", "all-subsets"} }
+
+// Inits lists the init-family names.
+func Inits() []string { return []string{"legit", "cc", "cc-full", "random"} }
+
+var ccVariants = map[string]core.Variant{"cc1": core.CC1, "cc2": core.CC2, "cc3": core.CC3}
+
+func selectionMode(daemon string) (sim.SelectionMode, bool) {
+	switch daemon {
+	case "central":
+		return sim.SelectCentral, true
+	case "synchronous":
+		return sim.SelectSynchronous, true
+	case "all-subsets":
+		return sim.SelectAllSubsets, true
+	}
+	return 0, false
+}
+
+// Validate rejects a job spec that cannot execute, with an error
+// message naming the offending value and the accepted ones — the CLIs
+// turn it into a usage error (exit 2) and ccserve into a 400. It
+// validates the canonicalized spec, so alias spellings pass.
+func Validate(spec store.JobSpec) error {
+	_, err := prepare(spec.Canonical())
+	return err
+}
+
+// prepare runs every check Validate promises and returns the built
+// model factory, so Execute validates and constructs in one pass
+// instead of building the model once per check.
+func prepare(c store.JobSpec) (*checkedFactory, error) {
+	_, isCC := ccVariants[c.Alg]
+	switch c.Alg {
+	case "cc1", "cc2", "cc3", "dining", "token-ring":
+	case "":
+		return nil, fmt.Errorf("campaign: missing algorithm (want %s)", strings.Join(Algs(), " | "))
+	default:
+		return nil, fmt.Errorf("campaign: unknown algorithm %q (want %s)", c.Alg, strings.Join(Algs(), " | "))
+	}
+	if _, ok := selectionMode(c.Daemon); !ok {
+		return nil, fmt.Errorf("campaign: unknown daemon mode %q (want central | synchronous | all-subsets)", c.Daemon)
+	}
+	if _, err := explore.ParseInitMode(c.Init); err != nil {
+		return nil, fmt.Errorf("campaign: unknown init mode %q (want %s)", c.Init, strings.Join(Inits(), " | "))
+	}
+	if c.Topo == "" {
+		return nil, fmt.Errorf("campaign: missing topology spec")
+	}
+	h, err := hypergraph.Parse(c.Topo, rand.New(rand.NewSource(c.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %v", err)
+	}
+	if !isCC {
+		if c.Init != "legit" {
+			return nil, fmt.Errorf("campaign: the %s baseline is not self-stabilizing: only -init legit is supported, not %q", c.Alg, c.Init)
+		}
+		if c.Mutation != "" {
+			return nil, fmt.Errorf("campaign: -mutate applies to the CC algorithms only, not %s", c.Alg)
+		}
+	}
+	// Building the factory performs the remaining checks (codec size
+	// bounds, mutation names) and exposes the automorphism group for
+	// the -symmetry precondition.
+	factory, err := newFactoryChecked(c, h)
+	if err != nil {
+		return nil, err
+	}
+	if c.Symmetry && !factory.hasSyms {
+		return nil, fmt.Errorf("campaign: this model declares no automorphisms: %s", factory.whySymEmpty)
+	}
+	return factory, nil
+}
+
+// checkedFactory is what Validate/Execute need to know about a built
+// model factory without committing to a state type.
+type checkedFactory struct {
+	hasSyms     bool
+	whySymEmpty string
+	run         func(opts explore.Options) *explore.Result
+}
+
+func newFactoryChecked(c store.JobSpec, h *hypergraph.H) (*checkedFactory, error) {
+	if v, ok := ccVariants[c.Alg]; ok {
+		im, err := explore.ParseInitMode(c.Init)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %v", err)
+		}
+		factory, err := explore.CC(v, h, explore.CCOptions{
+			Init: im, RandomCount: c.RandomInits, Seed: c.Seed, Mutation: c.Mutation,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %v", err)
+		}
+		return &checkedFactory{
+			hasSyms: factory().Syms != nil,
+			whySymEmpty: "the CC algorithms read the identifier order (maxByID tie-breaks, min-id leader election), " +
+				"so nontrivial rotations are not automorphisms of CC ∘ TC on connected topologies; -symmetry is exact " +
+				"for CC only on block-symmetric disjoint:K,S topologies with a non-random init family",
+			run: func(opts explore.Options) *explore.Result { return explore.Explore(factory, opts) },
+		}, nil
+	}
+	kind := baseline.Dining
+	if c.Alg == "token-ring" {
+		kind = baseline.TokenRing
+	}
+	factory, err := explore.Baseline(kind, h, 1)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %v", err)
+	}
+	return &checkedFactory{
+		hasSyms: factory().Syms != nil,
+		whySymEmpty: "-symmetry needs a declared automorphism group: the token-ring baseline declares ring rotations; " +
+			"dining does not (its fork orientation and request tie-break read the committee index order)",
+		run: func(opts explore.Options) *explore.Result { return explore.Explore(factory, opts) },
+	}, nil
+}
+
+// Execute runs one job to completion and returns its result. workers
+// is the explorer pool width for this job (0 = 1: campaign and server
+// schedulers parallelize across jobs, so each job defaults to one
+// worker; pass par.Workers for a lone interactive run). The result is
+// a pure function of the canonical spec — explore's reports are
+// byte-identical at any worker count — which is what makes the cache
+// sound.
+func Execute(spec store.JobSpec, workers int) (*explore.Result, error) {
+	c := spec.Canonical()
+	factory, err := prepare(c)
+	if err != nil {
+		return nil, err
+	}
+	mode, _ := selectionMode(c.Daemon)
+	maxStates := c.MaxStates
+	if maxStates < 0 {
+		maxStates = 0 // canonical -1 = unlimited
+	}
+	opts := explore.Options{
+		Mode:          mode,
+		MaxStates:     maxStates,
+		MaxDepth:      c.MaxDepth,
+		MaxBranch:     c.MaxBranch,
+		MaxViolations: c.MaxViolations,
+		CheckDeadlock: !c.NoDeadlock,
+		Symmetry:      c.Symmetry,
+		Workers:       workers,
+	}
+	if workers <= 0 {
+		opts.Workers = 1
+	}
+	if _, ok := ccVariants[c.Alg]; ok {
+		opts.CheckClosure = !c.NoClosure
+		if mode == sim.SelectSynchronous {
+			opts.CheckConvergence = !c.NoConverge
+		}
+	}
+	return factory.run(opts), nil
+}

@@ -87,6 +87,11 @@ func (t *Table) Render(w io.Writer) {
 type Config struct {
 	Seed  int64
 	Quick bool // reduced sizes for tests and smoke runs
+	// CacheDir, if non-empty, routes the exhaustive-exploration cells
+	// (the MC experiment) through the content-addressed verdict store
+	// shared with cccheck -cache and ccserve: cached cells are served
+	// instead of re-explored, fresh ones are persisted.
+	CacheDir string
 }
 
 // Result is the outcome of one experiment.

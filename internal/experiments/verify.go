@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"repro/internal/baseline"
-	"repro/internal/core"
+	"repro/internal/campaign"
 	"repro/internal/explore"
-	"repro/internal/hypergraph"
 	"repro/internal/par"
-	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // MC — bounded exhaustive model checking of the paper's safety theorems.
@@ -21,6 +19,11 @@ import (
 // configuration for contrast — the dining reduction's schedule-dependent
 // wedge on the 3-ring is reported but is not a failing claim (the
 // related-work algorithms make no stabilization promise).
+//
+// Every cell is a content-addressed job spec executed through
+// campaign.Execute — the same runner behind cccheck and ccserve — so
+// with Config.CacheDir set, verdicts flow through the shared store in
+// both directions.
 func init() {
 	register(Experiment{
 		ID:   "MC",
@@ -34,66 +37,86 @@ func init() {
 				Header: []string{"algorithm", "topology", "init family", "daemon branching", "inits", "states", "transitions", "deadlocks", "violations"},
 			}
 
-			type cell struct {
-				alg     string
-				variant core.Variant
-				topo    string
-				mkH     func() *hypergraph.H
-				init    explore.InitMode
-				mode    sim.SelectionMode
+			var st *store.Store
+			if cfg.CacheDir != "" {
+				var err error
+				if st, err = store.Open(cfg.CacheDir); err != nil {
+					res.failf("MC: cache: %v", err)
+					return res
+				}
 			}
-			ring3 := func() *hypergraph.H { return hypergraph.CommitteeRing(3) }
-			star4 := func() *hypergraph.H { return hypergraph.Star(4) }
-			cells := []cell{
-				{"CC1", core.CC1, "ring:3", ring3, explore.InitCCFull, sim.SelectCentral},
-				{"CC1", core.CC1, "ring:3", ring3, explore.InitCCFull, sim.SelectSynchronous},
-				{"CC2", core.CC2, "ring:3", ring3, explore.InitCCFull, sim.SelectCentral},
-				{"CC2", core.CC2, "ring:3", ring3, explore.InitCCFull, sim.SelectSynchronous},
-				{"CC2", core.CC2, "ring:3", ring3, explore.InitCCFull, sim.SelectAllSubsets},
-				{"CC3", core.CC3, "ring:3", ring3, explore.InitCCFull, sim.SelectCentral},
-				{"CC2", core.CC2, "star:4", star4, explore.InitCC, sim.SelectAllSubsets},
+			// runCell serves one content-addressed cell, through the
+			// store when configured. Cells fan across the pool, so each
+			// explores with one worker.
+			runCell := func(spec store.JobSpec) (*explore.Result, error) {
+				spec = spec.Canonical()
+				if st != nil {
+					if r, _, ok := st.Get(spec); ok {
+						return r, nil
+					}
+				}
+				r, err := campaign.Execute(spec, 1)
+				if err != nil {
+					return nil, err
+				}
+				if st != nil {
+					if _, err := st.Put(spec, r); err != nil {
+						return nil, err
+					}
+				}
+				return r, nil
+			}
+
+			cell := func(alg, topo, init, daemon string) store.JobSpec {
+				return store.JobSpec{
+					Alg: alg, Topo: topo, Init: init, Daemon: daemon,
+					Seed: cfg.Seed, MaxStates: 6_000_000, MaxViolations: 5,
+				}
+			}
+			cells := []store.JobSpec{
+				cell("cc1", "ring:3", "cc-full", "central"),
+				cell("cc1", "ring:3", "cc-full", "synchronous"),
+				cell("cc2", "ring:3", "cc-full", "central"),
+				cell("cc2", "ring:3", "cc-full", "synchronous"),
+				cell("cc2", "ring:3", "cc-full", "all-subsets"),
+				cell("cc3", "ring:3", "cc-full", "central"),
+				cell("cc2", "star:4", "cc", "all-subsets"),
 			}
 			if !cfg.Quick {
-				triples3 := func() *hypergraph.H { return hypergraph.ChainOfTriples(3) }
 				cells = append(cells,
-					cell{"CC1", core.CC1, "ring:3", ring3, explore.InitCCFull, sim.SelectAllSubsets},
-					cell{"CC3", core.CC3, "ring:3", ring3, explore.InitCCFull, sim.SelectAllSubsets},
+					cell("cc1", "ring:3", "cc-full", "all-subsets"),
+					cell("cc3", "ring:3", "cc-full", "all-subsets"),
 					// Central/all-subsets branching over the triples fault
 					// space exceeds the state budget; the synchronous mode
 					// completes and carries the convergence-bound check.
-					cell{"CC2", core.CC2, "triples:3", triples3, explore.InitCC, sim.SelectSynchronous},
+					cell("cc2", "triples:3", "cc", "synchronous"),
 				)
 			}
 
-			results := par.Map(len(cells), func(i int) *explore.Result {
-				c := cells[i]
-				factory, err := explore.CC(c.variant, c.mkH(), explore.CCOptions{Init: c.init, Seed: cfg.Seed})
-				if err != nil {
-					panic(err) // static cell table; cannot fail
-				}
-				opts := explore.Options{
-					Mode:          c.mode,
-					MaxStates:     6_000_000,
-					CheckDeadlock: true,
-					CheckClosure:  true,
-					Workers:       1, // cells already fan across the pool
-				}
-				if c.mode == sim.SelectSynchronous {
-					opts.CheckConvergence = true
-				}
-				return explore.Explore(factory, opts)
+			type outcome struct {
+				r   *explore.Result
+				err error
+			}
+			results := par.Map(len(cells), func(i int) outcome {
+				r, err := runCell(cells[i])
+				return outcome{r, err}
 			})
-			for i, r := range results {
-				c := cells[i]
-				table.AddRow(c.alg, c.topo, c.init.String(), c.mode.String(),
+			for i, o := range results {
+				c := cells[i].Canonical()
+				if o.err != nil {
+					res.failf("MC %s: %v", c, o.err)
+					continue
+				}
+				r := o.r
+				table.AddRow(c.Alg, c.Topo, c.Init, c.Daemon,
 					r.Inits, r.States, r.Transitions, r.Deadlocks, len(r.Violations))
 				switch {
 				case !r.Ok(): // before Truncated: hitting the violations cap also truncates
-					res.failf("MC %s/%s/%s: %s", c.alg, c.topo, c.mode, r.Violations[0])
+					res.failf("MC %s/%s/%s: %s", c.Alg, c.Topo, c.Daemon, r.Violations[0])
 				case r.Truncated:
-					res.failf("MC %s/%s/%s: exploration truncated (%s) — raise the bound", c.alg, c.topo, c.mode, r.Summary())
+					res.failf("MC %s/%s/%s: exploration truncated (%s) — raise the bound", c.Alg, c.Topo, c.Daemon, r.Summary())
 				case r.Deadlocks > 0:
-					res.failf("MC %s/%s/%s: %d deadlocks", c.alg, c.topo, c.mode, r.Deadlocks)
+					res.failf("MC %s/%s/%s: %d deadlocks", c.Alg, c.Topo, c.Daemon, r.Deadlocks)
 				}
 			}
 			res.Tables = append(res.Tables, table)
@@ -105,24 +128,26 @@ func init() {
 					"the snap-stabilizing algorithms above verify deadlock-free on the same topology.",
 				Header: []string{"algorithm", "topology", "states", "transitions", "deadlocks", "spec violations"},
 			}
-			for _, kind := range []baseline.Kind{baseline.Dining, baseline.TokenRing} {
-				factory, err := explore.Baseline(kind, hypergraph.CommitteeRing(3), 1)
-				if err != nil {
-					panic(err)
+			for _, alg := range []string{"dining", "token-ring"} {
+				spec := store.JobSpec{
+					Alg: alg, Topo: "ring:3", Init: "legit", Daemon: "central",
+					MaxStates: 2_000_000, MaxViolations: 5, NoDeadlock: true,
 				}
-				r := explore.Explore(factory, explore.Options{
-					Mode: sim.SelectCentral, MaxStates: 2_000_000, CheckDeadlock: false,
-				})
+				r, err := runCell(spec)
+				if err != nil {
+					res.failf("MC baseline %s: %v", alg, err)
+					continue
+				}
 				specViol := 0
 				for _, v := range r.Violations {
 					if v.Kind != explore.KindDeadlock {
 						specViol++
 					}
 				}
-				bt.AddRow(kind.String(), "ring:3", r.States, r.Transitions, r.Deadlocks, specViol)
+				bt.AddRow(alg, "ring:3", r.States, r.Transitions, r.Deadlocks, specViol)
 				if specViol > 0 {
 					res.failf("MC baseline %s: spec violation from the legitimate configuration: %s",
-						kind, r.Violations[0])
+						alg, r.Violations[0])
 				}
 			}
 			res.Tables = append(res.Tables, bt)

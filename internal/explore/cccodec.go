@@ -47,8 +47,8 @@ type ccProcLayout struct {
 	dom core.FieldDomains
 	// Bit widths derived from dom.
 	wS, wP, wR, wLid, wDist, wParent, wVis, wDes int
-	edges []int // E_p, sorted (aliases hypergraph tables)
-	nbrs  []int // N(p), sorted
+	edges                                        []int // E_p, sorted (aliases hypergraph tables)
+	nbrs                                         []int // N(p), sorted
 }
 
 func newCCLayout(alg *core.Alg) *ccLayout {

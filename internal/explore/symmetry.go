@@ -359,4 +359,3 @@ func wordsFromString(s string, dst []uint64) {
 		dst[i] = x
 	}
 }
-

@@ -26,7 +26,22 @@ import (
 //	custom:{0,1};{1,2,3};...        explicit committee list (0-based)
 //
 // Random families draw from rng (required only for them).
-func Parse(spec string, rng *rand.Rand) (*H, error) {
+//
+// Out-of-range sizes (ring:0, disjoint:0,1, …) are reported as errors:
+// the generators guard their preconditions with string panics, which
+// Parse converts into usage errors so the CLIs exit 2 with a message
+// instead of crashing. Only those deliberate panics are converted —
+// runtime errors (a genuine generator bug) still crash loudly.
+func Parse(spec string, rng *rand.Rand) (h *H, err error) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case string:
+			err = fmt.Errorf("hypergraph: invalid topology %q: %s", spec, r)
+		default:
+			panic(r)
+		}
+	}()
 	name, arg, _ := strings.Cut(spec, ":")
 	ints := func(k int) ([]int, error) {
 		parts := strings.Split(arg, ",")

@@ -2,6 +2,7 @@ package hypergraph
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -47,6 +48,25 @@ func TestParseErrors(t *testing.T) {
 		var rng *rand.Rand // nil: random families must error
 		if _, err := Parse(spec, rng); err == nil {
 			t.Fatalf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+// TestParseOutOfRangeSizes: generator precondition panics surface as
+// errors, so CLI flag grammars reject ring:0 and friends with a usage
+// message instead of a stack trace.
+func TestParseOutOfRangeSizes(t *testing.T) {
+	for _, spec := range []string{
+		"ring:0", "ring:-4", "ring:2", "path:1", "star:1", "complete:0",
+		"triples:0", "disjoint:0,2", "disjoint:2,1", "grid:0,0",
+	} {
+		h, err := Parse(spec, nil)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted: %v", spec, h)
+			continue
+		}
+		if !strings.Contains(err.Error(), "invalid topology") {
+			t.Errorf("Parse(%q): error %q should name the invalid topology", spec, err)
 		}
 	}
 }

@@ -1,0 +1,595 @@
+// Package serve is the verification-as-a-service layer: an HTTP API
+// (stdlib net/http) over the exhaustive checker, the content-addressed
+// verdict store and the campaign expander. Jobs are content-addressed
+// — the job id IS the store key — so identical submissions dedupe at
+// every level: an in-flight identical job is joined (singleflight), a
+// completed one is served from the store byte-identically, and only
+// genuinely new specs reach the explorer, through a bounded worker
+// pool so concurrent clients cannot oversubscribe the machine.
+//
+//	POST /v1/jobs            submit a store.JobSpec; 200 = served from cache,
+//	                         202 = queued/running (joined if already in flight)
+//	GET  /v1/jobs/{id}       status envelope (spec, status, cached, verdict, counts)
+//	GET  /v1/jobs/{id}/result  the full explore.Result JSON, byte-identical
+//	                         between cached and freshly computed verdicts
+//	POST /v1/campaigns       submit a campaign.Spec grid; cells share the job machinery
+//	GET  /v1/campaigns/{id}  deterministic aggregate (cells in expansion order)
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus-style text: cache hit ratio, states/sec,
+//	                         queue depth, worker pool
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/explore"
+	"repro/internal/store"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Store is the verdict cache (required).
+	Store *store.Store
+	// Jobs is the number of explorations running concurrently
+	// (default 2). Submissions beyond it queue.
+	Jobs int
+	// JobWorkers is the explorer pool width per job (default
+	// GOMAXPROCS/Jobs, min 1), so Jobs × JobWorkers ≈ GOMAXPROCS and
+	// concurrent clients cannot oversubscribe the explorer.
+	JobWorkers int
+	// MaxStatesCap rejects specs whose state bound exceeds it —
+	// including "unlimited" — protecting the server's memory from one
+	// hostile submission (default 6,000,000; negative = uncapped).
+	MaxStatesCap int
+	// RetainJobs bounds the finished jobs kept in memory (default
+	// 1024; negative = unlimited). Older finished jobs are evicted
+	// FIFO — their verdicts live in the store, and a later GET or
+	// resubmission re-hydrates them by content key — so a client
+	// streaming distinct specs cannot grow the process without bound.
+	// (Failed jobs are not persisted; an evicted failure reads 404.)
+	RetainJobs int
+	// MaxQueue bounds the jobs waiting for a worker slot (default
+	// 256; negative = unlimited). Submissions past it are rejected
+	// with 503 rather than parking unbounded goroutines and records.
+	MaxQueue int
+	// Log, if non-nil, receives one line per job state change.
+	Log func(format string, args ...any)
+}
+
+// Job statuses.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+	// StatusUnknown: a campaign cell whose job was evicted and whose
+	// store entry is gone (externally wiped cache).
+	StatusUnknown = "unknown"
+)
+
+type job struct {
+	spec   store.JobSpec
+	key    string
+	status string
+	cached bool
+	errMsg string
+	result []byte // raw explore.Result JSON, exactly as stored
+	res    *explore.Result
+}
+
+type camp struct {
+	id   string
+	keys []string // cell keys in expansion order
+}
+
+// Server implements the HTTP API. Create with New; it is an
+// http.Handler.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string // finished job keys in completion order (FIFO eviction)
+	campaigns map[string]*camp
+
+	// Counters (under mu; the handler load here is verification jobs,
+	// not a hot path).
+	submitted, deduped, executed, failures int64
+	rejected                               int64
+	cacheHits, cacheMisses                 int64
+	queued, running                        int64
+	statesExplored                         int64
+	exploreNanos                           int64
+}
+
+// New builds a Server over the given store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: a verdict store is required")
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 2
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = runtime.GOMAXPROCS(0) / cfg.Jobs
+		if cfg.JobWorkers < 1 {
+			cfg.JobWorkers = 1
+		}
+	}
+	if cfg.MaxStatesCap == 0 {
+		cfg.MaxStatesCap = 6_000_000
+	}
+	if cfg.RetainJobs == 0 {
+		cfg.RetainJobs = 1024
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 256
+	}
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.Jobs),
+		start:     time.Now(),
+		jobs:      map[string]*job{},
+		campaigns: map[string]*camp{},
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// jobView is the status envelope for one job.
+type jobView struct {
+	ID          string        `json:"id"`
+	Spec        store.JobSpec `json:"spec"`
+	Status      string        `json:"status"`
+	Cached      bool          `json:"cached"`
+	Error       string        `json:"error,omitempty"`
+	Verdict     string        `json:"verdict,omitempty"`
+	Inits       int           `json:"inits,omitempty"`
+	States      int           `json:"states,omitempty"`
+	Transitions int64         `json:"transitions,omitempty"`
+	Violations  int           `json:"violations,omitempty"`
+}
+
+func (s *Server) view(j *job) jobView {
+	v := jobView{ID: j.key, Spec: j.spec, Status: j.status, Cached: j.cached, Error: j.errMsg}
+	if j.res != nil {
+		v.Verdict = j.res.Verdict()
+		v.Inits = j.res.Inits
+		v.States = j.res.States
+		v.Transitions = j.res.Transitions
+		v.Violations = len(j.res.Violations)
+	}
+	return v
+}
+
+// errQueueFull rejects submissions past Config.MaxQueue.
+var errQueueFull = fmt.Errorf("serve: job queue is full, retry later")
+
+// submit registers a job for the canonical spec, joining an existing
+// identical job (in flight or completed) or serving it from the store.
+// Returns the job and whether this submission created it; the error is
+// errQueueFull when the job would exceed the queue bound (the handler
+// turns it into a 503).
+func (s *Server) submit(spec store.JobSpec) (*job, bool, error) {
+	key := spec.Key()
+	s.mu.Lock()
+	s.submitted++
+	if j, ok := s.jobs[key]; ok && j.status != StatusFailed {
+		s.deduped++
+		if j.status == StatusDone {
+			// Joining a completed job serves its verdict without
+			// recomputation: a (memory-level) cache hit.
+			s.cacheHits++
+		}
+		s.mu.Unlock()
+		return j, false, nil
+	}
+	// A failed record (queue rejection, execution error) does not pin
+	// the key: a resubmission retries fresh.
+	// Install a placeholder so concurrent identical submissions join it,
+	// then probe the store outside the lock (disk I/O plus decoding a
+	// result that can embed large counterexample traces must not stall
+	// every other handler).
+	j := &job{spec: spec, key: key, status: StatusQueued}
+	s.jobs[key] = j
+	s.mu.Unlock()
+
+	res, raw, hit := s.cfg.Store.Get(spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.cacheHits++
+		j.status, j.cached, j.res, j.result = StatusDone, true, res, raw
+		s.finishLocked(key)
+		return j, true, nil
+	}
+	if s.cfg.MaxQueue >= 0 && s.queued >= int64(s.cfg.MaxQueue) {
+		// Fail the record in place — anyone who joined the placeholder
+		// meanwhile (and already holds a 202 with this id) polls into
+		// the failure instead of a vanished 404. finishLocked makes the
+		// record evictable, and submit's dedupe check skips failed
+		// records, so a later resubmission retries fresh.
+		s.rejected++
+		j.status, j.errMsg = StatusFailed, errQueueFull.Error()
+		s.finishLocked(key)
+		return nil, false, errQueueFull
+	}
+	s.cacheMisses++
+	s.queued++
+	go s.run(j)
+	return j, true, nil
+}
+
+// finishLocked records a finished job for FIFO eviction and evicts
+// past the retention bound. Called with s.mu held.
+func (s *Server) finishLocked(key string) {
+	s.doneOrder = append(s.doneOrder, key)
+	if s.cfg.RetainJobs < 0 {
+		return
+	}
+	for len(s.doneOrder) > s.cfg.RetainJobs {
+		old := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		// The key may have been re-created since (evict → store hit →
+		// fresh record): only drop finished records, never live ones.
+		if j := s.jobs[old]; j != nil && (j.status == StatusDone || j.status == StatusFailed) {
+			delete(s.jobs, old)
+		}
+	}
+}
+
+// hydrate rebuilds a finished job from its store entry after
+// eviction (or from another process's run): the job id is the content
+// key, so the verdict is recoverable byte-identically. The returned
+// record is transient and private to the caller.
+func (s *Server) hydrate(key string) *job {
+	spec, res, raw, ok := s.cfg.Store.GetByKey(key)
+	if !ok {
+		return nil
+	}
+	return &job{spec: spec, key: key, status: StatusDone, cached: true, res: res, result: raw}
+}
+
+func (s *Server) run(j *job) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	j.status = StatusRunning
+	s.mu.Unlock()
+	s.logf("job %s running: %s", j.key[:12], j.spec)
+
+	start := time.Now()
+	res, err := campaign.Execute(j.spec, s.cfg.JobWorkers)
+	elapsed := time.Since(start)
+
+	var raw []byte
+	if err == nil {
+		// Serve the exact bytes the store now holds; if persisting
+		// fails the verdict is still correct, so marshal it directly
+		// (the next identical submission will recompute).
+		if raw, _ = s.cfg.Store.Put(j.spec, res); raw == nil {
+			raw, _ = json.Marshal(res)
+		}
+	}
+
+	s.mu.Lock()
+	s.running--
+	if err != nil {
+		s.failures++
+		j.status, j.errMsg = StatusFailed, err.Error()
+	} else {
+		s.executed++
+		s.statesExplored += int64(res.States)
+		s.exploreNanos += elapsed.Nanoseconds()
+		j.status, j.res, j.result = StatusDone, res, raw
+	}
+	s.finishLocked(j.key)
+	s.mu.Unlock()
+	if err != nil {
+		s.logf("job %s failed: %v", j.key[:12], err)
+	} else {
+		s.logf("job %s done: %s in %v (%d states)", j.key[:12], res.Verdict(), elapsed.Round(time.Millisecond), res.States)
+	}
+}
+
+// validateSpec canonicalizes and fully validates a submission,
+// including the server-side state-bound cap.
+func (s *Server) validateSpec(spec store.JobSpec) (store.JobSpec, error) {
+	c := spec.Canonical()
+	if err := campaign.Validate(c); err != nil {
+		return c, err
+	}
+	if cap := s.cfg.MaxStatesCap; cap > 0 && (c.MaxStates < 0 || c.MaxStates > cap) {
+		return c, fmt.Errorf("serve: max_states %d exceeds this server's cap of %d", c.MaxStates, cap)
+	}
+	return c, nil
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec store.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	c, err := s.validateSpec(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, created, err := s.submit(c)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	v := s.view(j)
+	s.mu.Unlock()
+	if !created && v.Status == StatusDone {
+		// The verdict was served without recomputation, whether it came
+		// from the store or from this process's completed job.
+		v.Cached = true
+	}
+	code := http.StatusAccepted
+	if v.Status == StatusDone || v.Status == StatusFailed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, v)
+}
+
+// getJob resolves a job id: the in-memory record if present, else a
+// transient re-hydration from the store (evicted jobs, or verdicts
+// computed by another process sharing the cache directory).
+func (s *Server) getJob(id string) *job {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j != nil {
+		return j
+	}
+	return s.hydrate(id)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	v := s.view(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	status, errMsg, result := j.status, j.errMsg, j.result
+	s.mu.Unlock()
+	switch status {
+	case StatusFailed:
+		writeError(w, http.StatusInternalServerError, "%s", errMsg)
+	case StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.key, "status": status})
+	}
+}
+
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Validate every cell against the server cap before any work runs:
+	// a partially-rejected campaign would be confusing to aggregate.
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		if _, err := s.validateSpec(c); err != nil {
+			writeError(w, http.StatusBadRequest, "cell %s: %v", c, err)
+			return
+		}
+		keys[i] = c.Key()
+	}
+	sum := sha256.New()
+	for _, k := range keys {
+		sum.Write([]byte(k))
+	}
+	id := hex.EncodeToString(sum.Sum(nil))
+	// Submit every cell before registering the campaign, so a GET for
+	// the id can never observe a partially-submitted grid.
+	for i, c := range cells {
+		if _, _, err := s.submit(c); err != nil {
+			// Already-queued cells keep running and persist; the client
+			// resubmits the campaign once the queue drains and the done
+			// cells are cache hits.
+			writeError(w, http.StatusServiceUnavailable, "%v after %d/%d cells", err, i, len(cells))
+			return
+		}
+	}
+	s.mu.Lock()
+	_, existed := s.campaigns[id]
+	if !existed {
+		s.campaigns[id] = &camp{id: id, keys: keys}
+	}
+	s.mu.Unlock()
+	s.logf("campaign %s: %d cells", id[:12], len(cells))
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "cells": len(cells), "resubmitted": existed})
+}
+
+// campaignView is the aggregate for one campaign: cells in expansion
+// order, so a completed campaign renders deterministically.
+type campaignView struct {
+	ID        string    `json:"id"`
+	Status    string    `json:"status"` // running | done
+	Cells     int       `json:"cells"`
+	Done      int       `json:"done"`
+	CacheHits int       `json:"cache_hits"`
+	Verified  int       `json:"verified"`
+	Bounded   int       `json:"bounded"`
+	Violated  int       `json:"violated"`
+	Failed    int       `json:"failed"`
+	Results   []jobView `json:"results"`
+}
+
+func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	if c == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	keys := append([]string(nil), c.keys...)
+	views := make([]jobView, len(keys))
+	missing := make([]bool, len(keys))
+	for i, k := range keys {
+		if j := s.jobs[k]; j != nil {
+			views[i] = s.view(j)
+		} else {
+			missing[i] = true
+		}
+	}
+	s.mu.Unlock()
+	for i := range keys {
+		if !missing[i] {
+			continue
+		}
+		// Evicted cell: re-hydrate its verdict from the store (disk
+		// I/O, hence outside the lock).
+		if j := s.hydrate(keys[i]); j != nil {
+			views[i] = s.view(j)
+		} else {
+			views[i] = jobView{ID: keys[i], Status: StatusUnknown}
+		}
+	}
+
+	v := campaignView{ID: id, Cells: len(keys), Results: views}
+	for _, jv := range views {
+		if jv.Status == StatusDone || jv.Status == StatusFailed {
+			v.Done++
+		}
+		if jv.Cached {
+			v.CacheHits++
+		}
+		switch jv.Verdict {
+		case "verified":
+			v.Verified++
+		case "bounded":
+			v.Bounded++
+		case "violated":
+			v.Violated++
+		}
+		if jv.Status == StatusFailed {
+			v.Failed++
+		}
+	}
+	v.Status = "running"
+	if v.Done == v.Cells {
+		v.Status = "done"
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"cache_dir":      s.cfg.Store.Dir(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	submitted, deduped, executed, failures := s.submitted, s.deduped, s.executed, s.failures
+	rejected := s.rejected
+	hits, misses := s.cacheHits, s.cacheMisses
+	queued, running := s.queued, s.running
+	states, nanos := s.statesExplored, s.exploreNanos
+	s.mu.Unlock()
+	hitRatio := 0.0
+	if hits+misses > 0 {
+		hitRatio = float64(hits) / float64(hits+misses)
+	}
+	statesPerSec := 0.0
+	if nanos > 0 {
+		statesPerSec = float64(states) / (float64(nanos) / 1e9)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "ccserve_jobs_submitted_total %d\n", submitted)
+	fmt.Fprintf(w, "ccserve_jobs_deduped_total %d\n", deduped)
+	fmt.Fprintf(w, "ccserve_jobs_executed_total %d\n", executed)
+	fmt.Fprintf(w, "ccserve_jobs_failed_total %d\n", failures)
+	fmt.Fprintf(w, "ccserve_jobs_rejected_total %d\n", rejected)
+	fmt.Fprintf(w, "ccserve_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "ccserve_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "ccserve_cache_hit_ratio %g\n", hitRatio)
+	fmt.Fprintf(w, "ccserve_states_explored_total %d\n", states)
+	fmt.Fprintf(w, "ccserve_states_per_second %g\n", statesPerSec)
+	fmt.Fprintf(w, "ccserve_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "ccserve_jobs_running %d\n", running)
+	fmt.Fprintf(w, "ccserve_worker_slots %d\n", cap(s.sem))
+	fmt.Fprintf(w, "ccserve_job_workers %d\n", s.cfg.JobWorkers)
+	fmt.Fprintf(w, "ccserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
+}

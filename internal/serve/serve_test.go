@@ -1,0 +1,518 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func newTestServer(t *testing.T, dir string) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Store: st, Jobs: 2, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]any, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var v map[string]any
+	json.Unmarshal(raw, &v)
+	return resp.StatusCode, v, raw
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// waitDone polls a job until it leaves the queue.
+func waitDone(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		code, raw := get(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s: %d %s", id, code, raw)
+		}
+		var v map[string]any
+		json.Unmarshal(raw, &v)
+		switch v["status"] {
+		case serve.StatusDone, serve.StatusFailed:
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+func jobSpec(alg, daemon string) store.JobSpec {
+	return store.JobSpec{Alg: alg, Topo: "ring:3", Daemon: daemon, Init: "legit"}
+}
+
+// TestJobLifecycle: submit → poll → result; identical resubmission is
+// served without recomputation, byte-identically.
+func TestJobLifecycle(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	code, v, _ := postJSON(t, ts.URL+"/v1/jobs", jobSpec("cc2", "central"))
+	if code != http.StatusAccepted {
+		t.Fatalf("first POST: %d %v", code, v)
+	}
+	id, _ := v["id"].(string)
+	if id == "" {
+		t.Fatalf("no id in %v", v)
+	}
+	if id != jobSpec("cc2", "central").Key() {
+		t.Fatalf("job id %s is not the content key", id)
+	}
+	final := waitDone(t, ts.URL, id)
+	if final["status"] != serve.StatusDone || final["verdict"] != "verified" {
+		t.Fatalf("job did not verify: %v", final)
+	}
+	code, res1 := get(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, res1)
+	}
+	var decoded struct {
+		Violations []any
+		States     float64
+	}
+	if err := json.Unmarshal(res1, &decoded); err != nil {
+		t.Fatalf("result not an explore.Result: %v", err)
+	}
+
+	// Resubmit: must not recompute, must say cached, and the verdict
+	// body must be byte-identical.
+	code, v2, _ := postJSON(t, ts.URL+"/v1/jobs", jobSpec("cc2", "central"))
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: %d %v", code, v2)
+	}
+	if v2["cached"] != true {
+		t.Fatalf("resubmit not reported cached: %v", v2)
+	}
+	_, res2 := get(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("resubmitted verdict body differs")
+	}
+
+	// A fresh server over the same store serves the verdict from disk,
+	// byte-identically — the cross-process cache-hit contract the CI
+	// smoke asserts over HTTP.
+	ts2 := newTestServer(t, storeDirOf(t, ts))
+	code, v3, _ := postJSON(t, ts2.URL+"/v1/jobs", jobSpec("cc2", "central"))
+	if code != http.StatusOK || v3["cached"] != true || v3["status"] != serve.StatusDone {
+		t.Fatalf("restart submit: %d %v", code, v3)
+	}
+	_, res3 := get(t, ts2.URL+"/v1/jobs/"+id+"/result")
+	if !bytes.Equal(res1, res3) {
+		t.Fatal("verdict body differs across server restart")
+	}
+}
+
+// storeDirOf digs the cache dir out of /healthz, so restart tests
+// reuse it without plumbing.
+func storeDirOf(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	_, raw := get(t, ts.URL+"/healthz")
+	var v map[string]any
+	json.Unmarshal(raw, &v)
+	dir, _ := v["cache_dir"].(string)
+	if dir == "" {
+		t.Fatalf("no cache_dir in healthz: %s", raw)
+	}
+	return dir
+}
+
+func metric(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	_, raw := get(t, ts.URL+"/metrics")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if f, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, raw)
+	return 0
+}
+
+// TestConcurrentDuplicateSubmissions is the serving acceptance test:
+// 64 concurrent submissions of a mixed campaign (4 distinct specs)
+// dedupe in flight — each identical spec is explored exactly once —
+// and every response converges on the same verdict bytes.
+func TestConcurrentDuplicateSubmissions(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	specs := []store.JobSpec{
+		jobSpec("cc1", "central"), jobSpec("cc1", "synchronous"),
+		jobSpec("cc2", "central"), jobSpec("cc2", "synchronous"),
+	}
+	const n = 64
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, _ := json.Marshal(specs[i%len(specs)])
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("submission %d: %d %s", i, resp.StatusCode, raw)
+				return
+			}
+			var v map[string]any
+			json.Unmarshal(raw, &v)
+			ids[i], _ = v["id"].(string)
+		}(i)
+	}
+	wg.Wait()
+
+	// All 64 submissions resolved to the 4 content addresses.
+	distinct := map[string]bool{}
+	for i, id := range ids {
+		if id == "" {
+			t.Fatalf("submission %d got no id", i)
+		}
+		distinct[id] = true
+	}
+	if len(distinct) != len(specs) {
+		t.Fatalf("%d distinct job ids, want %d", len(distinct), len(specs))
+	}
+	results := map[string][]byte{}
+	for id := range distinct {
+		if v := waitDone(t, ts.URL, id); v["status"] != serve.StatusDone {
+			t.Fatalf("job %s: %v", id, v)
+		}
+		_, raw := get(t, ts.URL+"/v1/jobs/"+id+"/result")
+		results[id] = raw
+	}
+	if got := metric(t, ts, "ccserve_jobs_executed_total"); got != float64(len(specs)) {
+		t.Fatalf("executed %v explorations, want %d (in-flight dedupe failed)", got, len(specs))
+	}
+	if got := metric(t, ts, "ccserve_jobs_submitted_total"); got != n {
+		t.Fatalf("submitted %v, want %d", got, n)
+	}
+	if got := metric(t, ts, "ccserve_jobs_deduped_total"); got != n-float64(len(specs)) {
+		t.Fatalf("deduped %v, want %d", got, n-len(specs))
+	}
+	// Resubmitting the whole batch now reports cached verdicts with the
+	// same bytes.
+	for _, s := range specs {
+		code, v, _ := postJSON(t, ts.URL+"/v1/jobs", s)
+		if code != http.StatusOK || v["cached"] != true {
+			t.Fatalf("post-batch resubmit: %d %v", code, v)
+		}
+		_, raw := get(t, ts.URL+"/v1/jobs/"+s.Key()+"/result")
+		if !bytes.Equal(raw, results[s.Key()]) {
+			t.Fatalf("verdict bytes changed for %s", s)
+		}
+	}
+}
+
+// TestCampaignEndpoints: a campaign fans through the same job
+// machinery, aggregates deterministically in expansion order, and
+// reports cache hits on resubmission after a restart.
+func TestCampaignEndpoints(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	cspec := map[string]any{
+		"algs": []string{"cc1", "cc2"}, "topos": []string{"ring:3"},
+		"daemons": []string{"central", "synchronous"}, "inits": []string{"legit"},
+	}
+	code, v, _ := postJSON(t, ts.URL+"/v1/campaigns", cspec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST campaign: %d %v", code, v)
+	}
+	id, _ := v["id"].(string)
+	if id == "" || v["cells"] != float64(4) {
+		t.Fatalf("campaign response: %v", v)
+	}
+
+	var agg map[string]any
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		code, raw := get(t, ts.URL+"/v1/campaigns/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET campaign: %d %s", code, raw)
+		}
+		json.Unmarshal(raw, &agg)
+		if agg["status"] == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never finished: %v", agg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if agg["verified"] != float64(4) || agg["violated"] != float64(0) || agg["failed"] != float64(0) {
+		t.Fatalf("aggregate: %v", agg)
+	}
+	results := agg["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("results: %v", results)
+	}
+	// Expansion order: cc1 before cc2, central before synchronous.
+	first := results[0].(map[string]any)["spec"].(map[string]any)
+	if first["alg"] != "cc1" || first["daemon"] != "central" {
+		t.Fatalf("results not in expansion order: %v", first)
+	}
+
+	// Same campaign on a fresh server over the same store: all cells
+	// are cache hits, and the aggregate matches.
+	ts2 := newTestServer(t, storeDirOf(t, ts))
+	code, v2, _ := postJSON(t, ts2.URL+"/v1/campaigns", cspec)
+	if code != http.StatusAccepted {
+		t.Fatalf("restart POST campaign: %d %v", code, v2)
+	}
+	if v2["id"] != id {
+		t.Fatalf("campaign id not content-addressed: %v vs %v", v2["id"], id)
+	}
+	var agg2 map[string]any
+	_, raw := get(t, ts2.URL+"/v1/campaigns/"+id)
+	json.Unmarshal(raw, &agg2)
+	if agg2["status"] != "done" || agg2["cache_hits"] != float64(4) {
+		t.Fatalf("restarted campaign not served from cache: %v", agg2)
+	}
+	if metric(t, ts2, "ccserve_jobs_executed_total") != 0 {
+		t.Fatal("restarted server explored despite full cache")
+	}
+	if metric(t, ts2, "ccserve_cache_hit_ratio") != 1 {
+		t.Fatal("hit ratio should be 1 on the restarted server")
+	}
+}
+
+// TestEvictionRehydration: finished jobs past the retention bound are
+// evicted from memory and transparently re-hydrated from the store by
+// their content key — byte-identical verdicts, no 404s, no unbounded
+// growth.
+func TestEvictionRehydration(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Store: st, Jobs: 1, JobWorkers: 1, RetainJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	specs := []store.JobSpec{
+		jobSpec("cc1", "central"), jobSpec("cc1", "synchronous"), jobSpec("cc2", "central"),
+	}
+	bodies := map[string][]byte{}
+	for _, sp := range specs {
+		_, v, _ := postJSON(t, ts.URL+"/v1/jobs", sp)
+		id, _ := v["id"].(string)
+		waitDone(t, ts.URL, id)
+		_, raw := get(t, ts.URL+"/v1/jobs/"+id+"/result")
+		bodies[id] = raw
+	}
+	// With RetainJobs=1 the first two jobs are long evicted; their ids
+	// must still resolve, cached, with the same bytes.
+	for _, sp := range specs {
+		id := sp.Key()
+		code, raw := get(t, ts.URL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("evicted job %s: %d %s", id[:12], code, raw)
+		}
+		var v map[string]any
+		json.Unmarshal(raw, &v)
+		if v["status"] != serve.StatusDone {
+			t.Fatalf("evicted job %s: %v", id[:12], v)
+		}
+		_, res := get(t, ts.URL+"/v1/jobs/"+id+"/result")
+		if !bytes.Equal(res, bodies[id]) {
+			t.Fatalf("evicted job %s: verdict bytes changed", id[:12])
+		}
+		// Resubmission after eviction is a store hit, not a recompute.
+		code, v2, _ := postJSON(t, ts.URL+"/v1/jobs", sp)
+		if code != http.StatusOK || v2["cached"] != true {
+			t.Fatalf("resubmit after eviction: %d %v", code, v2)
+		}
+	}
+	if got := metric(t, ts, "ccserve_jobs_executed_total"); got != float64(len(specs)) {
+		t.Fatalf("executed %v, want %d (eviction must not cause recomputes)", got, len(specs))
+	}
+}
+
+// TestQueueBound: submissions past MaxQueue are 503s, counted in the
+// rejected metric, and do not leave job records behind.
+func TestQueueBound(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Store: st, Jobs: 1, JobWorkers: 1, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Occupy the single worker slot with a slower job, queue one, then
+	// overflow.
+	slow := store.JobSpec{Alg: "cc2", Topo: "ring:3", Daemon: "all-subsets", Init: "cc-full"}
+	code, _, _ := postJSON(t, ts.URL+"/v1/jobs", slow)
+	if code != http.StatusAccepted {
+		t.Fatalf("slow job: %d", code)
+	}
+	// Wait until it holds the worker slot (queued 1 → running 1), so
+	// the next submission deterministically occupies the queue.
+	for deadline := time.Now().Add(5 * time.Second); metric(t, ts, "ccserve_jobs_running") != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("slow job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queuedSpec := jobSpec("cc1", "central")
+	code, _, _ = postJSON(t, ts.URL+"/v1/jobs", queuedSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("queued job: %d", code)
+	}
+	rejectedSpec := jobSpec("cc1", "synchronous")
+	code, v, _ := postJSON(t, ts.URL+"/v1/jobs", rejectedSpec)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submission: %d %v, want 503", code, v)
+	}
+	if metric(t, ts, "ccserve_jobs_rejected_total") != 1 {
+		t.Fatal("rejection not counted")
+	}
+	// The rejected record fails in place (a concurrent joiner holding
+	// the id must poll into the failure, not a 404) ...
+	code, raw := get(t, ts.URL+"/v1/jobs/"+rejectedSpec.Key())
+	var rv map[string]any
+	json.Unmarshal(raw, &rv)
+	if code != http.StatusOK || rv["status"] != serve.StatusFailed || !strings.Contains(raw2s(rv["error"]), "queue") {
+		t.Fatalf("rejected job: %d %v", code, rv)
+	}
+	// ... and does not pin the key: once the queue drains, the same
+	// spec resubmits fresh and runs.
+	waitDone(t, ts.URL, slow.Key())
+	waitDone(t, ts.URL, queuedSpec.Key())
+	code, _, _ = postJSON(t, ts.URL+"/v1/jobs", rejectedSpec)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("resubmission after drain: %d", code)
+	}
+	if v := waitDone(t, ts.URL, rejectedSpec.Key()); v["status"] != serve.StatusDone {
+		t.Fatalf("retried job did not run: %v", v)
+	}
+}
+
+func raw2s(v any) string { s, _ := v.(string); return s }
+
+// TestValidation: malformed and invalid submissions are 400s with a
+// message, unknown ids are 404s, and the state-bound cap holds.
+func TestValidation(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	for name, body := range map[string]string{
+		"bad json":      `{"alg":`,
+		"unknown field": `{"alg":"cc2","topo":"ring:3","nope":1}`,
+		"unknown alg":   `{"alg":"cc9","topo":"ring:3"}`,
+		"bad daemon":    `{"alg":"cc2","topo":"ring:3","daemon":"centrall"}`,
+		"bad topo":      `{"alg":"cc2","topo":"ring:0"}`,
+		"over cap":      `{"alg":"cc2","topo":"ring:3","max_states":99000000}`,
+		"unlimited":     `{"alg":"cc2","topo":"ring:3","max_states":-1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d %s", name, resp.StatusCode, raw)
+		}
+		var v map[string]any
+		if json.Unmarshal(raw, &v) != nil || v["error"] == "" {
+			t.Errorf("%s: no error message in %s", name, raw)
+		}
+	}
+	resp, _ := http.Post(ts.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"algs":["cc1","cc9"],"topos":["ring:3"]}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad campaign: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	for _, path := range []string{"/v1/jobs/deadbeef", "/v1/jobs/deadbeef/result", "/v1/campaigns/deadbeef"} {
+		code, _ := get(t, ts.URL+path)
+		if code != http.StatusNotFound {
+			t.Errorf("%s: %d, want 404", path, code)
+		}
+	}
+}
+
+// TestHealthzAndMetrics: the liveness and metrics surfaces exist and
+// carry the advertised gauges.
+func TestHealthzAndMetrics(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	code, raw := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(raw), `"ok": true`) {
+		t.Fatalf("healthz: %d %s", code, raw)
+	}
+	for _, name := range []string{
+		"ccserve_jobs_submitted_total", "ccserve_cache_hit_ratio",
+		"ccserve_states_per_second", "ccserve_queue_depth",
+		"ccserve_jobs_running", "ccserve_worker_slots",
+	} {
+		metric(t, ts, name) // fails the test if absent
+	}
+	if metric(t, ts, "ccserve_worker_slots") != 2 {
+		t.Fatal("worker slots should mirror Config.Jobs")
+	}
+
+	// A pending-result poll answers 202 while queued or running.
+	spec := store.JobSpec{Alg: "cc2", Topo: "ring:3", Daemon: "central", Init: "cc"}
+	_, v, _ := postJSON(t, ts.URL+"/v1/jobs", spec)
+	id, _ := v["id"].(string)
+	code, _ = get(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("pending result: %d", code)
+	}
+	waitDone(t, ts.URL, id)
+	if got := metric(t, ts, "ccserve_states_explored_total"); got <= 0 {
+		t.Fatalf("states_explored_total = %v after a job", got)
+	}
+}

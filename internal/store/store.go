@@ -1,0 +1,348 @@
+// Package store is the content-addressed verdict cache shared by the
+// CLIs (cccheck -cache, ccbench -cache) and the ccserve HTTP service:
+// one exhaustive-verification job — an (algorithm, topology, daemon
+// branching, init family, bounds, symmetry, mutation) tuple — is
+// canonicalized into a stable hash key, and its explore.Result
+// (verdict, counts, counterexample traces) is persisted as JSON under
+// that key. Re-running the same job anywhere — another CLI invocation,
+// another process, the server — returns the stored verdict byte for
+// byte instead of recomputing it, which is what makes huge campaign
+// grids resumable and the service's repeated queries O(1).
+//
+// Layout: DIR/<kk>/<key>.json where kk is the first two hex digits of
+// the key (fan-out so directories stay small). Each entry embeds the
+// format version and the canonical spec it answers; Get treats a
+// version mismatch, a spec mismatch (hash collision or format drift)
+// or a corrupted file as a miss, never an error — the cache is an
+// accelerator, not a source of truth. Writes are atomic
+// (temp file + rename in the same directory), so a killed campaign
+// leaves only complete entries behind and a concurrent reader never
+// observes a torn file.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/explore"
+)
+
+// Version is the entry-format version. Bump it whenever the JobSpec
+// canonicalization or the explore.Result JSON shape changes
+// incompatibly: every existing entry then reads as a miss and is
+// recomputed rather than served stale.
+const Version = 1
+
+// JobSpec identifies one exhaustive-verification job. The zero value
+// of every optional field means "the default"; Canonical resolves
+// aliases and fills defaults so that two spellings of the same job
+// hash to the same key.
+type JobSpec struct {
+	// Alg is the algorithm: cc1 | cc2 | cc3 | dining | token-ring.
+	Alg string `json:"alg"`
+	// Topo is a hypergraph.Parse topology spec (e.g. ring:3, star:4).
+	Topo string `json:"topo"`
+	// Daemon is the branching mode: central | synchronous (alias sync)
+	// | all-subsets (alias all).
+	Daemon string `json:"daemon"`
+	// Init is the initial-configuration family: legit | cc | cc-full |
+	// random. Empty defaults to cc-full for the CC algorithms and legit
+	// for the baselines (their only supported family).
+	Init string `json:"init"`
+	// RandomInits is the configuration count for Init == "random"
+	// (default 256; canonicalized to 0 otherwise).
+	RandomInits int `json:"random_inits,omitempty"`
+	// Seed feeds Init == "random" and the random topology families
+	// (default 1; canonicalized to 0 when neither consumes it).
+	Seed int64 `json:"seed,omitempty"`
+	// MaxStates bounds distinct configurations: 0 = the default
+	// (2,000,000), negative = unlimited (canonicalized to -1).
+	MaxStates int `json:"max_states"`
+	// MaxDepth bounds the BFS depth (0 = unlimited).
+	MaxDepth int `json:"max_depth,omitempty"`
+	// MaxBranch bounds successors per configuration (default 65536).
+	MaxBranch int `json:"max_branch"`
+	// MaxViolations stops the run after this many counterexamples
+	// (default 3).
+	MaxViolations int `json:"max_violations"`
+	// Symmetry explores modulo the model's declared automorphism group.
+	Symmetry bool `json:"symmetry,omitempty"`
+	// Mutation deliberately breaks a guard (leave-early | skip-stab);
+	// CC algorithms only.
+	Mutation string `json:"mutation,omitempty"`
+	// NoDeadlock skips treating terminal configurations as violations.
+	NoDeadlock bool `json:"no_deadlock,omitempty"`
+	// NoClosure skips the Correct(p)-closure check.
+	NoClosure bool `json:"no_closure,omitempty"`
+	// NoConverge skips the one-round convergence check (synchronous
+	// daemon only; canonicalized to false elsewhere, where the check
+	// never runs).
+	NoConverge bool `json:"no_converge,omitempty"`
+}
+
+// DefaultMaxStates is the distinct-configuration bound applied when
+// JobSpec.MaxStates is zero (matches the cccheck default).
+const DefaultMaxStates = 2_000_000
+
+// randomTopoFamilies are the hypergraph.Parse families that draw from
+// the seed; for every other topology the seed is irrelevant to the
+// result and canonicalized away.
+var randomTopoFamilies = map[string]bool{
+	"kuniform": true, "mixed": true, "bipartite": true,
+	"density": true, "scenario": true,
+}
+
+// topoAliases maps hypergraph.Parse spellings to one canonical form.
+var topoAliases = map[string]string{
+	"figure1": "fig1", "figure2": "fig2", "figure3": "fig3", "figure4": "fig4",
+}
+
+// RandomTopo reports whether the (canonical) topology spec names a
+// random family, i.e. consumes the seed.
+func RandomTopo(topo string) bool {
+	name, _, _ := strings.Cut(topo, ":")
+	return randomTopoFamilies[name]
+}
+
+// Canonical returns the spec with aliases resolved, defaults filled
+// and irrelevant fields zeroed, so that every spelling of the same job
+// produces the same Key. It performs no semantic validation (that is
+// campaign.Validate's job); canonicalizing garbage yields garbage with
+// a stable key.
+func (s JobSpec) Canonical() JobSpec {
+	c := s
+	c.Alg = strings.ToLower(strings.TrimSpace(c.Alg))
+	c.Topo = strings.ToLower(strings.TrimSpace(c.Topo))
+	if a, ok := topoAliases[c.Topo]; ok {
+		c.Topo = a
+	}
+	c.Daemon = strings.ToLower(strings.TrimSpace(c.Daemon))
+	switch c.Daemon {
+	case "sync":
+		c.Daemon = "synchronous"
+	case "all", "":
+		c.Daemon = "all-subsets"
+	}
+	c.Init = strings.ToLower(strings.TrimSpace(c.Init))
+	c.Mutation = strings.ToLower(strings.TrimSpace(c.Mutation))
+	if c.Mutation == "none" {
+		c.Mutation = ""
+	}
+	if c.Init == "" {
+		if c.Alg == "dining" || c.Alg == "token-ring" {
+			c.Init = "legit"
+		} else {
+			c.Init = "cc-full"
+		}
+	}
+	if c.Init == "random" {
+		if c.RandomInits <= 0 {
+			c.RandomInits = 256
+		}
+	} else {
+		c.RandomInits = 0
+	}
+	if c.Init == "random" || RandomTopo(c.Topo) {
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+	} else {
+		c.Seed = 0
+	}
+	switch {
+	case c.MaxStates == 0:
+		c.MaxStates = DefaultMaxStates
+	case c.MaxStates < 0:
+		c.MaxStates = -1
+	}
+	if c.MaxDepth < 0 {
+		c.MaxDepth = 0
+	}
+	if c.MaxBranch <= 0 {
+		c.MaxBranch = 1 << 16
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = 3
+	}
+	if c.Daemon != "synchronous" {
+		// The convergence check only runs under synchronous branching;
+		// the flag is meaningless elsewhere.
+		c.NoConverge = false
+	}
+	return c
+}
+
+// Key returns the content address of the canonicalized spec: the hex
+// SHA-256 of its canonical JSON. Identical jobs — under any alias or
+// default spelling — share a key; any semantic difference changes it.
+func (s JobSpec) Key() string {
+	data, err := json.Marshal(s.Canonical())
+	if err != nil {
+		panic(fmt.Sprintf("store: JobSpec marshal cannot fail: %v", err)) // all fields are plain scalars
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// String renders the spec compactly for progress lines and logs.
+func (s JobSpec) String() string {
+	c := s.Canonical()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/%s/%s", c.Alg, c.Topo, c.Daemon, c.Init)
+	if c.Mutation != "" {
+		fmt.Fprintf(&b, "+mutate:%s", c.Mutation)
+	}
+	if c.Symmetry {
+		b.WriteString("+sym")
+	}
+	return b.String()
+}
+
+// entry is the on-disk schema.
+type entry struct {
+	Version int             `json:"version"`
+	Spec    JobSpec         `json:"spec"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// Store is a content-addressed verdict cache rooted at a directory.
+// All methods are safe for concurrent use from multiple goroutines and
+// multiple processes (atomicity comes from same-directory rename).
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(key string) string {
+	return filepath.Join(st.dir, key[:2], key+".json")
+}
+
+// Get looks the spec's verdict up. On a hit it returns the decoded
+// result plus the exact stored result bytes (so cached verdicts can be
+// served byte-identically to freshly computed ones). Version
+// mismatches, spec mismatches and unreadable or corrupted entries are
+// misses, not errors.
+func (st *Store) Get(spec JobSpec) (*explore.Result, []byte, bool) {
+	c := spec.Canonical()
+	data, err := os.ReadFile(st.path(c.Key()))
+	if err != nil {
+		return nil, nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, nil, false // corrupted: recompute
+	}
+	if e.Version != Version {
+		return nil, nil, false // format drift: invalidated
+	}
+	want, _ := json.Marshal(c)
+	got, _ := json.Marshal(e.Spec.Canonical())
+	if string(want) != string(got) {
+		return nil, nil, false // hash collision or stale canonicalization
+	}
+	var res explore.Result
+	if err := json.Unmarshal(e.Result, &res); err != nil {
+		return nil, nil, false
+	}
+	return &res, []byte(e.Result), true
+}
+
+// Put persists the result under the spec's key, atomically, and
+// returns the exact result bytes written (the same bytes every later
+// Get returns). Result and entry are stored as compact deterministic
+// JSON — compact so the raw result passes through the entry wrapper
+// verbatim (an indented wrapper would re-indent it) — so identical
+// results, e.g. the same job explored at different worker counts,
+// round-trip byte-identically.
+func (st *Store) Put(spec JobSpec, res *explore.Result) ([]byte, error) {
+	c := spec.Canonical()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal result: %v", err)
+	}
+	data, err := json.Marshal(entry{Version: Version, Spec: c, Result: raw})
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal entry: %v", err)
+	}
+	path := st.path(c.Key())
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	return raw, nil
+}
+
+// GetByKey reads the entry stored under a content key directly —
+// the serving layer evicts completed in-memory jobs and re-hydrates
+// them from the store by their job id, which IS the key. The embedded
+// spec must canonicalize back to the key (and the version must match);
+// anything else reads as a miss.
+func (st *Store) GetByKey(key string) (JobSpec, *explore.Result, []byte, bool) {
+	if len(key) < 3 {
+		return JobSpec{}, nil, nil, false
+	}
+	data, err := os.ReadFile(st.path(key))
+	if err != nil {
+		return JobSpec{}, nil, nil, false
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil || e.Version != Version {
+		return JobSpec{}, nil, nil, false
+	}
+	c := e.Spec.Canonical()
+	if c.Key() != key {
+		return JobSpec{}, nil, nil, false
+	}
+	var res explore.Result
+	if json.Unmarshal(e.Result, &res) != nil {
+		return JobSpec{}, nil, nil, false
+	}
+	return c, &res, []byte(e.Result), true
+}
+
+// Len counts the complete entries currently in the store (a
+// diagnostic; it does not validate them).
+func (st *Store) Len() int {
+	n := 0
+	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasPrefix(filepath.Base(path), ".") {
+			n++
+		}
+		return nil
+	})
+	return n
+}
