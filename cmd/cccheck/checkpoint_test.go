@@ -1,0 +1,187 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cmdtest"
+)
+
+// killArgs is a workload big enough (~700k states) that the process
+// can be reliably interrupted mid-exploration, with a checkpoint
+// cadence fine enough that a snapshot lands within the first fraction
+// of the run.
+func killArgs(cache string) []string {
+	return []string{
+		"-alg", "token-ring", "-topo", "ring:7", "-daemon", "central",
+		"-max-states", "700000", "-checkpoint-every", "50000",
+		"-cache", cache, "-j", "2",
+	}
+}
+
+// startAndSignal launches the run, waits for a checkpoint file to
+// appear under the cache, then delivers sig. It reports whether the
+// signal was delivered before the process finished on its own (a very
+// fast machine can win the race; callers degrade to verdict-equality
+// assertions then).
+func startAndSignal(t *testing.T, bin, cache string, sig syscall.Signal) (exitCode int, signaled bool) {
+	t.Helper()
+	cmd := exec.Command(bin, killArgs(cache)...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	// Wait for a snapshot written by *this* process (a resumed run
+	// starts with its predecessor's checkpoint already on disk).
+	started := time.Now()
+	ckptDir := filepath.Join(cache, "checkpoints")
+	deadline := time.After(2 * time.Minute)
+	fresh := func() bool {
+		entries, _ := filepath.Glob(filepath.Join(ckptDir, "*", "*.ckpt"))
+		for _, e := range entries {
+			if fi, err := os.Stat(e); err == nil && fi.ModTime().After(started) {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		if fresh() {
+			break
+		}
+		select {
+		case err := <-done:
+			// Finished before any snapshot was observed.
+			if err != nil {
+				t.Fatalf("run finished early with error: %v", err)
+			}
+			return 0, false
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatal("no checkpoint appeared within 2 minutes")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	cmd.Process.Signal(sig)
+	err := <-done
+	if err == nil {
+		return 0, true // completed despite the signal (raced past it)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), true
+	}
+	t.Fatalf("wait: %v", err)
+	return 0, false
+}
+
+// TestCheckpointSurvivesKill is the CLI acceptance path for the
+// checkpoint layer: a run interrupted by SIGTERM (graceful, exit 3)
+// and then by SIGKILL (nothing graceful about it) must, on the next
+// identical invocation, resume from the last snapshot and produce a
+// stored verdict byte-identical to an uninterrupted run's.
+func TestCheckpointSurvivesKill(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	work := t.TempDir()
+	refCache := filepath.Join(work, "ref")
+	killCache := filepath.Join(work, "killed")
+
+	// The uninterrupted reference.
+	refOut, code := cmdtest.Run(t, bin, 5*time.Minute, killArgs(refCache)...)
+	if code != 0 {
+		t.Fatalf("reference run exit %d:\n%s", code, refOut)
+	}
+
+	// Phase 1: SIGTERM → exit 3, checkpoint on disk.
+	code, signaled := startAndSignal(t, bin, killCache, syscall.SIGTERM)
+	sawInterrupt := false
+	if signaled && code != 0 {
+		if code != 3 {
+			t.Fatalf("SIGTERM'd run exited %d, want 3", code)
+		}
+		sawInterrupt = true
+		if entries, _ := filepath.Glob(filepath.Join(killCache, "checkpoints", "*", "*.ckpt")); len(entries) == 0 {
+			t.Fatal("exit 3 but no checkpoint on disk")
+		}
+	}
+
+	// Phase 2: resume and SIGKILL mid-run — the crash the snapshot
+	// format is designed around.
+	if sawInterrupt {
+		if code, signaled = startAndSignal(t, bin, killCache, syscall.SIGKILL); signaled && code != -1 && code != 0 {
+			t.Fatalf("SIGKILL'd run exited %d", code)
+		}
+	}
+
+	// Phase 3: run to completion and compare against the reference.
+	out, code := cmdtest.Run(t, bin, 5*time.Minute, killArgs(killCache)...)
+	if code != 0 {
+		t.Fatalf("final run exit %d:\n%s", code, out)
+	}
+	if sawInterrupt && !strings.Contains(out, "[resumed from") {
+		t.Fatalf("final run did not resume from the checkpoint:\n%s", out)
+	}
+	refEntry := verdictFile(t, refCache)
+	killEntry := verdictFile(t, killCache)
+	if string(refEntry) != string(killEntry) {
+		t.Fatalf("verdict after kill/resume differs from uninterrupted run:\n%s\nvs\n%s", killEntry, refEntry)
+	}
+	// The completed job must have cleaned its snapshot up.
+	if entries, _ := filepath.Glob(filepath.Join(killCache, "checkpoints", "*", "*.ckpt")); len(entries) != 0 {
+		t.Fatalf("checkpoint not deleted after completion: %v", entries)
+	}
+	if !sawInterrupt {
+		t.Log("machine outran both signals; only verdict equality was asserted")
+	}
+}
+
+func verdictFile(t *testing.T, cache string) []byte {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(cache, "*", "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one verdict entry under %s, got %v (%v)", cache, entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCheckpointEveryNeedsCache: asking for checkpoints without a
+// store to keep them in is a usage error, not a silent no-op.
+func TestCheckpointEveryNeedsCache(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, time.Minute,
+		"-alg", "cc2", "-topo", "ring:3", "-checkpoint-every", "1000")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "-checkpoint-every needs -cache") {
+		t.Fatalf("missing usage message:\n%s", out)
+	}
+}
+
+// TestMemBudgetGrammar: byte-size suffixes parse; garbage is a usage
+// error.
+func TestMemBudgetGrammar(t *testing.T) {
+	bin := cmdtest.Build(t, ".")
+	out, code := cmdtest.Run(t, bin, 2*time.Minute,
+		"-alg", "cc2", "-topo", "ring:3", "-init", "cc", "-daemon", "central", "-mem-budget", "64K")
+	if code != 0 {
+		t.Fatalf("exit %d with -mem-budget 64K:\n%s", code, out)
+	}
+	if !strings.Contains(out, "verified exhaustively") {
+		t.Fatalf("spilled run did not verify:\n%s", out)
+	}
+	out, code = cmdtest.Run(t, bin, time.Minute,
+		"-alg", "cc2", "-topo", "ring:3", "-mem-budget", "lots")
+	if code != 2 {
+		t.Fatalf("exit %d for -mem-budget lots, want 2:\n%s", code, out)
+	}
+}

@@ -32,18 +32,33 @@
 // disjoint:K,S) and is exact: same verdict, states quotiented into
 // rotation orbits.
 //
+// Two knobs decouple an exploration from this machine and this
+// process (see docs/architecture.md):
+//
+//   - -mem-budget 256M bounds the explorer's in-memory footprint; past
+//     it the open queue and the cold visited arena spill to temp files
+//     and the verdict is byte-identical to the in-memory run.
+//   - with -cache, a run checkpoints a resumable snapshot under the
+//     job's content key every -checkpoint-every expanded states and on
+//     SIGINT/SIGTERM (exit 3); re-running the same command resumes
+//     from the snapshot — surviving even kill -9, which loses at most
+//     one checkpoint interval — and finishes with verdict bytes
+//     identical to an uninterrupted run.
+//
 // Unknown flag-grammar values — a misspelled daemon, an out-of-range
 // topology size like ring:0, a trailing comma in a campaign list — are
 // usage errors (exit 2 with a message), never silent defaults.
 //
 // Exit status: 0 if every check passed, 1 if any violation was found
-// (counterexample traces are printed), 2 on usage errors.
+// (counterexample traces are printed), 2 on usage errors, 3 when
+// interrupted mid-exploration (checkpoint saved if -cache was given).
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -80,6 +95,8 @@ func main() {
 		symmetry   = flag.Bool("symmetry", false, "explore modulo the model's rotation/block automorphism group (exact; only for models that declare one)")
 		mutate     = flag.String("mutate", "", "deliberately break a guard: "+strings.Join(explore.Mutations(), " | ")+" (campaign mode: comma list, 'none' = unmutated)")
 		cacheDir   = flag.String("cache", "", "content-addressed verdict store directory: serve cached verdicts, persist fresh ones (shared with ccserve and ccbench -cache)")
+		memBudget  = flag.String("mem-budget", "", "in-memory budget for the explorer's frontier + visited arena (e.g. 256M, 2G; empty = unlimited): past it the exploration spills to temp files with an identical verdict")
+		ckptEvery  = flag.Int("checkpoint-every", 1_000_000, "with -cache: persist a resumable exploration snapshot under the job's content key every N expanded states and on SIGINT/SIGTERM, so an interrupted run resumes instead of restarting (0 = on interruption only, negative = disabled)")
 		campJSON   = flag.String("campaign-json", "", "campaign mode: read the grid from this JSON campaign.Spec file instead of the flags")
 		seed       = flag.Int64("seed", 1, "random seed")
 		runs       = flag.Int("runs", 32, "random mode: scenarios to run")
@@ -121,6 +138,23 @@ func main() {
 		MaxViolations: *traces, Symmetry: *symmetry,
 		NoDeadlock: *noDeadlock, NoClosure: *noClosure, NoConverge: *noConverge,
 	}
+	budget, err := campaign.ParseBytes("mem-budget", *memBudget)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *ckptEvery > 0 && *cacheDir == "" {
+		// Differentiate "user asked for checkpoints" from the default.
+		set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "checkpoint-every" {
+				set = true
+			}
+		})
+		if set {
+			fatalf("-checkpoint-every needs -cache DIR: snapshots live under the job's content key in the verdict store")
+		}
+	}
+	exec := execConfig{cacheDir: *cacheDir, memBudget: budget, checkpointEvery: *ckptEvery}
 
 	switch *mode {
 	case "exhaustive":
@@ -129,9 +163,9 @@ func main() {
 		default:
 			fatalf("unknown algorithm %q (cc1 | cc2 | cc3 | dining | token-ring)", *algName)
 		}
-		runExhaustive(*algName, *topo, *daemons, *initMode, *mutate, scalars, *cacheDir)
+		runExhaustive(*algName, *topo, *daemons, *initMode, *mutate, scalars, exec)
 	case "campaign":
-		runCampaign(*algName, *topo, *daemons, *initMode, *mutate, scalars, *cacheDir, *campJSON)
+		runCampaign(*algName, *topo, *daemons, *initMode, *mutate, scalars, exec, *campJSON)
 	case "random":
 		switch *algName {
 		case "cc1", "cc2", "cc3", "dining", "token-ring":
@@ -161,12 +195,22 @@ func openStore(dir string) *store.Store {
 
 // --- Exhaustive mode ----------------------------------------------------------
 
+// execConfig carries the result-irrelevant execution knobs (cache,
+// out-of-core budget, checkpoint cadence) from the flags to the modes.
+type execConfig struct {
+	cacheDir        string
+	memBudget       int64
+	checkpointEvery int
+}
+
 // runExhaustive checks one (alg, topo, init) instance under each of the
 // requested daemon branching modes. Every (instance, mode) cell is a
 // content-addressed job executed through the same runner as campaigns
-// and ccserve, so with -cache their verdicts are interchangeable.
-func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalars store.JobSpec, cacheDir string) {
-	st := openStore(cacheDir)
+// and ccserve, so with -cache their verdicts are interchangeable — and
+// with checkpointing, a SIGTERM'd (or SIGKILL'd) run resumes from its
+// last snapshot on the next identical invocation, exit code 3.
+func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalars store.JobSpec, exec execConfig) {
+	st := openStore(exec.cacheDir)
 	daemonList, err := campaign.ParseList("daemon", daemons)
 	if err != nil {
 		fatalf("%v", err)
@@ -189,6 +233,9 @@ func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalar
 	}
 	fmt.Printf("topology: %s\n", h)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	failed := false
 	bounded := false
 	for _, s := range specs {
@@ -197,8 +244,25 @@ func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalar
 		if st != nil {
 			res, _, cached = st.Get(s)
 		}
+		var stats explore.RunStats
 		if res == nil {
-			res, err = campaign.Execute(s, par.Workers)
+			eo := campaign.ExecOptions{
+				Workers: par.Workers, Stats: &stats,
+				MemBudget: exec.memBudget,
+			}
+			if st != nil && exec.checkpointEvery >= 0 {
+				eo.Checkpoints = st
+				eo.CheckpointEvery = exec.checkpointEvery
+			}
+			res, err = campaign.ExecuteOpts(ctx, s, eo)
+			if errors.Is(err, campaign.ErrInterrupted) {
+				if eo.Checkpoints != nil {
+					fmt.Printf("interrupted at %d states — checkpoint saved; re-run the same command to resume\n", res.States)
+				} else {
+					fmt.Printf("interrupted at %d states\n", res.States)
+				}
+				os.Exit(3)
+			}
 			if err != nil {
 				fatalf("%v", err)
 			}
@@ -211,6 +275,9 @@ func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalar
 		tag := ""
 		if cached {
 			tag = "  [cache hit]"
+		}
+		if stats.ResumedStates > 0 {
+			tag += fmt.Sprintf("  [resumed from %d states]", stats.ResumedStates)
 		}
 		fmt.Println(res.Summary() + tag)
 		if res.MaxIncorrectDepth >= 0 {
@@ -241,7 +308,7 @@ func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalar
 
 // --- Campaign mode ------------------------------------------------------------
 
-func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.JobSpec, cacheDir, jsonPath string) {
+func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.JobSpec, exec execConfig, jsonPath string) {
 	var cspec campaign.Spec
 	if jsonPath != "" {
 		// The spec file carries the whole grid; explicitly-set grid or
@@ -277,7 +344,7 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 	if err != nil {
 		fatalf("%v", err)
 	}
-	st := openStore(cacheDir)
+	st := openStore(exec.cacheDir)
 	fmt.Printf("campaign: %d cells", len(cells))
 	if st != nil {
 		fmt.Printf(" (cache %s)", st.Dir())
@@ -288,9 +355,14 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 	// already persisted, so the next identical run resumes from there.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rep := campaign.Run(ctx, st, cells, campaign.RunOptions{
-		Workers: par.Workers,
+	ropts := campaign.RunOptions{
+		Workers:   par.Workers,
+		MemBudget: exec.memBudget,
 		Progress: func(ev campaign.Event) {
+			resumed := ""
+			if ev.Resumed > 0 {
+				resumed = fmt.Sprintf(", resumed from %d states", ev.Resumed)
+			}
 			switch ev.Status {
 			case campaign.StatusSkipped:
 				fmt.Printf("  [%d/%d] %-44s  skipped (interrupted)\n", ev.Index+1, ev.Total, ev.Spec)
@@ -299,10 +371,18 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 			case campaign.StatusHit:
 				fmt.Printf("  [%d/%d] %-44s  %s (cache hit)\n", ev.Index+1, ev.Total, ev.Spec, ev.Verdict)
 			default:
-				fmt.Printf("  [%d/%d] %-44s  %s (%d states, %v)\n", ev.Index+1, ev.Total, ev.Spec, ev.Verdict, ev.States, ev.Elapsed.Round(time.Millisecond))
+				fmt.Printf("  [%d/%d] %-44s  %s (%d states, %v%s)\n", ev.Index+1, ev.Total, ev.Spec, ev.Verdict, ev.States, ev.Elapsed.Round(time.Millisecond), resumed)
 			}
 		},
-	})
+	}
+	if st != nil && exec.checkpointEvery >= 0 {
+		// In-flight cell snapshots: an interrupted cell resumes
+		// mid-exploration on the next run, not just cell-granular
+		// (0 = snapshot on interruption only, same as exhaustive mode).
+		ropts.Checkpoint = true
+		ropts.CheckpointEvery = exec.checkpointEvery
+	}
+	rep := campaign.Run(ctx, st, cells, ropts)
 	fmt.Println()
 	rep.Render(os.Stdout)
 	if !rep.Complete() {

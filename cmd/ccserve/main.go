@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -51,6 +52,8 @@ func main() {
 		maxStates  = flag.Int("max-states-cap", 6_000_000, "reject jobs whose state bound exceeds this (negative = uncapped)")
 		retain     = flag.Int("retain-jobs", 1024, "finished jobs kept in memory; older ones re-hydrate from the store on demand (negative = unlimited)")
 		maxQueue   = flag.Int("max-queue", 256, "jobs waiting for a worker slot before submissions get 503 (negative = unlimited)")
+		ckptEvery  = flag.Int("checkpoint-every", 1_000_000, "running jobs persist a resumable snapshot under their content key every N expanded states and on shutdown; resubmitting after a restart resumes them (negative = disabled)")
+		memBudget  = flag.String("mem-budget", "", "per-job in-memory explorer budget (e.g. 256M, 2G; empty = unlimited): past it the exploration spills to temp files with an identical verdict")
 		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
@@ -63,9 +66,18 @@ func main() {
 	if *jobs < 1 {
 		fatalf("-jobs must be >= 1, got %d", *jobs)
 	}
+	budget, err := campaign.ParseBytes("mem-budget", *memBudget)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	st, err := store.Open(*cacheDir)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	// A previous process may have completed jobs whose checkpoints it
+	// never got to delete (crash between persist and cleanup).
+	if n := st.GCCheckpoints(); n > 0 {
+		log.Printf("ccserve: removed %d orphaned checkpoint file(s)", n)
 	}
 	logf := log.Printf
 	if *quiet {
@@ -73,7 +85,8 @@ func main() {
 	}
 	srv, err := serve.New(serve.Config{
 		Store: st, Jobs: *jobs, JobWorkers: *jobWorkers,
-		MaxStatesCap: *maxStates, RetainJobs: *retain, MaxQueue: *maxQueue, Log: logf,
+		MaxStatesCap: *maxStates, RetainJobs: *retain, MaxQueue: *maxQueue,
+		CheckpointEvery: *ckptEvery, MemBudget: budget, Log: logf,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -105,6 +118,11 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			fatalf("shutdown: %v", err)
+		}
+		// Cancel running explorations and wait for their checkpoints to
+		// land, so a restart resumes them instead of redoing the work.
+		if !srv.Drain(10 * time.Second) {
+			log.Printf("ccserve: drain timed out; some jobs may restart from an older checkpoint")
 		}
 	}
 }

@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of Snap-Stabilizing Committee
+// Coordination (Bonakdarpour, Devismes, Petit; IPDPS 2011) grown into
+// a production-style verification system.
+//
+// The root package holds only the cross-cutting test suites (the
+// benchmark battery, the examples smoke tests, and the documentation
+// lint that keeps every package documented and every docs/ link
+// alive). The system itself lives in internal/* — start at
+// docs/architecture.md for the layer map, or internal/explore for the
+// exhaustive checker the whole thing is built around.
+package repro

@@ -3,8 +3,11 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -78,6 +81,34 @@ func ParseList(flagName, s string) ([]string, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// ParseBytes parses a human byte-size flag value: a plain integer is
+// bytes; K/M/G suffixes (optionally with B, case-insensitive) scale by
+// powers of 1024. Empty means 0 (no budget).
+func ParseBytes(flagName, s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	u := strings.ToUpper(t)
+	u = strings.TrimSuffix(u, "B")
+	switch {
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, u[:len(u)-1]
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, u[:len(u)-1]
+	case strings.HasSuffix(u, "G"):
+		mult, u = 1<<30, u[:len(u)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n < 0 || n > math.MaxInt64/mult {
+		// The overflow check matters: a wrapped-negative budget would
+		// silently read as "unlimited" — the opposite of the intent.
+		return 0, fmt.Errorf("campaign: bad -%s value %q (want e.g. 268435456, 256M, 2G)", flagName, s)
+	}
+	return n * mult, nil
 }
 
 // ParseSpec builds the grid from the comma-list flag grammar
@@ -179,6 +210,10 @@ type Event struct {
 	Status  string
 	Verdict string
 	States  int
+	// Resumed is the state count restored from a checkpoint before
+	// this cell continued (0 = started fresh). Progress-only: the
+	// Report is byte-identical whether a cell resumed or not.
+	Resumed int
 	Elapsed time.Duration
 }
 
@@ -257,6 +292,17 @@ type RunOptions struct {
 	// JobWorkers is the explorer width per cell (0 = 1; cells already
 	// fan across the pool).
 	JobWorkers int
+	// Checkpoint enables in-flight cell checkpointing (snapshots to
+	// the campaign's store), so an interrupted cell resumes
+	// mid-exploration on the next run instead of restarting. Requires
+	// a store. CheckpointEvery sets the periodic cadence in expanded
+	// states; 0 snapshots on cancellation only.
+	Checkpoint      bool
+	CheckpointEvery int
+	// MemBudget bounds each cell's in-memory explorer footprint
+	// (bytes; 0 = fully in-memory), spilling to SpillDir past it.
+	MemBudget int64
+	SpillDir  string
 	// Progress, if non-nil, receives one event per finished cell.
 	// Calls are serialized.
 	Progress func(Event)
@@ -285,6 +331,7 @@ func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOp
 		spec := cells[i].Canonical()
 		cell := CellResult{Spec: spec, Key: spec.Key()}
 		start := time.Now()
+		var stats explore.RunStats
 		switch {
 		case ctx.Err() != nil:
 			cell.Status = StatusSkipped
@@ -297,16 +344,33 @@ func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOp
 				}
 			}
 			if res == nil {
+				eo := ExecOptions{
+					Workers: opts.JobWorkers, Stats: &stats,
+					MemBudget: opts.MemBudget, SpillDir: opts.SpillDir,
+				}
+				if st != nil && opts.Checkpoint {
+					eo.Checkpoints = st
+					eo.CheckpointEvery = opts.CheckpointEvery
+				}
 				var err error
-				res, err = Execute(spec, opts.JobWorkers)
-				if err == nil && st != nil {
+				res, err = ExecuteOpts(ctx, spec, eo)
+				switch {
+				case errors.Is(err, ErrInterrupted):
+					// Mid-cell cancellation: the snapshot (if enabled) is
+					// saved; the cell reads as skipped, exactly like a cell
+					// never scheduled, and the next run resumes it.
+					cell.Status = StatusSkipped
+					res = nil
+				case err == nil && st != nil:
 					_, err = st.Put(spec, res)
 				}
-				if err != nil {
-					cell.Status = StatusFailed
-					cell.Error = err.Error()
-				} else {
-					cell.Status = StatusDone
+				if cell.Status != StatusSkipped {
+					if err != nil {
+						cell.Status = StatusFailed
+						cell.Error = err.Error()
+					} else {
+						cell.Status = StatusDone
+					}
 				}
 			}
 			if res != nil && cell.Status != StatusFailed {
@@ -322,7 +386,7 @@ func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOp
 		emit(Event{
 			Index: i, Total: len(cells), Spec: spec, Key: cell.Key,
 			Status: cell.Status, Verdict: cell.Verdict, States: cell.States,
-			Elapsed: time.Since(start),
+			Resumed: stats.ResumedStates, Elapsed: time.Since(start),
 		})
 	})
 

@@ -15,6 +15,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -111,7 +112,7 @@ func prepare(c store.JobSpec) (*checkedFactory, error) {
 type checkedFactory struct {
 	hasSyms     bool
 	whySymEmpty string
-	run         func(opts explore.Options) *explore.Result
+	run         func(ctx context.Context, opts explore.Options) (*explore.Result, error)
 }
 
 func newFactoryChecked(c store.JobSpec, h *hypergraph.H) (*checkedFactory, error) {
@@ -131,7 +132,9 @@ func newFactoryChecked(c store.JobSpec, h *hypergraph.H) (*checkedFactory, error
 			whySymEmpty: "the CC algorithms read the identifier order (maxByID tie-breaks, min-id leader election), " +
 				"so nontrivial rotations are not automorphisms of CC ∘ TC on connected topologies; -symmetry is exact " +
 				"for CC only on block-symmetric disjoint:K,S topologies with a non-random init family",
-			run: func(opts explore.Options) *explore.Result { return explore.Explore(factory, opts) },
+			run: func(ctx context.Context, opts explore.Options) (*explore.Result, error) {
+				return explore.ExploreCtx(ctx, factory, opts)
+			},
 		}, nil
 	}
 	kind := baseline.Dining
@@ -146,18 +149,60 @@ func newFactoryChecked(c store.JobSpec, h *hypergraph.H) (*checkedFactory, error
 		hasSyms: factory().Syms != nil,
 		whySymEmpty: "-symmetry needs a declared automorphism group: the token-ring baseline declares ring rotations; " +
 			"dining does not (its fork orientation and request tie-break read the committee index order)",
-		run: func(opts explore.Options) *explore.Result { return explore.Explore(factory, opts) },
+		run: func(ctx context.Context, opts explore.Options) (*explore.Result, error) {
+			return explore.ExploreCtx(ctx, factory, opts)
+		},
 	}, nil
 }
 
-// Execute runs one job to completion and returns its result. workers
-// is the explorer pool width for this job (0 = 1: campaign and server
-// schedulers parallelize across jobs, so each job defaults to one
-// worker; pass par.Workers for a lone interactive run). The result is
-// a pure function of the canonical spec — explore's reports are
-// byte-identical at any worker count — which is what makes the cache
-// sound.
+// ExecOptions parameterize one job execution beyond the spec. Every
+// field is result-irrelevant: the verdict bytes are a pure function of
+// the canonical spec at any worker count, memory budget or checkpoint
+// cadence, which is what makes the cache (and resuming) sound.
+type ExecOptions struct {
+	// Workers is the explorer pool width for this job (0 = 1: campaign
+	// and server schedulers parallelize across jobs, so each job
+	// defaults to one worker; pass par.Workers for a lone interactive
+	// run).
+	Workers int
+	// Checkpoints, if non-nil, enables checkpoint/restore through this
+	// store: the job resumes from an existing snapshot under its
+	// content key, persists one every CheckpointEvery expanded states
+	// and on context cancellation, and deletes it on completion.
+	Checkpoints *store.Store
+	// CheckpointEvery is the expanded-state snapshot cadence
+	// (0 = snapshot only on cancellation).
+	CheckpointEvery int
+	// MemBudget bounds the explorer's in-memory frontier + arena
+	// footprint (bytes; 0 = fully in-memory); overflow spills to
+	// SpillDir ("" = the system temp dir).
+	MemBudget int64
+	SpillDir  string
+	// Stats, if non-nil, receives resume/spill bookkeeping (not part
+	// of the result).
+	Stats *explore.RunStats
+}
+
+// ErrInterrupted reports that a job was cancelled mid-exploration; if
+// checkpointing was enabled, a snapshot was saved and re-executing the
+// same spec resumes it.
+var ErrInterrupted = explore.ErrInterrupted
+
+// Execute runs one job to completion and returns its result (see
+// ExecuteOpts; this is the no-frills form the CLIs used before
+// checkpointing existed and the tests still exercise).
 func Execute(spec store.JobSpec, workers int) (*explore.Result, error) {
+	return ExecuteOpts(context.Background(), spec, ExecOptions{Workers: workers})
+}
+
+// ExecuteOpts runs one job under a context, with optional
+// checkpoint/restore and an out-of-core memory budget. On cancellation
+// it returns an error wrapping ErrInterrupted (snapshot saved when
+// o.Checkpoints is set). On success the result's StateBytes is zeroed:
+// it measures this process's retained footprint — different between
+// resumed/fresh and spilled/in-memory runs of the same job — and the
+// persisted verdict must be byte-identical across all of them.
+func ExecuteOpts(ctx context.Context, spec store.JobSpec, o ExecOptions) (*explore.Result, error) {
 	c := spec.Canonical()
 	factory, err := prepare(c)
 	if err != nil {
@@ -169,17 +214,26 @@ func Execute(spec store.JobSpec, workers int) (*explore.Result, error) {
 		maxStates = 0 // canonical -1 = unlimited
 	}
 	opts := explore.Options{
-		Mode:          mode,
-		MaxStates:     maxStates,
-		MaxDepth:      c.MaxDepth,
-		MaxBranch:     c.MaxBranch,
-		MaxViolations: c.MaxViolations,
-		CheckDeadlock: !c.NoDeadlock,
-		Symmetry:      c.Symmetry,
-		Workers:       workers,
+		Mode:            mode,
+		MaxStates:       maxStates,
+		MaxDepth:        c.MaxDepth,
+		MaxBranch:       c.MaxBranch,
+		MaxViolations:   c.MaxViolations,
+		CheckDeadlock:   !c.NoDeadlock,
+		Symmetry:        c.Symmetry,
+		Workers:         o.Workers,
+		MemBudget:       o.MemBudget,
+		SpillDir:        o.SpillDir,
+		CheckpointEvery: o.CheckpointEvery,
+		Stats:           o.Stats,
 	}
-	if workers <= 0 {
+	if o.Workers <= 0 {
 		opts.Workers = 1
+	}
+	var ckpt *store.Checkpoint
+	if o.Checkpoints != nil {
+		ckpt = o.Checkpoints.Checkpoint(c.Key())
+		opts.Checkpoint = ckpt
 	}
 	if _, ok := ccVariants[c.Alg]; ok {
 		opts.CheckClosure = !c.NoClosure
@@ -187,5 +241,15 @@ func Execute(spec store.JobSpec, workers int) (*explore.Result, error) {
 			opts.CheckConvergence = !c.NoConverge
 		}
 	}
-	return factory.run(opts), nil
+	res, err := factory.run(ctx, opts)
+	if err != nil {
+		return res, err
+	}
+	res.StateBytes = 0
+	if ckpt != nil {
+		// The verdict supersedes the snapshot; a failed delete is
+		// GCCheckpoints' problem, not the job's.
+		ckpt.Delete()
+	}
+	return res, nil
 }

@@ -1,0 +1,125 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/explore"
+	"repro/internal/store"
+)
+
+// bigSpec is a cell large enough to be interrupted mid-exploration
+// with a fine checkpoint cadence.
+func bigSpec() store.JobSpec {
+	return store.JobSpec{
+		Alg: "token-ring", Topo: "ring:6", Daemon: "central", MaxStates: 60_000,
+	}.Canonical()
+}
+
+// interruptAfterCheckpoint cancels ctx as soon as a checkpoint file
+// for spec appears in the store.
+func interruptAfterCheckpoint(t *testing.T, st *store.Store, spec store.JobSpec, cancel context.CancelFunc) chan struct{} {
+	t.Helper()
+	stop := make(chan struct{})
+	glob := filepath.Join(st.Dir(), "checkpoints", spec.Key()[:2], spec.Key()+".ckpt")
+	go func() {
+		for i := 0; i < 30_000; i++ {
+			if _, err := os.Stat(glob); err == nil {
+				cancel()
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	return stop
+}
+
+// TestExecuteOptsMidJobResume: an ExecuteOpts cancelled mid-exploration
+// leaves a snapshot; the next identical call resumes it (stats prove
+// it) and returns a result byte-identical to an uninterrupted run's.
+func TestExecuteOptsMidJobResume(t *testing.T) {
+	spec := bigSpec()
+	clean, err := campaign.Execute(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(clean)
+
+	st := openStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watch := interruptAfterCheckpoint(t, st, spec, cancel)
+	eo := campaign.ExecOptions{Workers: 2, Checkpoints: st, CheckpointEvery: 2000}
+	_, err = campaign.ExecuteOpts(ctx, spec, eo)
+	close(watch)
+	if !errors.Is(err, campaign.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+
+	var stats explore.RunStats
+	eo.Stats = &stats
+	res, err := campaign.ExecuteOpts(context.Background(), spec, eo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResumedStates == 0 {
+		t.Fatal("second run did not resume from the snapshot")
+	}
+	gotJSON, _ := json.Marshal(res)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("resumed result diverges:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+	// Completion deletes the snapshot.
+	if _, err := os.Stat(filepath.Join(st.Dir(), "checkpoints", spec.Key()[:2], spec.Key()+".ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not deleted after completion: %v", err)
+	}
+}
+
+// TestRunMidCellResume: a campaign interrupted mid-cell marks the cell
+// skipped (snapshot saved); re-running the campaign resumes the cell
+// from the snapshot (Event.Resumed proves it) and the final report is
+// byte-identical to one computed without any interruption — serial and
+// at -j 8.
+func TestRunMidCellResume(t *testing.T) {
+	cells := []store.JobSpec{bigSpec()}
+
+	// Uninterrupted reference (its own store).
+	refStore := openStore(t)
+	ref := campaign.Run(context.Background(), refStore, cells, campaign.RunOptions{Workers: 1, JobWorkers: 2})
+	want := ref.JSON()
+
+	for _, workers := range []int{1, 8} {
+		st := openStore(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		watch := interruptAfterCheckpoint(t, st, cells[0], cancel)
+		opts := campaign.RunOptions{Workers: workers, JobWorkers: 2, Checkpoint: true, CheckpointEvery: 2000}
+		rep := campaign.Run(ctx, st, cells, opts)
+		close(watch)
+		cancel()
+		if rep.Skipped != 1 {
+			t.Fatalf("workers=%d: interrupted cell not skipped: %+v", workers, rep.Results[0])
+		}
+
+		resumed := 0
+		opts.Progress = func(ev campaign.Event) { resumed = ev.Resumed }
+		rep = campaign.Run(context.Background(), st, cells, opts)
+		if got := rep.JSON(); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: resumed campaign report diverges:\n%s\nvs\n%s", workers, got, want)
+		}
+		if resumed == 0 {
+			t.Fatalf("workers=%d: cell restarted instead of resuming", workers)
+		}
+	}
+}

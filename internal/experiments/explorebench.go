@@ -82,11 +82,39 @@ func exploreBenchWorkloads() []exploreWorkload {
 			}, nil
 		}
 	}
+	// The spill cell measures the out-of-core tax, not an engine-vs-
+	// oracle speedup: the "baseline" is the same engine fully
+	// in-memory, the "engine" runs under a memory budget small enough
+	// that both the frontier and the cold visited arena go to disk
+	// (the differential check still asserts identical counts and
+	// verdicts — the out-of-core path must change nothing but the
+	// footprint). Expect a speedup near (slightly under) 1.0 and a
+	// bytes ratio well under 1.0.
+	spillCell := func(variant core.Variant, h *hypergraph.H, init explore.InitMode, mode sim.SelectionMode, budget int64) func() (func(bool) *explore.Result, error) {
+		return func() (func(bool) *explore.Result, error) {
+			factory, err := explore.CC(variant, h, explore.CCOptions{Init: init})
+			if err != nil {
+				return nil, err
+			}
+			opts := explore.Options{
+				Mode: mode, MaxStates: 6_000_000,
+				CheckDeadlock: true, CheckClosure: true,
+			}
+			return func(ref bool) *explore.Result {
+				o := opts
+				if !ref {
+					o.MemBudget = budget
+				}
+				return explore.Explore(factory, o)
+			}, nil
+		}
+	}
 	return []exploreWorkload{
 		{"cc2/ring:3/cc-full/central", ccCell(core.CC2, hypergraph.CommitteeRing(3), explore.InitCCFull, sim.SelectCentral)},
 		{"cc2/ring:3/cc-full/all-subsets", ccCell(core.CC2, hypergraph.CommitteeRing(3), explore.InitCCFull, sim.SelectAllSubsets)},
 		{"cc2/ring:4/cc/central", ccCell(core.CC2, hypergraph.CommitteeRing(4), explore.InitCC, sim.SelectCentral)},
 		{"token-ring/ring:7/central/1M", tokenCell(7, 1_000_000)},
+		{"cc2/ring:4/cc/central/spill-1MiB", spillCell(core.CC2, hypergraph.CommitteeRing(4), explore.InitCC, sim.SelectCentral, 1<<20)},
 	}
 }
 

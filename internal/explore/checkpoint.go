@@ -1,0 +1,445 @@
+package explore
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+)
+
+// Checkpointing makes a long exploration survivable: every
+// Options.CheckpointEvery expanded states — and on context
+// cancellation — the engine persists a complete snapshot of its
+// deterministic state through the Checkpointer, and a later run with
+// the same model and options resumes from it, producing a final Result
+// byte-identical (StateBytes aside — a footprint measurement, not part
+// of the verdict) to the uninterrupted run at any worker count.
+//
+// What a snapshot must capture falls out of the engine's two-phase
+// design: checkpoints are taken only at chunk boundaries, where the
+// workers are parked, so the whole state is (a) the promoted arena
+// with its parent/selection trace arrays, (b) the pending entries of
+// the layer in progress, (c) the not-yet-expanded remainder of the
+// open queue, and (d) the serial counters (result-so-far plus the
+// current layer's accumulated aggregate). Everything else — slot
+// tables, spill segment files, worker scratch — is rebuilt.
+//
+// The snapshot format is versioned binary: a magic header, the
+// SHA-256 of the (model, options) identity — a mismatched checkpoint
+// is ignored, never misapplied — length-prefixed metadata sections,
+// the raw arena stream last (so restore streams it straight into the
+// visited set, spilling cold ids back to disk under a memory budget
+// without ever materializing the full arena), and a trailing FNV-64a
+// checksum that rejects torn or corrupted files as "no checkpoint".
+
+// Checkpointer persists and recalls exploration snapshots. Save must
+// be atomic (write-temp-then-rename or equivalent): a crash during
+// Save must leave the previous checkpoint intact. Load returns
+// (nil, nil) when no checkpoint exists.
+type Checkpointer interface {
+	Load() (io.ReadCloser, error)
+	Save(write func(w io.Writer) error) error
+}
+
+// ErrInterrupted is returned (wrapped) by ExploreCtx when the context
+// is cancelled mid-run; if a Checkpointer is configured, a checkpoint
+// has been saved and a rerun resumes from it.
+var ErrInterrupted = errors.New("interrupted")
+
+// RunStats reports resume/out-of-core bookkeeping that is
+// deliberately *not* part of Result: a resumed or spilled run must
+// produce byte-identical verdict bytes, so anything that differs
+// between such runs lives here.
+type RunStats struct {
+	// ResumedStates is the promoted-state count restored from a
+	// checkpoint (0 = fresh run).
+	ResumedStates int
+	// CheckpointsWritten counts snapshots persisted this run.
+	CheckpointsWritten int
+	// FrontierSpillSegments / FrontierSpilledBytes: open-queue spill
+	// traffic (cumulative writes, not high water).
+	FrontierSpillSegments int
+	FrontierSpilledBytes  int64
+	// ArenaSpilledBytes is the visited-arena bytes resident on disk at
+	// the end of the run.
+	ArenaSpilledBytes int64
+}
+
+const checkpointVersion = 1
+
+var checkpointMagic = [8]byte{'C', 'C', 'K', 'P', 'T', '0' + checkpointVersion, '\r', '\n'}
+
+// optionsHash identifies the (model, options) tuple a checkpoint is
+// valid for. Result-irrelevant knobs (Workers, MemBudget, SpillDir,
+// checkpoint cadence) are excluded: a run may resume under a different
+// worker count or memory budget and still reproduce the same bytes.
+func optionsHash(name string, words, nprocs int, o *Options) [32]byte {
+	s := fmt.Sprintf("explore-ckpt-v%d|%s|w=%d|n=%d|mode=%d|ms=%d|md=%d|mb=%d|mv=%d|dl=%t|cl=%t|cv=%t|sym=%t",
+		checkpointVersion, name, words, nprocs, o.Mode,
+		o.MaxStates, o.MaxDepth, o.MaxBranch, o.MaxViolations,
+		o.CheckDeadlock, o.CheckClosure, o.CheckConvergence, o.Symmetry)
+	return sha256.Sum256([]byte(s))
+}
+
+// snapshot is the serial-phase state of a paused exploration (see the
+// package comment above for the inventory).
+type snapshot struct {
+	hash    [32]byte
+	words   int
+	nstates int
+
+	inits             int
+	transitions       int64
+	resDepth          int
+	maxEnabled        int
+	deadlocks         int
+	maxIncorrectDepth int
+	truncated         bool
+
+	violations []Violation
+
+	curDepth int
+	itemBase int
+	agg      layerAgg
+
+	frontier []int32
+	parentOf []int32
+	selOf    []string
+	pending  []PendSnap
+}
+
+// wireViol is the JSON shape of an in-progress layer violation
+// (itemViol has no exported fields).
+type wireViol struct {
+	Item int      `json:"item"`
+	ID   int32    `json:"id"`
+	Kind string   `json:"kind"`
+	Msg  string   `json:"msg"`
+	Sel  []int    `json:"sel,omitempty"`
+	Key  []uint64 `json:"key,omitempty"`
+}
+
+// --- encoding helpers ---------------------------------------------------------
+
+type ckptWriter struct {
+	w   *bufio.Writer
+	sum hash.Hash64
+	err error
+}
+
+func newCkptWriter(w io.Writer) *ckptWriter {
+	return &ckptWriter{w: bufio.NewWriterSize(w, 1<<20), sum: fnv.New64a()}
+}
+
+func (c *ckptWriter) bytes(p []byte) {
+	if c.err != nil {
+		return
+	}
+	c.sum.Write(p)
+	_, c.err = c.w.Write(p)
+}
+
+func (c *ckptWriter) u64(x uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	c.bytes(b[:])
+}
+
+func (c *ckptWriter) i64(x int64) { c.u64(uint64(x)) }
+func (c *ckptWriter) int(x int)   { c.i64(int64(x)) }
+func (c *ckptWriter) i32(x int32) { c.i64(int64(x)) }
+func (c *ckptWriter) bool(x bool) {
+	b := byte(0)
+	if x {
+		b = 1
+	}
+	c.bytes([]byte{b})
+}
+func (c *ckptWriter) blob(p []byte) {
+	c.int(len(p))
+	c.bytes(p)
+}
+func (c *ckptWriter) str(s string) { c.blob([]byte(s)) }
+
+type ckptReader struct {
+	r   *bufio.Reader
+	sum hash.Hash64
+	err error
+}
+
+func newCkptReader(r io.Reader) *ckptReader {
+	return &ckptReader{r: bufio.NewReaderSize(r, 1<<20), sum: fnv.New64a()}
+}
+
+func (c *ckptReader) bytes(p []byte) {
+	if c.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(c.r, p); err != nil {
+		c.err = err
+		return
+	}
+	c.sum.Write(p)
+}
+
+func (c *ckptReader) u64() uint64 {
+	var b [8]byte
+	c.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (c *ckptReader) i64() int64 { return int64(c.u64()) }
+func (c *ckptReader) int() int   { return int(c.i64()) }
+func (c *ckptReader) i32() int32 { return int32(c.i64()) }
+func (c *ckptReader) bool() bool {
+	var b [1]byte
+	c.bytes(b[:])
+	return b[0] != 0
+}
+func (c *ckptReader) blob(limit int) []byte {
+	n := c.int()
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > limit {
+		c.err = fmt.Errorf("explore: checkpoint blob length %d out of range", n)
+		return nil
+	}
+	p := make([]byte, n)
+	c.bytes(p)
+	return p
+}
+
+// snapLimit bounds variable-length checkpoint sections against
+// corrupted headers allocating absurd buffers.
+const snapLimit = 1 << 31
+
+// writeSnapshot streams the snapshot (arena last) to w.
+func writeSnapshot(w io.Writer, s *snapshot, vs *Visited) error {
+	c := newCkptWriter(w)
+	c.bytes(checkpointMagic[:])
+	c.bytes(s.hash[:])
+	c.int(s.words)
+	c.int(s.nstates)
+	c.int(s.inits)
+	c.i64(s.transitions)
+	c.int(s.resDepth)
+	c.int(s.maxEnabled)
+	c.int(s.deadlocks)
+	c.int(s.maxIncorrectDepth)
+	c.bool(s.truncated)
+
+	viols, err := json.Marshal(s.violations)
+	if err != nil {
+		return fmt.Errorf("explore: checkpoint: %v", err)
+	}
+	c.blob(viols)
+
+	c.int(s.curDepth)
+	c.int(s.itemBase)
+	c.int(s.agg.deadlocks)
+	c.i64(s.agg.transitions)
+	c.int(s.agg.maxEnabled)
+	c.bool(s.agg.truncated)
+	c.bool(s.agg.incorrect)
+	wv := make([]wireViol, len(s.agg.viols))
+	for i, iv := range s.agg.viols {
+		wv[i] = wireViol{Item: iv.item, ID: iv.id, Kind: iv.wv.kind, Msg: iv.wv.msg, Sel: iv.wv.sel, Key: iv.wv.key}
+	}
+	aggViols, err := json.Marshal(wv)
+	if err != nil {
+		return fmt.Errorf("explore: checkpoint: %v", err)
+	}
+	c.blob(aggViols)
+
+	c.int(len(s.frontier))
+	for _, id := range s.frontier {
+		c.i32(id)
+	}
+	c.int(len(s.parentOf))
+	for _, p := range s.parentOf {
+		c.i32(p)
+	}
+	for _, sel := range s.selOf {
+		c.str(sel)
+	}
+	c.int(len(s.pending))
+	for _, p := range s.pending {
+		c.u64(p.Pos)
+		c.i32(p.Parent)
+		c.str(p.Sel)
+		for _, w := range p.Key {
+			c.u64(w)
+		}
+	}
+	if c.err == nil {
+		if c.err = vs.writeArenaHashed(c); c.err != nil {
+			return c.err
+		}
+	}
+	// Trailing checksum (not itself summed).
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], c.sum.Sum64())
+	if c.err == nil {
+		_, c.err = c.w.Write(b[:])
+	}
+	if c.err == nil {
+		c.err = c.w.Flush()
+	}
+	return c.err
+}
+
+// writeArenaHashed streams the arena through the checkpoint writer so
+// the checksum covers it.
+func (v *Visited) writeArenaHashed(c *ckptWriter) error {
+	var scratch [8]byte
+	err := v.scanArena(func(id int32, key []uint64) {
+		for _, word := range key {
+			binary.LittleEndian.PutUint64(scratch[:], word)
+			c.bytes(scratch[:])
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return c.err
+}
+
+// readSnapshot decodes a snapshot from r into s and the fresh visited
+// set vs (arena streamed straight into it, spilling under vs's budget).
+// wantHash must match the stored options hash; any mismatch, format
+// drift or corruption returns an error and the caller starts fresh.
+func readSnapshot(r io.Reader, wantHash [32]byte, words int, vs *Visited) (*snapshot, error) {
+	c := newCkptReader(r)
+	var magic [8]byte
+	c.bytes(magic[:])
+	if c.err == nil && magic != checkpointMagic {
+		return nil, fmt.Errorf("explore: not a checkpoint (or version drift)")
+	}
+	s := &snapshot{}
+	c.bytes(s.hash[:])
+	if c.err == nil && s.hash != wantHash {
+		return nil, fmt.Errorf("explore: checkpoint is for a different (model, options) tuple")
+	}
+	s.words = c.int()
+	if c.err == nil && s.words != words {
+		return nil, fmt.Errorf("explore: checkpoint word width %d != codec %d", s.words, words)
+	}
+	s.nstates = c.int()
+	s.inits = c.int()
+	s.transitions = c.i64()
+	s.resDepth = c.int()
+	s.maxEnabled = c.int()
+	s.deadlocks = c.int()
+	s.maxIncorrectDepth = c.int()
+	s.truncated = c.bool()
+
+	if b := c.blob(snapLimit); c.err == nil {
+		if err := json.Unmarshal(b, &s.violations); err != nil {
+			return nil, fmt.Errorf("explore: checkpoint violations: %v", err)
+		}
+	}
+
+	s.curDepth = c.int()
+	s.itemBase = c.int()
+	s.agg.deadlocks = c.int()
+	s.agg.transitions = c.i64()
+	s.agg.maxEnabled = c.int()
+	s.agg.truncated = c.bool()
+	s.agg.incorrect = c.bool()
+	if b := c.blob(snapLimit); c.err == nil {
+		var wv []wireViol
+		if err := json.Unmarshal(b, &wv); err != nil {
+			return nil, fmt.Errorf("explore: checkpoint layer violations: %v", err)
+		}
+		s.agg.viols = make([]itemViol, len(wv))
+		for i, v := range wv {
+			s.agg.viols[i] = itemViol{item: v.Item, id: v.ID, wv: workerViol{kind: v.Kind, msg: v.Msg, sel: v.Sel, key: v.Key}}
+		}
+	}
+
+	nf := c.int()
+	if c.err == nil && (nf < 0 || nf > s.nstates) {
+		return nil, fmt.Errorf("explore: checkpoint frontier length %d out of range", nf)
+	}
+	if c.err == nil {
+		s.frontier = make([]int32, nf)
+		for i := range s.frontier {
+			s.frontier[i] = c.i32()
+		}
+	}
+	np := c.int()
+	if c.err == nil && np != s.nstates {
+		return nil, fmt.Errorf("explore: checkpoint parent table length %d != %d states", np, s.nstates)
+	}
+	if c.err == nil {
+		s.parentOf = make([]int32, np)
+		for i := range s.parentOf {
+			s.parentOf[i] = c.i32()
+		}
+		s.selOf = make([]string, np)
+		for i := range s.selOf {
+			s.selOf[i] = string(c.blob(1 << 16))
+		}
+	}
+	npend := c.int()
+	if c.err == nil && (npend < 0 || npend > snapLimit/64) {
+		return nil, fmt.Errorf("explore: checkpoint pending count %d out of range", npend)
+	}
+	if c.err == nil {
+		s.pending = make([]PendSnap, npend)
+		for i := range s.pending {
+			s.pending[i].Pos = c.u64()
+			s.pending[i].Parent = c.i32()
+			s.pending[i].Sel = string(c.blob(1 << 16))
+			key := make([]uint64, words)
+			for j := range key {
+				key[j] = c.u64()
+			}
+			s.pending[i].Key = key
+		}
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("explore: checkpoint read: %v", c.err)
+	}
+
+	// Arena: stream straight into the visited set, keeping the ids the
+	// resumed layer still expands hot.
+	hotFrom := int32(s.nstates)
+	if len(s.frontier) > 0 {
+		hotFrom = s.frontier[0]
+	}
+	// LimitReader keeps RestoreArena's internal buffering from reading
+	// past the arena section into the trailing checksum.
+	arenaBytes := int64(s.nstates) * int64(words) * 8
+	if err := vs.RestoreArena(io.LimitReader(hashedReader{c}, arenaBytes), s.nstates, hotFrom); err != nil {
+		return nil, err
+	}
+	want := c.sum.Sum64()
+	var b [8]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		return nil, fmt.Errorf("explore: checkpoint checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint64(b[:]); got != want {
+		return nil, fmt.Errorf("explore: checkpoint checksum mismatch (torn or corrupted file)")
+	}
+	return s, nil
+}
+
+// hashedReader exposes the checkpoint reader as an io.Reader that
+// keeps the checksum running.
+type hashedReader struct{ c *ckptReader }
+
+func (h hashedReader) Read(p []byte) (int, error) {
+	if h.c.err != nil {
+		return 0, h.c.err
+	}
+	n, err := h.c.r.Read(p)
+	h.c.sum.Write(p[:n])
+	return n, err
+}

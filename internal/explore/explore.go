@@ -42,8 +42,10 @@ package explore
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"slices"
 	"strings"
@@ -147,6 +149,27 @@ type Options struct {
 	Symmetry bool
 	// Workers overrides the worker-pool width (0 = par.Workers).
 	Workers int
+
+	// MemBudget bounds the in-memory footprint of the open queue and
+	// the visited arena (bytes; 0 = fully in-memory). Past the budget
+	// the frontier spills encoded chunks to temp segment files and the
+	// visited set spills its cold arena tail — same verdict, same
+	// bytes, flat memory. Result-irrelevant: not part of a job's
+	// content key or checkpoint identity.
+	MemBudget int64
+	// SpillDir hosts the spill scratch files ("" = os.TempDir()).
+	SpillDir string
+	// Checkpoint, if non-nil, persists a resumable snapshot every
+	// CheckpointEvery expanded states and on context cancellation, and
+	// is consulted at startup: a matching snapshot resumes the run
+	// instead of restarting it.
+	Checkpoint Checkpointer
+	// CheckpointEvery is the expanded-state cadence between periodic
+	// snapshots (0 = snapshot only on cancellation).
+	CheckpointEvery int
+	// Stats, if non-nil, receives resume/spill bookkeeping that is
+	// deliberately excluded from Result (see RunStats).
+	Stats *RunStats
 }
 
 // TraceStep is one configuration on a counterexample trace.
@@ -253,6 +276,7 @@ type layerAgg struct {
 
 type itemViol struct {
 	item int
+	id   int32 // the expanded state's id (trace reconstruction)
 	wv   workerViol
 }
 
@@ -352,7 +376,7 @@ func (ws *workerState[S]) expand(vs *Visited, agg *layerAgg, id int32, item, dep
 	opts := ws.opts
 	m.Codec.Decode(ws.cfg, vs.Key(id))
 	cfg := ws.cfg
-	viol := func(wv workerViol) { agg.viols = append(agg.viols, itemViol{item: item, wv: wv}) }
+	viol := func(wv workerViol) { agg.viols = append(agg.viols, itemViol{item: item, id: id, wv: wv}) }
 
 	// State properties: exclusion, deadlock, correctness depth. The
 	// configuration's meets vector is computed once and shared with every
@@ -508,8 +532,33 @@ func (ws *workerState[S]) expand(vs *Visited, agg *layerAgg, id int32, item, dep
 
 // Explore runs the bounded exhaustive exploration. newModel must return
 // a fresh Model per call: model instances hold algorithm scratch state
-// and are confined to one worker each.
+// and are confined to one worker each. It is ExploreCtx without
+// cancellation; an I/O failure in the optional out-of-core machinery
+// (spill or checkpoint) panics here — use ExploreCtx to handle it.
 func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Result {
+	res, err := ExploreCtx(context.Background(), newModel, opts)
+	if err != nil {
+		panic(fmt.Sprintf("explore: %v", err))
+	}
+	return res
+}
+
+// exploreChunk is the expansion batch size: the open queue is drained
+// and fanned across the workers this many states at a time. Chunk
+// boundaries — workers parked, set quiescent — are where cancellation
+// is honored and checkpoints are taken. The chunking itself is
+// invisible in the result: successor discovery positions are layer
+// positions, not chunk positions.
+const exploreChunk = 4096
+
+// ExploreCtx is Explore with cancellation, an out-of-core memory
+// budget and checkpoint/restore (Options.MemBudget, Options.Checkpoint).
+// On cancellation it returns the partial result and an error wrapping
+// ErrInterrupted — after saving a snapshot when a Checkpointer is
+// configured, so an identical later call resumes the run and finishes
+// with the exact bytes an uninterrupted run would have produced
+// (StateBytes excepted: it measures this process's footprint).
+func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[S], opts Options) (*Result, error) {
 	if opts.MaxBranch == 0 {
 		opts.MaxBranch = 1 << 16
 	}
@@ -534,17 +583,87 @@ func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Resul
 		Symmetry: opts.Symmetry && len(m0.Syms) > 0,
 	}
 
-	vs := NewVisited(m0.Codec.Words)
-	vs.SetSerial(workers == 1)
+	// The memory budget splits between the visited arena (the bulk of
+	// the footprint) and the open queue of promoted ids.
+	var arenaBudget, frontBudget int64
+	if opts.MemBudget > 0 {
+		arenaBudget = opts.MemBudget / 2
+		frontBudget = opts.MemBudget / 8
+	}
+	newVisited := func() *Visited {
+		vs := NewVisited(m0.Codec.Words)
+		vs.SetSerial(workers == 1)
+		if arenaBudget > 0 {
+			vs.EnableArenaSpill(opts.SpillDir, arenaBudget)
+		}
+		return vs
+	}
+	vs := newVisited()
+	defer func() { vs.Close() }()
+	front := NewFrontier(frontBudget, opts.SpillDir)
+	defer front.Close()
+
 	aggs := make([]layerAgg, workers)
 	var parentOf []int32
 	var selOf []string
 
+	// In-progress layer bookkeeping: the aggregate accumulated across
+	// the layer's expanded chunks, and the layer position of the next
+	// item.
+	var layerAccum layerAgg
+	itemBase := 0
+	depth := 0
+
+	ohash := optionsHash(m0.Name, m0.Codec.Words, m0.Prog.NumProcs, &opts)
+	restored := false
+	if opts.Checkpoint != nil {
+		if r, lerr := opts.Checkpoint.Load(); lerr == nil && r != nil {
+			snap, rerr := readSnapshot(r, ohash, m0.Codec.Words, vs)
+			r.Close()
+			if rerr == nil {
+				res.Inits = snap.inits
+				res.Transitions = snap.transitions
+				res.Depth = snap.resDepth
+				res.MaxEnabled = snap.maxEnabled
+				res.Deadlocks = snap.deadlocks
+				res.MaxIncorrectDepth = snap.maxIncorrectDepth
+				res.Truncated = snap.truncated
+				res.Violations = snap.violations
+				res.States = vs.States()
+				layerAccum = snap.agg
+				itemBase = snap.itemBase
+				depth = snap.curDepth
+				parentOf = snap.parentOf
+				selOf = snap.selOf
+				for _, id := range snap.frontier {
+					if err := front.Push(id); err != nil {
+						return res, err
+					}
+				}
+				for _, p := range snap.pending {
+					vs.Probe(p.Key, hashWords(p.Key), p.Pos, p.Parent, []byte(p.Sel))
+				}
+				restored = true
+				if opts.Stats != nil {
+					opts.Stats.ResumedStates = vs.States()
+				}
+			} else {
+				// Unusable checkpoint (format drift, corruption, a
+				// different options tuple): start fresh on a clean set.
+				vs.Close()
+				vs = newVisited()
+			}
+		} else if r != nil {
+			r.Close()
+		}
+	}
+
 	// promote drains the pending entries in deterministic discovery
-	// order and assigns dense ids, enforcing the state bound.
-	promote := func() []int32 {
+	// order and assigns dense ids, enforcing the state bound; fresh ids
+	// queue on the (possibly spilling) frontier.
+	promote := func() (int, error) {
 		fresh := vs.Drain()
-		next := make([]int32, 0, len(fresh))
+		count := 0
 		for _, f := range fresh {
 			if opts.MaxStates > 0 && vs.States() >= opts.MaxStates {
 				res.Truncated = true
@@ -554,69 +673,161 @@ func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Resul
 			id := vs.Promote(f)
 			parentOf = append(parentOf, f.Parent)
 			selOf = append(selOf, f.Sel)
-			next = append(next, id)
+			if err := front.Push(id); err != nil {
+				return 0, err
+			}
+			count++
 		}
 		vs.Reset()
-		return next
+		return count, nil
 	}
 
-	// Seed the initial layer. The stream stops once more distinct inits
-	// than the state bound have been seen — everything past the bound
-	// would be dropped anyway.
-	seq := uint64(0)
-	m0.Inits(func(cfg []S) bool {
-		key := wss[0].canonKey(cfg)
-		vs.Probe(key, hashWords(key), seq, -1, nil)
-		seq++
-		return opts.MaxStates <= 0 || vs.Pending() <= opts.MaxStates
-	})
-	layer := promote()
-	res.Inits = len(layer)
-	res.States = vs.States()
+	if !restored {
+		// Seed the initial layer. The stream stops once more distinct
+		// inits than the state bound have been seen — everything past
+		// the bound would be dropped anyway.
+		seq := uint64(0)
+		m0.Inits(func(cfg []S) bool {
+			key := wss[0].canonKey(cfg)
+			vs.Probe(key, hashWords(key), seq, -1, nil)
+			seq++
+			return opts.MaxStates <= 0 || vs.Pending() <= opts.MaxStates
+		})
+		inits, err := promote()
+		if err != nil {
+			return res, err
+		}
+		res.Inits = inits
+		res.States = vs.States()
+	}
 
-	depth := 0
-	for len(layer) > 0 && len(res.Violations) < opts.MaxViolations {
+	fillStats := func() {
+		if opts.Stats == nil {
+			return
+		}
+		opts.Stats.FrontierSpillSegments = front.SpillSegments
+		opts.Stats.FrontierSpilledBytes = front.SpilledBytes
+		opts.Stats.ArenaSpilledBytes = vs.SpilledBytes()
+	}
+	save := func() error {
+		if opts.Checkpoint == nil {
+			return nil
+		}
+		remaining, err := front.AppendRemaining(nil)
+		if err != nil {
+			return err
+		}
+		snap := &snapshot{
+			hash: ohash, words: m0.Codec.Words, nstates: vs.States(),
+			inits: res.Inits, transitions: res.Transitions, resDepth: res.Depth,
+			maxEnabled: res.MaxEnabled, deadlocks: res.Deadlocks,
+			maxIncorrectDepth: res.MaxIncorrectDepth, truncated: res.Truncated,
+			violations: res.Violations,
+			curDepth:   depth, itemBase: itemBase, agg: layerAccum,
+			frontier: remaining, parentOf: parentOf, selOf: selOf,
+			pending: vs.SnapshotPending(),
+		}
+		if err := opts.Checkpoint.Save(func(w io.Writer) error { return writeSnapshot(w, snap, vs) }); err != nil {
+			return err
+		}
+		if opts.Stats != nil {
+			opts.Stats.CheckpointsWritten++
+		}
+		return nil
+	}
+
+	chunkBuf := make([]int32, 0, exploreChunk)
+	expandedSince := 0
+	for front.Len() > 0 && len(res.Violations) < opts.MaxViolations {
 		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
 			res.Truncated = true
 			break
 		}
-		// Phase A (concurrent): expand the layer; workers hash and probe
-		// successors into the sharded set as they go, accumulating
-		// order-insensitive statistics per worker. Phase B (serial):
-		// promote the fresh states in deterministic discovery order and
-		// merge the aggregates (sums and maxima commute; violations are
-		// item-tagged and sorted back into item order).
-		for w := range aggs {
-			aggs[w].reset()
+		// The layer's ids are the dense range ending at the current
+		// state count (itemBase of them already expanded before a
+		// restore); its start becomes the hot watermark once the layer
+		// completes.
+		layerStart := int32(vs.States() - front.Len() - itemBase)
+		// Phase A (concurrent, chunked): drain the open queue a chunk
+		// at a time and fan it across the workers; workers hash and
+		// probe successors into the sharded set as they go,
+		// accumulating order-insensitive statistics per worker.
+		for front.Len() > 0 {
+			// Both snapshot triggers live here, BEFORE the chunk is
+			// popped: with the frontier non-empty the snapshot is
+			// self-contained (a snapshot taken after a layer's last
+			// chunk would have an empty frontier with the next layer
+			// still un-promoted in the pending set, and a kill right
+			// after persisting it would resume to a prematurely
+			// terminated exploration).
+			if cerr := ctx.Err(); cerr != nil {
+				fillStats()
+				if serr := save(); serr != nil {
+					return res, serr
+				}
+				return res, fmt.Errorf("explore: %w at %d states (%v)", ErrInterrupted, vs.States(), cerr)
+			}
+			if opts.CheckpointEvery > 0 && expandedSince >= opts.CheckpointEvery {
+				if err := save(); err != nil {
+					return res, err
+				}
+				expandedSince = 0
+			}
+			chunk, err := front.PopChunk(chunkBuf)
+			if err != nil {
+				return res, err
+			}
+			for w := range aggs {
+				aggs[w].reset()
+			}
+			base := itemBase
+			par.ForEachWorker(len(chunk), workers, func(w, i int) {
+				wss[w].expand(vs, &aggs[w], chunk[i], base+i, depth)
+			})
+			itemBase += len(chunk)
+			expandedSince += len(chunk)
+			// Merge the chunk's worker aggregates (sums and maxima
+			// commute; violations stay item-tagged for the layer-end
+			// sort, so the merge order cannot show in the result).
+			for w := range aggs {
+				a := &aggs[w]
+				layerAccum.deadlocks += a.deadlocks
+				layerAccum.transitions += a.transitions
+				if a.truncated {
+					layerAccum.truncated = true
+				}
+				if a.incorrect {
+					layerAccum.incorrect = true
+				}
+				if a.maxEnabled > layerAccum.maxEnabled {
+					layerAccum.maxEnabled = a.maxEnabled
+				}
+				layerAccum.viols = append(layerAccum.viols, a.viols...)
+			}
 		}
-		par.ForEachWorker(len(layer), workers, func(w, i int) {
-			wss[w].expand(vs, &aggs[w], layer[i], i, depth)
-		})
-		next := promote()
+		// Phase B (serial): promote the fresh states in deterministic
+		// discovery order, fold the layer aggregate into the result,
+		// and run the scaling housekeeping (re-shard, cold-tail spill).
+		if _, err := promote(); err != nil {
+			return res, err
+		}
 
-		var viols []itemViol
-		for w := range aggs {
-			a := &aggs[w]
-			res.Deadlocks += a.deadlocks
-			res.Transitions += a.transitions
-			if a.truncated {
-				res.Truncated = true
-			}
-			if a.incorrect && depth > res.MaxIncorrectDepth {
-				res.MaxIncorrectDepth = depth
-			}
-			if a.maxEnabled > res.MaxEnabled {
-				res.MaxEnabled = a.maxEnabled
-			}
-			if len(a.viols) > 0 {
-				viols = append(viols, a.viols...)
-			}
+		res.Deadlocks += layerAccum.deadlocks
+		res.Transitions += layerAccum.transitions
+		if layerAccum.truncated {
+			res.Truncated = true
 		}
-		if len(viols) > 0 {
+		if layerAccum.incorrect && depth > res.MaxIncorrectDepth {
+			res.MaxIncorrectDepth = depth
+		}
+		if layerAccum.maxEnabled > res.MaxEnabled {
+			res.MaxEnabled = layerAccum.maxEnabled
+		}
+		if len(layerAccum.viols) > 0 {
 			// Stable: one item is expanded by one worker, which appends
 			// its violations in detection order.
-			slices.SortStableFunc(viols, func(a, b itemViol) int { return cmp.Compare(a.item, b.item) })
-			for _, iv := range viols {
+			slices.SortStableFunc(layerAccum.viols, func(a, b itemViol) int { return cmp.Compare(a.item, b.item) })
+			for _, iv := range layerAccum.viols {
 				if len(res.Violations) >= opts.MaxViolations {
 					break
 				}
@@ -626,20 +837,26 @@ func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Resul
 				}
 				res.Violations = append(res.Violations, Violation{
 					Kind: iv.wv.kind, Msg: iv.wv.msg, Depth: d,
-					Trace: buildTrace(m0, vs, parentOf, selOf, layer[iv.item], iv.wv),
+					Trace: buildTrace(m0, vs, parentOf, selOf, iv.id, iv.wv),
 				})
 			}
 		}
 		res.States = vs.States()
 		depth++
 		res.Depth = depth
-		layer = next
+		layerAccum.reset()
+		layerAccum.viols = nil
+		itemBase = 0
+		if err := vs.Housekeep(layerStart); err != nil {
+			return res, err
+		}
 	}
 	if len(res.Violations) >= opts.MaxViolations {
 		res.Truncated = true
 	}
 	res.StateBytes = vs.Bytes()
-	return res
+	fillStats()
+	return res, nil
 }
 
 // buildTrace reconstructs the path from an initial configuration to

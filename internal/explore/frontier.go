@@ -1,0 +1,181 @@
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Frontier is the explorer's open queue: a FIFO of promoted state ids
+// (the current BFS layer) that spills to disk when it outgrows a byte
+// budget. The BFS fills it once per layer (promotion is serial) and
+// drains it in chunks during the next expansion phase, so the structure
+// only needs strict FIFO order, not random access — which is what makes
+// the out-of-core representation trivial and fast:
+//
+//   - ids are appended to an in-memory tail;
+//   - when the in-memory footprint exceeds the budget, the whole tail
+//     is written sequentially to a new temp segment file (FIFO order:
+//     segments between the drain side and the tail);
+//   - draining pops from the in-memory head; when the head runs dry the
+//     oldest segment is read back sequentially — one read per segment —
+//     and its file is deleted immediately;
+//   - order is head → spilled segments (oldest first) → tail, i.e.
+//     exactly push order, so spilling is invisible to the exploration:
+//     the same states are expanded at the same (item, branch) layer
+//     positions and every report stays byte-identical.
+//
+// Segment files are ephemeral scratch: a checkpoint persists the
+// frontier's *contents* (AppendRemaining), never its segment files, so
+// a crash mid-segment-write can only lose scratch that the next run
+// rebuilds from the checkpoint.
+//
+// All methods are serial-phase only (the BFS driver owns the frontier;
+// workers never touch it).
+type Frontier struct {
+	budget int64  // in-memory byte budget (0 = never spill)
+	dir    string // parent for the segment dir ("" = os.TempDir())
+
+	head    []int32 // drain side (a loaded segment or the swapped tail)
+	headOff int     // next index to pop from head
+	segs    []string
+	tail    []int32 // append side
+
+	segDir string // created lazily on first spill
+
+	n int // ids currently queued
+
+	// Spill statistics, surfaced through RunStats.
+	SpillSegments int
+	SpilledBytes  int64
+}
+
+// frontierMinSpill is the smallest tail (in ids) worth writing as a
+// segment: spilling tiny tails would turn an over-budget frontier into
+// one file per handful of ids.
+const frontierMinSpill = 1024
+
+// NewFrontier builds a frontier with the given in-memory byte budget
+// (0 = fully in-memory) spilling under dir ("" = the system temp dir).
+func NewFrontier(budget int64, dir string) *Frontier {
+	return &Frontier{budget: budget, dir: dir}
+}
+
+// Len returns the number of queued ids.
+func (f *Frontier) Len() int { return f.n }
+
+// memBytes is the in-memory footprint charged against the budget.
+func (f *Frontier) memBytes() int64 {
+	return int64(len(f.head)-f.headOff+len(f.tail)) * 4
+}
+
+// Push appends id, spilling the tail to a segment file when the
+// in-memory footprint exceeds the budget. Spill failures are returned
+// (disk full): the caller aborts the exploration rather than silently
+// dropping states.
+func (f *Frontier) Push(id int32) error {
+	f.tail = append(f.tail, id)
+	f.n++
+	if f.budget > 0 && f.memBytes() > f.budget && len(f.tail) >= frontierMinSpill {
+		return f.spillTail()
+	}
+	return nil
+}
+
+func (f *Frontier) spillTail() error {
+	if f.segDir == "" {
+		d, err := os.MkdirTemp(f.dir, "cc-frontier-")
+		if err != nil {
+			return fmt.Errorf("explore: frontier spill: %v", err)
+		}
+		f.segDir = d
+	}
+	path := filepath.Join(f.segDir, fmt.Sprintf("seg-%08d", f.SpillSegments))
+	buf := make([]byte, 4*len(f.tail))
+	for i, id := range f.tail {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(id))
+	}
+	if err := os.WriteFile(path, buf, 0o600); err != nil {
+		return fmt.Errorf("explore: frontier spill: %v", err)
+	}
+	f.segs = append(f.segs, path)
+	f.SpillSegments++
+	f.SpilledBytes += int64(len(buf))
+	f.tail = f.tail[:0]
+	return nil
+}
+
+// loadSeg reads the oldest segment into the head and deletes its file.
+func (f *Frontier) loadSeg() error {
+	path := f.segs[0]
+	f.segs = f.segs[1:]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("explore: frontier segment: %v", err)
+	}
+	os.Remove(path)
+	f.head = f.head[:0]
+	for off := 0; off+4 <= len(data); off += 4 {
+		f.head = append(f.head, int32(binary.LittleEndian.Uint32(data[off:])))
+	}
+	f.headOff = 0
+	return nil
+}
+
+// PopChunk fills dst (up to cap(dst)) with the oldest queued ids, in
+// push order, and returns the filled prefix. An empty result means the
+// frontier is drained.
+func (f *Frontier) PopChunk(dst []int32) ([]int32, error) {
+	dst = dst[:0]
+	for len(dst) < cap(dst) && f.n > 0 {
+		if f.headOff >= len(f.head) {
+			if len(f.segs) > 0 {
+				if err := f.loadSeg(); err != nil {
+					return nil, err
+				}
+			} else {
+				// No spilled middle: the tail is the oldest remainder.
+				f.head, f.tail = f.tail, f.head[:0]
+				f.headOff = 0
+			}
+			continue
+		}
+		room := cap(dst) - len(dst)
+		avail := len(f.head) - f.headOff
+		take := min(room, avail)
+		dst = append(dst, f.head[f.headOff:f.headOff+take]...)
+		f.headOff += take
+		f.n -= take
+	}
+	return dst, nil
+}
+
+// AppendRemaining appends every queued id in pop order without
+// consuming the queue — the checkpoint snapshot of the pending
+// frontier. Spilled segments are read (not deleted); the frontier
+// keeps draining normally afterwards.
+func (f *Frontier) AppendRemaining(dst []int32) ([]int32, error) {
+	dst = append(dst, f.head[f.headOff:]...)
+	for _, path := range f.segs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("explore: frontier snapshot: %v", err)
+		}
+		for off := 0; off+4 <= len(data); off += 4 {
+			dst = append(dst, int32(binary.LittleEndian.Uint32(data[off:])))
+		}
+	}
+	return append(dst, f.tail...), nil
+}
+
+// Close deletes any remaining segment files. The frontier is unusable
+// afterwards.
+func (f *Frontier) Close() {
+	if f.segDir != "" {
+		os.RemoveAll(f.segDir)
+		f.segDir = ""
+	}
+	f.head, f.tail, f.segs = nil, nil, nil
+	f.headOff, f.n = 0, 0
+}

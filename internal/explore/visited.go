@@ -1,8 +1,12 @@
 package explore
 
 import (
+	"bufio"
 	"cmp"
+	"encoding/binary"
 	"fmt"
+	"io"
+	"os"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -31,15 +35,40 @@ import (
 // Promoted encodings live only in the arena (slots store the id), so
 // the steady-state cost per state is words*8 bytes of arena plus one
 // 8-byte slot (amortized over the table's load factor).
+//
+// Two levers keep the structure scaling past its in-memory comfort
+// zone, both exercised only from the serial phase (Housekeep):
+//
+//   - The stripe-sharded table is *growable*: when the promoted count
+//     outgrows the shard count, the whole table re-hashes into twice as
+//     many shards (rebuilt from a sequential arena scan, so even a
+//     spilled arena is read once, in order). Probe chains and stripe
+//     contention stay bounded at any state count instead of individual
+//     shards ballooning.
+//   - The *cold tail* of the arena can spill to a temp file under a
+//     byte budget: ids below the hot watermark (states older than the
+//     previous BFS layer — never the ones the current layer expands)
+//     move to disk and are read back only when a probe's hash tag
+//     matches a cold id, or when a counterexample trace is rebuilt.
 type Visited struct {
-	words  int
-	shards []vshard
-	smask  uint64
+	words      int
+	shards     []vshard
+	smask      uint64
+	shardShift uint // log2(len(shards)): slot index = hash >> shardShift
 
-	arena    []uint64 // promoted states: id n at [n*words, (n+1)*words)
+	arena    []uint64 // in-memory promoted states: id n at [(n-baseID)*words, ...)
 	nstates  int
 	serial   bool    // single worker: skip the stripe locks
 	drainBuf []Fresh // reused across Drain calls
+
+	// Cold-tail spill (optional; see EnableArenaSpill). Ids < baseID
+	// live in spillFile at offset id*words*8, in id order.
+	spillDir    string
+	arenaBudget int64
+	spillFile   *os.File
+	baseID      int32
+	spilled     int64         // bytes written to spillFile
+	restoreW    *bufio.Writer // in-flight restore spill writer (readCold flushes it)
 
 	pending atomic.Int64
 }
@@ -50,13 +79,18 @@ const (
 	slotPend  int32 = -3 // pending: pidx names the shard-local entry
 )
 
+// reshardPerShard is the promoted-state count per shard past which the
+// table doubles its shard count (Housekeep). A variable so tests can
+// force re-sharding on small instances.
+var reshardPerShard = 1 << 15
+
 // vslot is 8 bytes: the key itself lives in the arena (promoted) or
 // the shard's pending buffer, and full hashes are recomputed on resize,
 // so the steady-state table cost is 8 bytes per slot. pidx is the
 // pending-entry index while pending; promotion repurposes it as a
 // 32-bit hash tag, so probe chains reject mismatches without touching
 // the arena (the random-access load that would otherwise dominate
-// lookups in large spaces).
+// lookups in large spaces — and, with a spilled arena, a disk read).
 type vslot struct {
 	ref  int32 // state id when >= 0, else one of the sentinels above
 	pidx int32 // pending index (ref == slotPend) or hash tag (ref >= 0)
@@ -68,6 +102,7 @@ type vshard struct {
 	filled int // non-empty slots, tombstones included (probe-chain load)
 	pend   []pendEntry
 	keys   []uint64 // backing storage for pending keys
+	cold   []uint64 // scratch for comparing against spilled arena keys
 }
 
 type pendEntry struct {
@@ -111,7 +146,8 @@ var singleSel = func() (t [256]string) {
 // NewVisited builds a set for states of the given word width.
 func NewVisited(words int) *Visited {
 	const nshards = 64
-	v := &Visited{words: words, smask: nshards - 1, shards: make([]vshard, nshards)}
+	v := &Visited{words: words}
+	v.setShards(make([]vshard, nshards))
 	for i := range v.shards {
 		v.shards[i].slots = make([]vslot, 64)
 		for j := range v.shards[i].slots {
@@ -120,6 +156,27 @@ func NewVisited(words int) *Visited {
 	}
 	return v
 }
+
+func (v *Visited) setShards(shards []vshard) {
+	v.shards = shards
+	v.smask = uint64(len(shards) - 1)
+	shift := uint(0)
+	for 1<<shift < len(shards) {
+		shift++
+	}
+	v.shardShift = shift
+}
+
+// EnableArenaSpill activates the cold-tail spill: once the in-memory
+// arena exceeds budget bytes, Housekeep moves everything below its hot
+// watermark to a temp file under dir ("" = the system temp dir).
+// Serial phases only, before any promotion.
+func (v *Visited) EnableArenaSpill(dir string, budget int64) {
+	v.spillDir, v.arenaBudget = dir, budget
+}
+
+// SpilledBytes reports how many arena bytes live on disk.
+func (v *Visited) SpilledBytes() int64 { return v.spilled }
 
 // hashWords mixes a state encoding (splitmix64-style finalizer per
 // word; fixed seed, so runs are reproducible).
@@ -142,17 +199,48 @@ func (v *Visited) States() int { return v.nstates }
 // the init-stream bound check; workers never read it).
 func (v *Visited) Pending() int { return int(v.pending.Load()) }
 
-// Key returns the encoding of promoted state id (read-only view into
-// the arena; valid until the next promotion batch reallocates it, so
-// decode before the next Drain/promote cycle or copy).
+// Key returns the encoding of promoted state id. For hot ids this is a
+// read-only view into the arena (valid until the next promotion batch
+// or Housekeep; decode before then or copy); for spilled ids it is a
+// freshly allocated copy read back from the spill file (trace
+// reconstruction — never the expansion hot path, which only sees ids
+// at or above the hot watermark).
 func (v *Visited) Key(id int32) []uint64 {
-	off := int(id) * v.words
-	return v.arena[off : off+v.words : off+v.words]
+	if id >= v.baseID {
+		off := int(id-v.baseID) * v.words
+		return v.arena[off : off+v.words : off+v.words]
+	}
+	buf := make([]uint64, v.words)
+	if err := v.readCold(id, buf); err != nil {
+		panic(fmt.Sprintf("explore: spilled arena read: %v", err))
+	}
+	return buf
 }
 
-// Bytes reports the retained footprint of the dedup structures: arena
-// plus slot tables plus pending buffers, entry structs included (the
-// README/bench bytes-per-state accounting).
+// readCold reads a spilled key into buf (len v.words). During a
+// restore the spill file is mid-append: flush the writer first so
+// every id below the watermark is readable (no-op once drained).
+func (v *Visited) readCold(id int32, buf []uint64) error {
+	if v.restoreW != nil {
+		if err := v.restoreW.Flush(); err != nil {
+			return err
+		}
+	}
+	raw := make([]byte, 8*v.words)
+	if _, err := v.spillFile.ReadAt(raw, int64(id)*int64(v.words)*8); err != nil {
+		return err
+	}
+	for i := range buf {
+		buf[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return nil
+}
+
+// Bytes reports the retained in-memory footprint of the dedup
+// structures: arena plus slot tables plus pending buffers, entry
+// structs included (the README/bench bytes-per-state accounting).
+// Spilled arena bytes are excluded — they are the point of the spill —
+// and reported separately via SpilledBytes.
 func (v *Visited) Bytes() int64 {
 	const pendEntrySize = 64 // hash+pos+parent+string header+slice header
 	b := int64(cap(v.arena)) * 8
@@ -187,9 +275,27 @@ func (v *Visited) Probe(key []uint64, hash uint64, pos uint64, parent int32, sel
 // skips the stripe locks. Purely an optimization; results are identical.
 func (v *Visited) SetSerial(serial bool) { v.serial = serial }
 
+// refEqual compares promoted state ref against key, reading through
+// the shard's cold scratch when the id is spilled (only reached on a
+// 32-bit hash-tag match, so cold reads happen essentially only on true
+// duplicates of pre-watermark states).
+func (v *Visited) refEqual(sh *vshard, ref int32, key []uint64) bool {
+	if ref >= v.baseID {
+		return wordsEqual(v.arenaKey(ref), key)
+	}
+	if cap(sh.cold) < v.words {
+		sh.cold = make([]uint64, v.words)
+	}
+	cold := sh.cold[:v.words]
+	if err := v.readCold(ref, cold); err != nil {
+		panic(fmt.Sprintf("explore: spilled arena read: %v", err))
+	}
+	return wordsEqual(cold, key)
+}
+
 func (v *Visited) probeLocked(sh *vshard, key []uint64, hash uint64, pos uint64, parent int32, sel []byte) int32 {
 	mask := uint64(len(sh.slots) - 1)
-	idx := (hash >> 6) & mask
+	idx := (hash >> v.shardShift) & mask
 	tag := int32(hash)
 	firstTomb := -1
 	for {
@@ -212,7 +318,7 @@ func (v *Visited) probeLocked(sh *vshard, key []uint64, hash uint64, pos uint64,
 				firstTomb = int(idx)
 			}
 		case s.ref >= 0:
-			if s.pidx == tag && wordsEqual(v.arenaKey(s.ref), key) {
+			if s.pidx == tag && v.refEqual(sh, s.ref, key) {
 				return s.ref
 			}
 		default: // pending
@@ -231,12 +337,15 @@ func (v *Visited) probeLocked(sh *vshard, key []uint64, hash uint64, pos uint64,
 // Contains reports whether key is already known (promoted or pending)
 // without inserting. The explorer calls it only in layers where the
 // state bound is already exhausted — no worker inserts then, so the
-// lock-free read is race-free.
+// lock-free read is race-free. (Cold arena reads under it allocate a
+// scratch buffer per call: the shard scratch is not safe to share
+// without the stripe lock.)
 func (v *Visited) Contains(key []uint64, hash uint64) bool {
 	sh := &v.shards[hash&v.smask]
 	mask := uint64(len(sh.slots) - 1)
-	idx := (hash >> 6) & mask
+	idx := (hash >> v.shardShift) & mask
 	tag := int32(hash)
+	var coldArr [4]uint64
 	for {
 		s := &sh.slots[idx]
 		switch {
@@ -244,8 +353,25 @@ func (v *Visited) Contains(key []uint64, hash uint64) bool {
 			return false
 		case s.ref == slotTomb:
 		case s.ref >= 0:
-			if s.pidx == tag && wordsEqual(v.arenaKey(s.ref), key) {
-				return true
+			if s.pidx == tag {
+				if s.ref >= v.baseID {
+					if wordsEqual(v.arenaKey(s.ref), key) {
+						return true
+					}
+				} else {
+					cold := coldArr[:]
+					if v.words > len(coldArr) {
+						cold = make([]uint64, v.words)
+					} else {
+						cold = cold[:v.words]
+					}
+					if err := v.readCold(s.ref, cold); err != nil {
+						panic(fmt.Sprintf("explore: spilled arena read: %v", err))
+					}
+					if wordsEqual(cold, key) {
+						return true
+					}
+				}
 			}
 		default:
 			e := &sh.pend[s.pidx]
@@ -257,8 +383,9 @@ func (v *Visited) Contains(key []uint64, hash uint64) bool {
 	}
 }
 
+// arenaKey returns the in-memory encoding of a hot promoted id.
 func (v *Visited) arenaKey(id int32) []uint64 {
-	off := int(id) * v.words
+	off := int(id-v.baseID) * v.words
 	return v.arena[off : off+v.words]
 }
 
@@ -295,7 +422,7 @@ func (v *Visited) growLocked(sh *vshard) {
 		if s.ref == slotEmpty || s.ref == slotTomb {
 			continue
 		}
-		idx := (v.slotHash(sh, &s) >> 6) & mask
+		idx := (v.slotHash(sh, &s) >> v.shardShift) & mask
 		for sh.slots[idx].ref != slotEmpty {
 			idx = (idx + 1) & mask
 		}
@@ -307,8 +434,17 @@ func (v *Visited) growLocked(sh *vshard) {
 // slotHash recomputes the hash of an occupied slot's key.
 func (v *Visited) slotHash(sh *vshard, s *vslot) uint64 {
 	if s.ref >= 0 {
-		off := int(s.ref) * v.words
-		return hashWords(v.arena[off : off+v.words])
+		if s.ref >= v.baseID {
+			return hashWords(v.arenaKey(s.ref))
+		}
+		if cap(sh.cold) < v.words {
+			sh.cold = make([]uint64, v.words)
+		}
+		cold := sh.cold[:v.words]
+		if err := v.readCold(s.ref, cold); err != nil {
+			panic(fmt.Sprintf("explore: spilled arena read: %v", err))
+		}
+		return hashWords(cold)
 	}
 	return sh.pend[s.pidx].hash
 }
@@ -354,7 +490,7 @@ func (v *Visited) Drop(f Fresh) { v.setRef(f, slotTomb) }
 func (v *Visited) setRef(f Fresh, ref int32) {
 	sh := &v.shards[f.hash&v.smask]
 	mask := uint64(len(sh.slots) - 1)
-	idx := (f.hash >> 6) & mask
+	idx := (f.hash >> v.shardShift) & mask
 	for {
 		s := &sh.slots[idx]
 		if s.ref == slotPend && sh.pend[s.pidx].hash == f.hash && wordsEqual(sh.pend[s.pidx].key, f.key) {
@@ -386,10 +522,225 @@ func (v *Visited) Reset() {
 	v.pending.Store(0)
 }
 
-// check panics unless the set is in a consistent between-phase state
-// (used by tests).
-func (v *Visited) check() {
+// Housekeep runs the serial-phase scaling maintenance after a
+// promotion batch: re-sharding the table when the state count outgrew
+// it, then spilling the cold arena tail (ids below hotFrom — states
+// older than the previous BFS layer) once the in-memory arena exceeds
+// its budget. Must only be called with no pending entries.
+func (v *Visited) Housekeep(hotFrom int32) error {
 	if v.Pending() != 0 {
-		panic(fmt.Sprintf("explore: %d pending entries across a phase boundary", v.Pending()))
+		panic("explore: Housekeep with pending entries")
+	}
+	for v.nstates > len(v.shards)*reshardPerShard {
+		if err := v.reshard(); err != nil {
+			return err
+		}
+	}
+	return v.maybeSpillArena(hotFrom)
+}
+
+// reshard doubles the shard count and rebuilds every slot table from a
+// sequential arena scan (spilled prefix read once, in id order).
+// Tombstones are dropped; pending entries must not exist.
+func (v *Visited) reshard() error {
+	shards := make([]vshard, 2*len(v.shards))
+	// Presize each shard so the rebuild does not immediately re-grow:
+	// expected states per shard, at most half-loaded, minimum 64 slots.
+	per := 64
+	for per < 2*v.nstates/len(shards) {
+		per *= 2
+	}
+	for i := range shards {
+		shards[i].slots = make([]vslot, per)
+		for j := range shards[i].slots {
+			shards[i].slots[j].ref = slotEmpty
+		}
+	}
+	v.setShards(shards)
+	return v.scanArena(func(id int32, key []uint64) {
+		v.restoreSlot(id, key, hashWords(key))
+	})
+}
+
+// restoreSlot inserts a promoted id into the (rebuilt) table.
+func (v *Visited) restoreSlot(id int32, key []uint64, hash uint64) {
+	sh := &v.shards[hash&v.smask]
+	mask := uint64(len(sh.slots) - 1)
+	idx := (hash >> v.shardShift) & mask
+	for sh.slots[idx].ref != slotEmpty {
+		idx = (idx + 1) & mask
+	}
+	sh.slots[idx] = vslot{ref: id, pidx: int32(hash)}
+	sh.filled++
+	if sh.filled*3 > len(sh.slots)*2 {
+		v.growLocked(sh)
+	}
+}
+
+// scanArena streams every promoted key in id order: the spilled prefix
+// sequentially from disk, then the in-memory arena. The key slice
+// passed to fn is scratch, valid for that call only.
+func (v *Visited) scanArena(fn func(id int32, key []uint64)) error {
+	if v.baseID > 0 {
+		r := bufio.NewReaderSize(io.NewSectionReader(v.spillFile, 0, int64(v.baseID)*int64(v.words)*8), 1<<20)
+		raw := make([]byte, 8*v.words)
+		key := make([]uint64, v.words)
+		for id := int32(0); id < v.baseID; id++ {
+			if _, err := io.ReadFull(r, raw); err != nil {
+				return fmt.Errorf("explore: arena scan: %v", err)
+			}
+			for i := range key {
+				key[i] = binary.LittleEndian.Uint64(raw[8*i:])
+			}
+			fn(id, key)
+		}
+	}
+	for id := v.baseID; int(id) < v.nstates; id++ {
+		fn(id, v.arenaKey(id))
+	}
+	return nil
+}
+
+// maybeSpillArena moves ids in [baseID, hotFrom) to the spill file
+// when the in-memory arena exceeds its budget. Sequential append; the
+// remaining hot arena is compacted into a fresh allocation so the
+// memory is actually released.
+func (v *Visited) maybeSpillArena(hotFrom int32) error {
+	if v.arenaBudget <= 0 || int64(len(v.arena))*8 <= v.arenaBudget || hotFrom <= v.baseID {
+		return nil
+	}
+	if v.spillFile == nil {
+		f, err := os.CreateTemp(v.spillDir, "cc-arena-")
+		if err != nil {
+			return fmt.Errorf("explore: arena spill: %v", err)
+		}
+		v.spillFile = f
+	}
+	words := int(hotFrom-v.baseID) * v.words
+	w := bufio.NewWriterSize(io.NewOffsetWriter(v.spillFile, int64(v.baseID)*int64(v.words)*8), 1<<20)
+	var scratch [8]byte
+	for _, word := range v.arena[:words] {
+		binary.LittleEndian.PutUint64(scratch[:], word)
+		if _, err := w.Write(scratch[:]); err != nil {
+			return fmt.Errorf("explore: arena spill: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("explore: arena spill: %v", err)
+	}
+	v.spilled += int64(words) * 8
+	rest := make([]uint64, len(v.arena)-words)
+	copy(rest, v.arena[words:])
+	v.arena = rest
+	v.baseID = hotFrom
+	return nil
+}
+
+// RestoreArena rebuilds the set from a checkpoint stream of nstates
+// keys (id order). Ids below hotFrom go straight to the spill file
+// when a budget is configured and the arena would exceed it — a
+// restored out-of-core run never materializes the full arena in
+// memory. The slot tables are pre-sized by the same growth rule a live
+// run would have reached, then filled by insertion. Must be called on
+// a fresh set (no promotions, no pending).
+func (v *Visited) RestoreArena(r io.Reader, nstates int, hotFrom int32) error {
+	if v.nstates != 0 || v.Pending() != 0 {
+		panic("explore: RestoreArena on a non-empty set")
+	}
+	// Re-apply the shard-count growth rule a live run would have
+	// reached, and presize the slot tables for the final load so the
+	// rebuild rarely re-grows mid-insert.
+	nshards := len(v.shards)
+	for nstates > nshards*reshardPerShard {
+		nshards *= 2
+	}
+	per := 64
+	for per < 2*nstates/nshards {
+		per *= 2
+	}
+	shards := make([]vshard, nshards)
+	for i := range shards {
+		shards[i].slots = make([]vslot, per)
+		for j := range shards[i].slots {
+			shards[i].slots[j].ref = slotEmpty
+		}
+	}
+	v.setShards(shards)
+	spillTo := int32(0)
+	if v.arenaBudget > 0 && int64(nstates)*int64(v.words)*8 > v.arenaBudget {
+		spillTo = hotFrom
+	}
+	var spillW *bufio.Writer
+	if spillTo > 0 {
+		f, err := os.CreateTemp(v.spillDir, "cc-arena-")
+		if err != nil {
+			return fmt.Errorf("explore: arena restore: %v", err)
+		}
+		v.spillFile = f
+		spillW = bufio.NewWriterSize(io.NewOffsetWriter(f, 0), 1<<20)
+		// Ids below the watermark are readable mid-restore (growLocked
+		// may rehash them) via readCold's flush hook.
+		v.baseID = spillTo
+		v.restoreW = spillW
+		defer func() { v.restoreW = nil }()
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	raw := make([]byte, 8*v.words)
+	key := make([]uint64, v.words)
+	for id := int32(0); int(id) < nstates; id++ {
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return fmt.Errorf("explore: arena restore: %v", err)
+		}
+		for i := range key {
+			key[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		if id < spillTo {
+			if _, err := spillW.Write(raw); err != nil {
+				return fmt.Errorf("explore: arena restore: %v", err)
+			}
+			v.spilled += int64(len(raw))
+		} else {
+			v.arena = append(v.arena, key...)
+		}
+		v.restoreSlot(id, key, hashWords(key))
+	}
+	if spillW != nil {
+		if err := spillW.Flush(); err != nil {
+			return fmt.Errorf("explore: arena restore: %v", err)
+		}
+	}
+	v.nstates = nstates
+	return nil
+}
+
+// PendSnap is one pending entry as captured by SnapshotPending.
+type PendSnap struct {
+	Pos    uint64
+	Parent int32
+	Sel    string
+	Key    []uint64
+}
+
+// SnapshotPending captures every pending entry (any shard order — the
+// restore re-probes them, and the min-merge makes insertion order
+// irrelevant for distinct keys). The Key slices alias shard storage:
+// valid until the next Reset.
+func (v *Visited) SnapshotPending() []PendSnap {
+	var out []PendSnap
+	for i := range v.shards {
+		for _, e := range v.shards[i].pend {
+			out = append(out, PendSnap{Pos: e.pos, Parent: e.parent, Sel: e.sel, Key: e.key})
+		}
+	}
+	return out
+}
+
+// Close releases the spill file, if any.
+func (v *Visited) Close() {
+	if v.spillFile != nil {
+		name := v.spillFile.Name()
+		v.spillFile.Close()
+		os.Remove(name)
+		v.spillFile = nil
 	}
 }

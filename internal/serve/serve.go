@@ -20,9 +20,11 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -60,6 +62,19 @@ type Config struct {
 	// 256; negative = unlimited). Submissions past it are rejected
 	// with 503 rather than parking unbounded goroutines and records.
 	MaxQueue int
+	// CheckpointEvery enables in-flight job checkpointing: every N
+	// expanded states — and on shutdown — a running exploration
+	// persists a resumable snapshot under its content key in the
+	// store, so a killed server loses at most N states of work per
+	// job and a resubmission after restart resumes instead of
+	// restarting (default 1,000,000; negative = disabled).
+	CheckpointEvery int
+	// MemBudget bounds each job's in-memory explorer footprint
+	// (bytes; 0 = fully in-memory): past it the frontier and the cold
+	// visited arena spill to SpillDir ("" = the system temp dir),
+	// letting jobs exceed RAM with byte-identical verdicts.
+	MemBudget int64
+	SpillDir  string
 	// Log, if non-nil, receives one line per job state change.
 	Log func(format string, args ...any)
 }
@@ -98,6 +113,13 @@ type Server struct {
 	sem   chan struct{}
 	start time.Time
 
+	// baseCtx is cancelled by Drain: running explorations notice at
+	// their next chunk boundary, checkpoint, and stop; jobsWG tracks
+	// them so shutdown can wait for the snapshots to land.
+	baseCtx  context.Context
+	stopJobs context.CancelFunc
+	jobsWG   sync.WaitGroup
+
 	mu        sync.Mutex
 	jobs      map[string]*job
 	doneOrder []string // finished job keys in completion order (FIFO eviction)
@@ -106,11 +128,13 @@ type Server struct {
 	// Counters (under mu; the handler load here is verification jobs,
 	// not a hot path).
 	submitted, deduped, executed, failures int64
-	rejected                               int64
+	rejected, interrupted                  int64
 	cacheHits, cacheMisses                 int64
 	queued, running                        int64
 	statesExplored                         int64
 	exploreNanos                           int64
+	checkpointsWritten                     int64
+	jobsResumed, statesResumed             int64
 }
 
 // New builds a Server over the given store.
@@ -136,11 +160,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxQueue == 0 {
 		cfg.MaxQueue = 256
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1_000_000
+	}
+	baseCtx, stopJobs := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		sem:       make(chan struct{}, cfg.Jobs),
 		start:     time.Now(),
+		baseCtx:   baseCtx,
+		stopJobs:  stopJobs,
 		jobs:      map[string]*job{},
 		campaigns: map[string]*camp{},
 	}
@@ -256,10 +286,49 @@ func (s *Server) submit(spec store.JobSpec) (*job, bool, error) {
 		s.finishLocked(key)
 		return nil, false, errQueueFull
 	}
+	if s.baseCtx.Err() != nil {
+		// Draining: reject rather than spawn a job whose context is
+		// already cancelled (and whose jobsWG.Add could race Drain's
+		// Wait — the cancel and this check are both under s.mu, so an
+		// accepted Add strictly precedes the Wait).
+		s.rejected++
+		j.status, j.errMsg = StatusFailed, errShuttingDown.Error()
+		s.finishLocked(key)
+		return nil, false, errShuttingDown
+	}
 	s.cacheMisses++
 	s.queued++
+	s.jobsWG.Add(1)
 	go s.run(j)
 	return j, true, nil
+}
+
+// errShuttingDown rejects submissions that arrive while Drain is in
+// progress (503, like a full queue).
+var errShuttingDown = fmt.Errorf("serve: shutting down, retry against the restarted server")
+
+// Drain stops accepting new exploration work and waits (up to the
+// timeout) for the running jobs to notice the cancellation and persist
+// their checkpoints — the graceful half of "kill -9 safe": a SIGTERM
+// loses at most one chunk of work per job, a SIGKILL at most
+// CheckpointEvery states.
+func (s *Server) Drain(timeout time.Duration) bool {
+	// Under s.mu so no submit can observe an un-cancelled context and
+	// then Add after our Wait starts.
+	s.mu.Lock()
+	s.stopJobs()
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
 }
 
 // finishLocked records a finished job for FIFO eviction and evicts
@@ -293,6 +362,7 @@ func (s *Server) hydrate(key string) *job {
 }
 
 func (s *Server) run(j *job) {
+	defer s.jobsWG.Done()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
@@ -303,9 +373,20 @@ func (s *Server) run(j *job) {
 	s.mu.Unlock()
 	s.logf("job %s running: %s", j.key[:12], j.spec)
 
+	eo := campaign.ExecOptions{
+		Workers:   s.cfg.JobWorkers,
+		MemBudget: s.cfg.MemBudget,
+		SpillDir:  s.cfg.SpillDir,
+		Stats:     &explore.RunStats{},
+	}
+	if s.cfg.CheckpointEvery > 0 {
+		eo.Checkpoints = s.cfg.Store
+		eo.CheckpointEvery = s.cfg.CheckpointEvery
+	}
 	start := time.Now()
-	res, err := campaign.Execute(j.spec, s.cfg.JobWorkers)
+	res, err := campaign.ExecuteOpts(s.baseCtx, j.spec, eo)
 	elapsed := time.Since(start)
+	interrupted := errors.Is(err, campaign.ErrInterrupted)
 
 	var raw []byte
 	if err == nil {
@@ -319,10 +400,22 @@ func (s *Server) run(j *job) {
 
 	s.mu.Lock()
 	s.running--
-	if err != nil {
+	s.checkpointsWritten += int64(eo.Stats.CheckpointsWritten)
+	if eo.Stats.ResumedStates > 0 {
+		s.jobsResumed++
+		s.statesResumed += int64(eo.Stats.ResumedStates)
+	}
+	switch {
+	case interrupted:
+		// Shutdown cancellation: the snapshot (if enabled) is on disk
+		// and a post-restart resubmission resumes it; the record fails
+		// so in-flight pollers see a terminal state.
+		s.interrupted++
+		j.status, j.errMsg = StatusFailed, "interrupted by shutdown (checkpoint saved; resubmit to resume)"
+	case err != nil:
 		s.failures++
 		j.status, j.errMsg = StatusFailed, err.Error()
-	} else {
+	default:
 		s.executed++
 		s.statesExplored += int64(res.States)
 		s.exploreNanos += elapsed.Nanoseconds()
@@ -330,10 +423,17 @@ func (s *Server) run(j *job) {
 	}
 	s.finishLocked(j.key)
 	s.mu.Unlock()
-	if err != nil {
+	switch {
+	case interrupted:
+		s.logf("job %s interrupted at %d states (checkpoint saved)", j.key[:12], res.States)
+	case err != nil:
 		s.logf("job %s failed: %v", j.key[:12], err)
-	} else {
-		s.logf("job %s done: %s in %v (%d states)", j.key[:12], res.Verdict(), elapsed.Round(time.Millisecond), res.States)
+	default:
+		extra := ""
+		if eo.Stats.ResumedStates > 0 {
+			extra = fmt.Sprintf(", resumed from %d states", eo.Stats.ResumedStates)
+		}
+		s.logf("job %s done: %s in %v (%d states%s)", j.key[:12], res.Verdict(), elapsed.Round(time.Millisecond), res.States, extra)
 	}
 }
 
@@ -563,10 +663,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	submitted, deduped, executed, failures := s.submitted, s.deduped, s.executed, s.failures
-	rejected := s.rejected
+	rejected, interrupted := s.rejected, s.interrupted
 	hits, misses := s.cacheHits, s.cacheMisses
 	queued, running := s.queued, s.running
 	states, nanos := s.statesExplored, s.exploreNanos
+	ckpts, resumed, statesResumed := s.checkpointsWritten, s.jobsResumed, s.statesResumed
 	s.mu.Unlock()
 	hitRatio := 0.0
 	if hits+misses > 0 {
@@ -582,6 +683,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ccserve_jobs_executed_total %d\n", executed)
 	fmt.Fprintf(w, "ccserve_jobs_failed_total %d\n", failures)
 	fmt.Fprintf(w, "ccserve_jobs_rejected_total %d\n", rejected)
+	fmt.Fprintf(w, "ccserve_jobs_interrupted_total %d\n", interrupted)
+	fmt.Fprintf(w, "ccserve_checkpoints_written_total %d\n", ckpts)
+	fmt.Fprintf(w, "ccserve_jobs_resumed_total %d\n", resumed)
+	fmt.Fprintf(w, "ccserve_states_resumed_total %d\n", statesResumed)
 	fmt.Fprintf(w, "ccserve_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "ccserve_cache_misses_total %d\n", misses)
 	fmt.Fprintf(w, "ccserve_cache_hit_ratio %g\n", hitRatio)

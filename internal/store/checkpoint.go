@@ -1,0 +1,122 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Checkpoint is the handle for one job's checkpoint blob — the
+// resumable-exploration side of the store. A long-running job
+// periodically persists an explore snapshot under its content key
+// (DIR/checkpoints/<kk>/<key>.ckpt, atomic temp-file+rename like
+// verdict entries); a rerun of the same spec finds it and resumes
+// instead of restarting, and the final verdict is byte-identical to an
+// uninterrupted run. A checkpoint is scratch, not truth: once the
+// job's verdict entry exists the checkpoint is dead weight, deleted on
+// completion and garbage-collected (GCCheckpoints) if a crash orphaned
+// it.
+//
+// Checkpoint implements explore.Checkpointer (Load/Save) plus Delete;
+// obtain it from Store.Checkpoint.
+type Checkpoint struct {
+	path string
+}
+
+// Checkpoint returns the checkpoint handle for a content key.
+func (st *Store) Checkpoint(key string) *Checkpoint {
+	return &Checkpoint{path: st.checkpointPath(key)}
+}
+
+func (st *Store) checkpointPath(key string) string {
+	kk := "xx"
+	if len(key) >= 2 {
+		kk = key[:2]
+	}
+	return filepath.Join(st.dir, "checkpoints", kk, key+".ckpt")
+}
+
+// Load opens the stored snapshot; (nil, nil) when none exists.
+// Corruption is the explorer's problem to reject (it checksums the
+// stream); Load just hands over the bytes.
+func (c *Checkpoint) Load() (io.ReadCloser, error) {
+	f, err := os.Open(c.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return f, err
+}
+
+// Save persists a snapshot atomically: write streams into a temp file
+// in the same directory, which is renamed over the previous checkpoint
+// only after a successful write — a crash mid-Save leaves the previous
+// checkpoint intact, and a reader never observes a torn file.
+func (c *Checkpoint) Save(write func(w io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Delete removes the checkpoint (idempotent; called when the job's
+// verdict is persisted).
+func (c *Checkpoint) Delete() error {
+	err := os.Remove(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// GCCheckpoints removes orphaned checkpoint blobs: snapshots whose
+// job already has a verdict entry (the completion-time Delete crashed
+// or another process finished the job), plus abandoned temp files.
+// Returns the number of files removed. Safe to run concurrently with
+// live jobs: only keys with a persisted verdict are touched.
+func (st *Store) GCCheckpoints() int {
+	removed := 0
+	root := filepath.Join(st.dir, "checkpoints")
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if strings.HasPrefix(base, ".ckpt-") {
+			// Abandoned temp file from a crashed Save.
+			if os.Remove(path) == nil {
+				removed++
+			}
+			return nil
+		}
+		key, ok := strings.CutSuffix(base, ".ckpt")
+		if !ok {
+			return nil
+		}
+		if _, err := os.Stat(st.path(key)); err == nil {
+			if os.Remove(path) == nil {
+				removed++
+			}
+		}
+		return nil
+	})
+	return removed
+}

@@ -36,7 +36,13 @@ import (
 // canonicalization or the explore.Result JSON shape changes
 // incompatibly: every existing entry then reads as a miss and is
 // recomputed rather than served stale.
-const Version = 1
+//
+// v2: results persisted by campaign.Execute carry StateBytes == 0
+// (the retained-footprint measurement is process-local — it differs
+// between a resumed and an uninterrupted run, and between an
+// out-of-core and an in-memory one — so it cannot be part of
+// byte-identical verdict bytes).
+const Version = 2
 
 // JobSpec identifies one exhaustive-verification job. The zero value
 // of every optional field means "the default"; Canonical resolves

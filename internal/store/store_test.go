@@ -3,6 +3,7 @@ package store_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -209,7 +210,7 @@ func TestVersionInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mangled := bytes.Replace(data, []byte(`"version":1`), []byte(`"version":999`), 1)
+	mangled := bytes.Replace(data, []byte(fmt.Sprintf(`"version":%d`, store.Version)), []byte(`"version":999`), 1)
 	if bytes.Equal(mangled, data) {
 		t.Fatal("version field not found in entry")
 	}
