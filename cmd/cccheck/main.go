@@ -49,9 +49,22 @@
 // topology size like ring:0, a trailing comma in a campaign list — are
 // usage errors (exit 2 with a message), never silent defaults.
 //
-// Exit status: 0 if every check passed, 1 if any violation was found
-// (counterexample traces are printed), 2 on usage errors, 3 when
-// interrupted mid-exploration (checkpoint saved if -cache was given).
+// -chaos SPEC (e.g. "seed=7,write=0.05,torn=0.02,flip=0.01") routes
+// every durable I/O path — store writes, checkpoints, spill files —
+// through a deterministic fault injector (see docs/robustness.md);
+// verdicts stay byte-identical to a fault-free run or the process
+// exits loudly with a classified I/O error, never a wrong answer.
+//
+// Exit status:
+//
+//	0  every check passed
+//	1  a violation was found (counterexample traces are printed)
+//	2  usage error (bad flag grammar, invalid spec)
+//	3  interrupted mid-exploration (checkpoint saved if -cache was given)
+//	4  classified I/O failure (transient/permanent/corrupt) that
+//	   survived the retry budget: the message names the path, errno and
+//	   class; the cache and checkpoints are consistent — fix the disk
+//	   and re-run
 package main
 
 import (
@@ -69,6 +82,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/hypergraph"
@@ -97,6 +111,8 @@ func main() {
 		cacheDir   = flag.String("cache", "", "content-addressed verdict store directory: serve cached verdicts, persist fresh ones (shared with ccserve and ccbench -cache)")
 		memBudget  = flag.String("mem-budget", "", "in-memory budget for the explorer's frontier + visited arena (e.g. 256M, 2G; empty = unlimited): past it the exploration spills to temp files with an identical verdict")
 		ckptEvery  = flag.Int("checkpoint-every", 1_000_000, "with -cache: persist a resumable exploration snapshot under the job's content key every N expanded states and on SIGINT/SIGTERM, so an interrupted run resumes instead of restarting (0 = on interruption only, negative = disabled)")
+		spillDir   = flag.String("spill-dir", "", "directory for out-of-core spill scratch (empty = the system temp dir)")
+		chaosSpec  = flag.String("chaos", "", "fault-injection spec for all durable I/O, e.g. 'seed=7,write=0.05,torn=0.02,flip=0.01' (keys: seed|write|read|torn|sync|rename|flip|perm|fail-write-at|fail-read-at|fail-rename-at); verdicts stay byte-identical or the run fails loudly with a classified error (exit 4)")
 		campJSON   = flag.String("campaign-json", "", "campaign mode: read the grid from this JSON campaign.Spec file instead of the flags")
 		seed       = flag.Int64("seed", 1, "random seed")
 		runs       = flag.Int("runs", 32, "random mode: scenarios to run")
@@ -154,7 +170,18 @@ func main() {
 			fatalf("-checkpoint-every needs -cache DIR: snapshots live under the job's content key in the verdict store")
 		}
 	}
-	exec := execConfig{cacheDir: *cacheDir, memBudget: budget, checkpointEvery: *ckptEvery}
+	var fsys chaos.FS
+	if *chaosSpec != "" {
+		faults, err := chaos.ParseFaults(*chaosSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fsys = chaos.NewFaultFS(nil, faults)
+	}
+	exec := execConfig{
+		cacheDir: *cacheDir, memBudget: budget, checkpointEvery: *ckptEvery,
+		spillDir: *spillDir, fs: fsys,
+	}
 
 	switch *mode {
 	case "exhaustive":
@@ -182,13 +209,41 @@ func fatalf(format string, args ...any) {
 	os.Exit(2)
 }
 
-func openStore(dir string) *store.Store {
-	if dir == "" {
+// exitIO terminates with exit code 4 when err carries a classified I/O
+// failure (path + errno + class on stderr), falling back to a usage
+// error otherwise. Verdict streams on stdout stay clean either way.
+func exitIO(err error) {
+	if chaos.Classify(err) != chaos.Unknown {
+		fmt.Fprintf(os.Stderr, "cccheck: %s\n", chaos.Describe(err))
+		os.Exit(4)
+	}
+	fatalf("%v", err)
+}
+
+// openStore opens the verdict store (nil without -cache) and performs
+// the startup hygiene pass: half-written store temp files, orphaned
+// checkpoints and spill scratch left by a killed process are swept and
+// their counts reported. stderr only — stdout carries verdicts and
+// must stay byte-stable.
+func (e execConfig) openStore() *store.Store {
+	if e.cacheDir == "" {
 		return nil
 	}
-	st, err := store.Open(dir)
+	st, err := store.OpenFS(e.cacheDir, e.fs)
 	if err != nil {
-		fatalf("%v", err)
+		exitIO(err)
+	}
+	if n := st.GCTemp(); n > 0 {
+		fmt.Fprintf(os.Stderr, "cccheck: removed %d orphaned store temp file(s)\n", n)
+	}
+	if n := st.GCCheckpoints(); n > 0 {
+		fmt.Fprintf(os.Stderr, "cccheck: removed %d orphaned checkpoint file(s)\n", n)
+	}
+	if n := explore.GCSpill(e.spillDir); n > 0 {
+		fmt.Fprintf(os.Stderr, "cccheck: removed %d orphaned spill scratch entr(ies)\n", n)
+	}
+	st.Log = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cccheck: "+format+"\n", args...)
 	}
 	return st
 }
@@ -201,6 +256,8 @@ type execConfig struct {
 	cacheDir        string
 	memBudget       int64
 	checkpointEvery int
+	spillDir        string
+	fs              chaos.FS // -chaos fault injector (nil = host filesystem)
 }
 
 // runExhaustive checks one (alg, topo, init) instance under each of the
@@ -210,7 +267,7 @@ type execConfig struct {
 // with checkpointing, a SIGTERM'd (or SIGKILL'd) run resumes from its
 // last snapshot on the next identical invocation, exit code 3.
 func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalars store.JobSpec, exec execConfig) {
-	st := openStore(exec.cacheDir)
+	st := exec.openStore()
 	daemonList, err := campaign.ParseList("daemon", daemons)
 	if err != nil {
 		fatalf("%v", err)
@@ -248,7 +305,8 @@ func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalar
 		if res == nil {
 			eo := campaign.ExecOptions{
 				Workers: par.Workers, Stats: &stats,
-				MemBudget: exec.memBudget,
+				MemBudget: exec.memBudget, SpillDir: exec.spillDir,
+				FS: exec.fs,
 			}
 			if st != nil && exec.checkpointEvery >= 0 {
 				eo.Checkpoints = st
@@ -264,11 +322,11 @@ func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalar
 				os.Exit(3)
 			}
 			if err != nil {
-				fatalf("%v", err)
+				exitIO(err)
 			}
 			if st != nil {
 				if _, err := st.Put(s, res); err != nil {
-					fatalf("%v", err)
+					exitIO(err)
 				}
 			}
 		}
@@ -344,7 +402,7 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 	if err != nil {
 		fatalf("%v", err)
 	}
-	st := openStore(exec.cacheDir)
+	st := exec.openStore()
 	fmt.Printf("campaign: %d cells", len(cells))
 	if st != nil {
 		fmt.Printf(" (cache %s)", st.Dir())
@@ -358,20 +416,26 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 	ropts := campaign.RunOptions{
 		Workers:   par.Workers,
 		MemBudget: exec.memBudget,
+		SpillDir:  exec.spillDir,
+		FS:        exec.fs,
 		Progress: func(ev campaign.Event) {
 			resumed := ""
 			if ev.Resumed > 0 {
 				resumed = fmt.Sprintf(", resumed from %d states", ev.Resumed)
 			}
+			retried := ""
+			if ev.Attempts > 1 {
+				retried = fmt.Sprintf(" (attempt %d)", ev.Attempts)
+			}
 			switch ev.Status {
 			case campaign.StatusSkipped:
 				fmt.Printf("  [%d/%d] %-44s  skipped (interrupted)\n", ev.Index+1, ev.Total, ev.Spec)
 			case campaign.StatusFailed:
-				fmt.Printf("  [%d/%d] %-44s  FAILED\n", ev.Index+1, ev.Total, ev.Spec)
+				fmt.Printf("  [%d/%d] %-44s  FAILED%s\n", ev.Index+1, ev.Total, ev.Spec, retried)
 			case campaign.StatusHit:
 				fmt.Printf("  [%d/%d] %-44s  %s (cache hit)\n", ev.Index+1, ev.Total, ev.Spec, ev.Verdict)
 			default:
-				fmt.Printf("  [%d/%d] %-44s  %s (%d states, %v%s)\n", ev.Index+1, ev.Total, ev.Spec, ev.Verdict, ev.States, ev.Elapsed.Round(time.Millisecond), resumed)
+				fmt.Printf("  [%d/%d] %-44s  %s (%d states, %v%s)%s\n", ev.Index+1, ev.Total, ev.Spec, ev.Verdict, ev.States, ev.Elapsed.Round(time.Millisecond), resumed, retried)
 			}
 		},
 	}
@@ -389,6 +453,27 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 		fmt.Println("campaign interrupted — re-run the same command to resume from the cache")
 	}
 	if !rep.Ok() {
+		// A refuted spec (exit 1) outranks an I/O casualty (exit 4):
+		// violations are the answer the user asked for, failed cells are
+		// an environment problem. Exit 4 only when every failure is a
+		// classified I/O error and nothing was violated.
+		if rep.Violated == 0 && rep.Failed > 0 {
+			ioOnly := true
+			for _, c := range rep.Results {
+				if c.Status == campaign.StatusFailed && c.ErrorClass == "" {
+					ioOnly = false
+					break
+				}
+			}
+			if ioOnly {
+				for _, c := range rep.Results {
+					if c.Status == campaign.StatusFailed {
+						fmt.Fprintf(os.Stderr, "cccheck: cell %s failed (%s): %s\n", c.Spec, c.ErrorClass, c.Error)
+					}
+				}
+				os.Exit(4)
+			}
+		}
 		os.Exit(1)
 	}
 }

@@ -21,8 +21,16 @@
 // pool. Specs whose state bound exceeds -max-states-cap are rejected
 // with 400.
 //
+// Degradation (see docs/robustness.md): submissions past -max-queue or
+// -max-inflight are shed with 429 + Retry-After; each job runs under
+// the -job-timeout wall clock; repeated verdict-store write failures
+// trip a circuit breaker into compute-only mode (verdicts stay correct,
+// persistence resumes when the store recovers). GET /healthz is
+// liveness only; GET /readyz is readiness (503 while draining).
+//
 // Exit status: 0 on clean shutdown (SIGINT/SIGTERM), 2 on usage or
-// startup errors.
+// startup errors, 4 when the verdict store cannot be opened for a
+// classified I/O reason (the message names the path, errno and class).
 package main
 
 import (
@@ -39,6 +47,8 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/chaos"
+	"repro/internal/explore"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -54,6 +64,9 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 256, "jobs waiting for a worker slot before submissions get 503 (negative = unlimited)")
 		ckptEvery  = flag.Int("checkpoint-every", 1_000_000, "running jobs persist a resumable snapshot under their content key every N expanded states and on shutdown; resubmitting after a restart resumes them (negative = disabled)")
 		memBudget  = flag.String("mem-budget", "", "per-job in-memory explorer budget (e.g. 256M, 2G; empty = unlimited): past it the exploration spills to temp files with an identical verdict")
+		spillDir   = flag.String("spill-dir", "", "directory for out-of-core spill scratch (empty = the system temp dir)")
+		jobTimeout = flag.Duration("job-timeout", time.Hour, "per-job wall-clock budget: a job past it fails (checkpoint saved; resubmit to resume); 0 = no timeout")
+		maxInFl    = flag.Int("max-inflight", 512, "concurrently-handled API requests before shedding with 429 + Retry-After (negative = unlimited; /healthz, /readyz, /metrics are exempt)")
 		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
@@ -72,21 +85,34 @@ func main() {
 	}
 	st, err := store.Open(*cacheDir)
 	if err != nil {
+		if chaos.Classify(err) != chaos.Unknown {
+			fmt.Fprintf(os.Stderr, "ccserve: %s\n", chaos.Describe(err))
+			os.Exit(4)
+		}
 		fatalf("%v", err)
 	}
-	// A previous process may have completed jobs whose checkpoints it
-	// never got to delete (crash between persist and cleanup).
+	// Startup hygiene: a killed predecessor may have left half-written
+	// store temp files, checkpoints it never got to delete, and spill
+	// scratch from in-flight explorations.
+	if n := st.GCTemp(); n > 0 {
+		log.Printf("ccserve: removed %d orphaned store temp file(s)", n)
+	}
 	if n := st.GCCheckpoints(); n > 0 {
 		log.Printf("ccserve: removed %d orphaned checkpoint file(s)", n)
+	}
+	if n := explore.GCSpill(*spillDir); n > 0 {
+		log.Printf("ccserve: removed %d orphaned spill scratch entr(ies)", n)
 	}
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	st.Log = logf // quarantine/retry lines share the job log stream
 	srv, err := serve.New(serve.Config{
 		Store: st, Jobs: *jobs, JobWorkers: *jobWorkers,
 		MaxStatesCap: *maxStates, RetainJobs: *retain, MaxQueue: *maxQueue,
-		CheckpointEvery: *ckptEvery, MemBudget: budget, Log: logf,
+		CheckpointEvery: *ckptEvery, MemBudget: budget, SpillDir: *spillDir,
+		JobTimeout: *jobTimeout, MaxInFlight: *maxInFl, Log: logf,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/explore"
 	"repro/internal/par"
 	"repro/internal/store"
@@ -214,21 +215,29 @@ type Event struct {
 	// this cell continued (0 = started fresh). Progress-only: the
 	// Report is byte-identical whether a cell resumed or not.
 	Resumed int
-	Elapsed time.Duration
+	// Attempts is how many times the cell ran (1 = no retries needed;
+	// see RunOptions.Retries). Progress-only, like Resumed.
+	Attempts int
+	Elapsed  time.Duration
 }
 
 // CellResult is one cell of the aggregate report.
 type CellResult struct {
-	Spec        store.JobSpec `json:"spec"`
-	Key         string        `json:"key"`
-	Status      string        `json:"status"`
-	Verdict     string        `json:"verdict,omitempty"`
-	Error       string        `json:"error,omitempty"`
-	Inits       int           `json:"inits,omitempty"`
-	States      int           `json:"states,omitempty"`
-	Transitions int64         `json:"transitions,omitempty"`
-	Deadlocks   int           `json:"deadlocks,omitempty"`
-	Violations  int           `json:"violations,omitempty"`
+	Spec    store.JobSpec `json:"spec"`
+	Key     string        `json:"key"`
+	Status  string        `json:"status"`
+	Verdict string        `json:"verdict,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	// ErrorClass tags a failed cell with chaos.Classify's verdict on
+	// its error (transient | permanent | corrupt | unknown), so report
+	// consumers and the CLI exit path can tell an I/O casualty from a
+	// spec problem without parsing the message.
+	ErrorClass  string `json:"error_class,omitempty"`
+	Inits       int    `json:"inits,omitempty"`
+	States      int    `json:"states,omitempty"`
+	Transitions int64  `json:"transitions,omitempty"`
+	Deadlocks   int    `json:"deadlocks,omitempty"`
+	Violations  int    `json:"violations,omitempty"`
 }
 
 // Report is the deterministic aggregate of one campaign run: cells in
@@ -303,6 +312,19 @@ type RunOptions struct {
 	// (bytes; 0 = fully in-memory), spilling to SpillDir past it.
 	MemBudget int64
 	SpillDir  string
+	// Retries is the per-cell retry budget for recoverable failures
+	// (transient I/O, quarantined corruption): a failing cell is
+	// re-executed up to this many extra times, with exponential
+	// backoff, before it is marked failed — the campaign never aborts
+	// on one bad cell. 0 means the default (2); negative disables
+	// retries.
+	Retries int
+	// RetryBackoff is the delay before the first cell retry, doubling
+	// per attempt (0 = 50ms).
+	RetryBackoff time.Duration
+	// FS routes each cell's spill I/O through a chaos.FS (nil = the
+	// host filesystem); see ExecOptions.FS.
+	FS chaos.FS
 	// Progress, if non-nil, receives one event per finished cell.
 	// Calls are serialized.
 	Progress func(Event)
@@ -317,6 +339,17 @@ type RunOptions struct {
 // given starting cache state.
 func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOptions) *Report {
 	rep := &Report{Cells: len(cells), Results: make([]CellResult, len(cells))}
+	retries := opts.Retries
+	switch {
+	case retries == 0:
+		retries = 2
+	case retries < 0:
+		retries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
 	var progMu sync.Mutex
 	emit := func(ev Event) {
 		if opts.Progress == nil {
@@ -332,6 +365,7 @@ func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOp
 		cell := CellResult{Spec: spec, Key: spec.Key()}
 		start := time.Now()
 		var stats explore.RunStats
+		attempts := 0
 		switch {
 		case ctx.Err() != nil:
 			cell.Status = StatusSkipped
@@ -347,13 +381,38 @@ func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOp
 				eo := ExecOptions{
 					Workers: opts.JobWorkers, Stats: &stats,
 					MemBudget: opts.MemBudget, SpillDir: opts.SpillDir,
+					FS: opts.FS,
 				}
 				if st != nil && opts.Checkpoint {
 					eo.Checkpoints = st
 					eo.CheckpointEvery = opts.CheckpointEvery
 				}
 				var err error
-				res, err = ExecuteOpts(ctx, spec, eo)
+				delay := backoff
+				for {
+					attempts++
+					res, err = ExecuteOpts(ctx, spec, eo)
+					if err == nil && st != nil {
+						_, err = st.Put(spec, res)
+					}
+					// Retry only recoverable failures (transient I/O,
+					// quarantined corruption) within the cell's budget; a
+					// fresh attempt re-reads the store, rebuilds all spill
+					// scratch and converges to the same verdict.
+					// Cancellation is not a failure and never retried.
+					if err == nil || errors.Is(err, ErrInterrupted) || attempts > retries || !chaos.Recoverable(err) {
+						break
+					}
+					select {
+					case <-ctx.Done():
+						err = fmt.Errorf("campaign: %w during retry backoff (%v)", ErrInterrupted, context.Cause(ctx))
+					case <-time.After(delay):
+						delay *= 2
+						res = nil
+						continue
+					}
+					break
+				}
 				switch {
 				case errors.Is(err, ErrInterrupted):
 					// Mid-cell cancellation: the snapshot (if enabled) is
@@ -361,16 +420,17 @@ func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOp
 					// never scheduled, and the next run resumes it.
 					cell.Status = StatusSkipped
 					res = nil
-				case err == nil && st != nil:
-					_, err = st.Put(spec, res)
-				}
-				if cell.Status != StatusSkipped {
-					if err != nil {
-						cell.Status = StatusFailed
-						cell.Error = err.Error()
-					} else {
-						cell.Status = StatusDone
+				case err != nil:
+					cell.Status = StatusFailed
+					cell.Error = err.Error()
+					if attempts > 1 {
+						cell.Error = fmt.Sprintf("%v (after %d attempts)", err, attempts)
 					}
+					if cls := chaos.Classify(err); cls != chaos.Unknown {
+						cell.ErrorClass = cls.String()
+					}
+				default:
+					cell.Status = StatusDone
 				}
 			}
 			if res != nil && cell.Status != StatusFailed {
@@ -386,7 +446,7 @@ func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOp
 		emit(Event{
 			Index: i, Total: len(cells), Spec: spec, Key: cell.Key,
 			Status: cell.Status, Verdict: cell.Verdict, States: cell.States,
-			Resumed: stats.ResumedStates, Elapsed: time.Since(start),
+			Resumed: stats.ResumedStates, Attempts: attempts, Elapsed: time.Since(start),
 		})
 	})
 

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/hypergraph"
@@ -181,6 +182,13 @@ type ExecOptions struct {
 	// Stats, if non-nil, receives resume/spill bookkeeping (not part
 	// of the result).
 	Stats *explore.RunStats
+	// FS routes the explorer's spill-file I/O through a chaos.FS
+	// (nil = the host filesystem); the store's own FS is set at
+	// store.OpenFS time. Result-irrelevant like everything else here:
+	// injected faults either retry away, fail the job with a
+	// classified error, or quarantine an artifact — never change the
+	// verdict bytes.
+	FS chaos.FS
 }
 
 // ErrInterrupted reports that a job was cancelled mid-exploration; if
@@ -224,6 +232,7 @@ func ExecuteOpts(ctx context.Context, spec store.JobSpec, o ExecOptions) (*explo
 		Workers:         o.Workers,
 		MemBudget:       o.MemBudget,
 		SpillDir:        o.SpillDir,
+		FS:              o.FS,
 		CheckpointEvery: o.CheckpointEvery,
 		Stats:           o.Stats,
 	}

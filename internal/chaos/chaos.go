@@ -1,0 +1,116 @@
+// Package chaos is the fault-injection and fault-tolerance layer under
+// every durable path of the verifier: a filesystem abstraction (FS)
+// with a passthrough implementation (OS) and a deterministic,
+// seed-driven fault injector (FaultFS) that simulates the transient
+// failures a production store meets — ENOSPC, EIO, torn and short
+// writes, fsync failure, rename failure, and bit-flip corruption at
+// rest — at configurable probabilities and call-count trigger points.
+//
+// The package also owns the shared fault-handling vocabulary built on
+// top of the injector:
+//
+//   - Classify sorts an I/O error into transient (worth retrying:
+//     ENOSPC, EINTR, EIO, ...), permanent (retrying cannot help:
+//     EACCES, EROFS, ...) or corrupt (a checksum or format check
+//     failed on bytes read back);
+//   - Retry runs an operation under a bounded exponential-backoff
+//     policy, retrying only transient classifications;
+//   - Describe renders an error with its path, errno and class for
+//     the CLIs' dedicated I/O exit path.
+//
+// The point is the system-level analogue of the paper's stabilization
+// guarantee: whatever transient faults the environment injects, the
+// verifier must converge back to correct verdicts — byte-identical to
+// a fault-free run — or fail loudly with a classified error; never a
+// wrong verdict, never a hang. internal/store, internal/explore,
+// internal/campaign and internal/serve all take their file I/O through
+// the FS interface, so the chaos battery can run the whole stack under
+// escalating fault rates (see docs/robustness.md).
+package chaos
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem surface the verifier's durable paths use. OS is
+// the passthrough implementation; FaultFS injects faults in front of
+// any inner FS. Directory listing/walking is deliberately absent:
+// read-only metadata scans (store GC, Len) stay on the host filesystem.
+type FS interface {
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to the named file, creating or truncating it.
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp
+	// pattern semantics), open for reading and writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// MkdirAll creates the directory path with any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// MkdirTemp creates a new temporary directory in dir.
+	MkdirTemp(dir, pattern string) (string, error)
+	// Rename atomically renames oldpath to newpath (same directory in
+	// every caller here, so it is the commit point of atomic writes).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file. Cleanup paths treat failures as
+	// best-effort; FaultFS does not inject into Remove/RemoveAll.
+	Remove(name string) error
+	// RemoveAll deletes a tree.
+	RemoveAll(path string) error
+	// Stat describes a file.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File is the open-file surface the spill and atomic-write paths need:
+// sequential and positional reads/writes, fsync, close. *os.File
+// implements it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// OS is the passthrough FS: every method delegates to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) MkdirTemp(dir, pattern string) (string, error) {
+	return os.MkdirTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) Stat(name string) (fs.FileInfo, error) {
+	return os.Stat(name)
+}

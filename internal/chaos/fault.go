@@ -1,0 +1,380 @@
+package chaos
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Faults parameterizes a FaultFS. Probabilities are per-operation in
+// [0, 1]; trigger points are 1-based operation counts that inject
+// exactly once (deterministically, regardless of the probabilities),
+// which is what the targeted chaos scenarios use ("the 3rd write
+// fails"). The zero value injects nothing.
+type Faults struct {
+	// Seed drives the injector's private RNG: the same seed over the
+	// same operation sequence injects the same faults.
+	Seed int64
+
+	// WriteErr is the probability that a write-side operation
+	// (WriteFile, CreateTemp, MkdirAll, MkdirTemp, File.Write/WriteAt)
+	// fails with ENOSPC before touching the disk.
+	WriteErr float64
+	// ReadErr is the probability that a read-side operation (ReadFile,
+	// Open, File.Read/ReadAt) fails with EIO.
+	ReadErr float64
+	// TornWrite is the probability that a WriteFile or File.Write lands
+	// only a strict prefix of its data on disk and then fails with
+	// ENOSPC — the torn-write model atomic temp+rename must defeat.
+	TornWrite float64
+	// SyncErr is the probability that File.Sync fails with EIO after
+	// the data was accepted into the cache — the fsync-loss model: the
+	// caller must treat the write as not durable.
+	SyncErr float64
+	// RenameErr is the probability that Rename fails with EIO, leaving
+	// both names in their prior state.
+	RenameErr float64
+	// BitFlip is the probability that a written buffer reaches the disk
+	// with exactly one bit flipped — silent corruption at rest, the
+	// fault that checksums and quarantine exist for. The write itself
+	// reports success.
+	BitFlip float64
+	// Permanent is the fraction of injected errors surfaced as EACCES
+	// (permanent: retrying cannot help) instead of the transient errno
+	// above. 0 = all injected errors are transient.
+	Permanent float64
+
+	// FailWriteAt / FailReadAt / FailRenameAt inject one transient
+	// error on exactly the Nth (1-based) operation of that kind,
+	// independent of the probabilities. 0 = disabled.
+	FailWriteAt  int64
+	FailReadAt   int64
+	FailRenameAt int64
+}
+
+// ParseFaults parses the comma-list spec the CLIs expose
+// (e.g. "seed=7,write=0.05,torn=0.02,flip=0.01,perm=0.2,fail-write-at=3").
+// Keys: seed, write, read, torn, sync, rename, flip, perm,
+// fail-write-at, fail-read-at, fail-rename-at.
+func ParseFaults(spec string) (Faults, error) {
+	var f Faults
+	if strings.TrimSpace(spec) == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return f, fmt.Errorf("chaos: bad fault spec element %q (want key=value)", part)
+		}
+		switch k {
+		case "seed", "fail-write-at", "fail-read-at", "fail-rename-at":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return f, fmt.Errorf("chaos: bad %s value %q", k, v)
+			}
+			switch k {
+			case "seed":
+				f.Seed = n
+			case "fail-write-at":
+				f.FailWriteAt = n
+			case "fail-read-at":
+				f.FailReadAt = n
+			case "fail-rename-at":
+				f.FailRenameAt = n
+			}
+		case "write", "read", "torn", "sync", "rename", "flip", "perm":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return f, fmt.Errorf("chaos: bad %s probability %q (want 0..1)", k, v)
+			}
+			switch k {
+			case "write":
+				f.WriteErr = p
+			case "read":
+				f.ReadErr = p
+			case "torn":
+				f.TornWrite = p
+			case "sync":
+				f.SyncErr = p
+			case "rename":
+				f.RenameErr = p
+			case "flip":
+				f.BitFlip = p
+			case "perm":
+				f.Permanent = p
+			}
+		default:
+			return f, fmt.Errorf("chaos: unknown fault key %q (seed|write|read|torn|sync|rename|flip|perm|fail-*-at)", k)
+		}
+	}
+	return f, nil
+}
+
+// FaultFS injects faults in front of an inner FS. All decisions come
+// from one seeded RNG behind a mutex, so a serial workload replays the
+// identical fault sequence for the same seed; concurrent workloads are
+// reproducible up to operation interleaving. Remove, RemoveAll and
+// Stat pass through un-faulted (cleanup and metadata probes are
+// best-effort everywhere they are used).
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	faults Faults
+	rng    *rand.Rand
+
+	writes, reads, renames, syncs int64
+	injected                      map[string]int64
+}
+
+// NewFaultFS wraps inner (nil = OS) with the given fault profile.
+func NewFaultFS(inner FS, f Faults) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{
+		inner:    inner,
+		faults:   f,
+		rng:      rand.New(rand.NewSource(f.Seed)),
+		injected: map[string]int64{},
+	}
+}
+
+// SetFaults swaps the fault profile (the RNG keeps its stream) — the
+// "disk healed" half of recovery tests and ops drills.
+func (f *FaultFS) SetFaults(nf Faults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nf
+}
+
+// Stats returns a copy of the per-kind injection counts (keys: write,
+// read, torn, sync, rename, flip).
+func (f *FaultFS) Stats() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.injected))
+	for k, v := range f.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// errno picks the transient errno or, with probability Permanent, the
+// permanent one. Callers hold f.mu.
+func (f *FaultFS) errno(transient syscall.Errno) syscall.Errno {
+	if f.faults.Permanent > 0 && f.rng.Float64() < f.faults.Permanent {
+		return syscall.EACCES
+	}
+	return transient
+}
+
+func pathErr(op, path string, errno syscall.Errno) error {
+	return &fs.PathError{Op: op, Path: path, Err: errno}
+}
+
+// writeFault decides whether a write-side op fails outright.
+func (f *FaultFS) writeFault(op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.faults.FailWriteAt > 0 && f.writes == f.faults.FailWriteAt {
+		f.injected["write"]++
+		return pathErr(op, path, syscall.ENOSPC)
+	}
+	if f.faults.WriteErr > 0 && f.rng.Float64() < f.faults.WriteErr {
+		f.injected["write"]++
+		return pathErr(op, path, f.errno(syscall.ENOSPC))
+	}
+	return nil
+}
+
+// readFault decides whether a read-side op fails.
+func (f *FaultFS) readFault(op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads++
+	if f.faults.FailReadAt > 0 && f.reads == f.faults.FailReadAt {
+		f.injected["read"]++
+		return pathErr(op, path, syscall.EIO)
+	}
+	if f.faults.ReadErr > 0 && f.rng.Float64() < f.faults.ReadErr {
+		f.injected["read"]++
+		return pathErr(op, path, f.errno(syscall.EIO))
+	}
+	return nil
+}
+
+// mangle applies the torn-write and bit-flip lotteries to a buffer
+// about to be written. It returns the bytes to hand to the inner FS
+// and, for a torn write, the error to report after the prefix landed.
+func (f *FaultFS) mangle(op, path string, data []byte) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.faults.TornWrite > 0 && len(data) > 1 && f.rng.Float64() < f.faults.TornWrite {
+		f.injected["torn"]++
+		n := 1 + f.rng.Intn(len(data)-1) // strict prefix, never empty, never whole
+		return data[:n], pathErr(op, path, syscall.ENOSPC)
+	}
+	if f.faults.BitFlip > 0 && len(data) > 0 && f.rng.Float64() < f.faults.BitFlip {
+		f.injected["flip"]++
+		c := make([]byte, len(data))
+		copy(c, data)
+		i := f.rng.Intn(len(c))
+		c[i] ^= 1 << uint(f.rng.Intn(8))
+		return c, nil
+	}
+	return data, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.readFault("read", name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if err := f.writeFault("write", name); err != nil {
+		return err
+	}
+	out, tornErr := f.mangle("write", name, data)
+	if err := f.inner.WriteFile(name, out, perm); err != nil {
+		return err
+	}
+	return tornErr
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.readFault("open", name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.writeFault("create", dir); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.writeFault("mkdir", path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) MkdirTemp(dir, pattern string) (string, error) {
+	if err := f.writeFault("mkdir", dir); err != nil {
+		return "", err
+	}
+	return f.inner.MkdirTemp(dir, pattern)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.renames++
+	inject := f.faults.FailRenameAt > 0 && f.renames == f.faults.FailRenameAt
+	if !inject && f.faults.RenameErr > 0 && f.rng.Float64() < f.faults.RenameErr {
+		inject = true
+	}
+	var errno syscall.Errno
+	if inject {
+		f.injected["rename"]++
+		errno = f.errno(syscall.EIO)
+	}
+	f.mu.Unlock()
+	if inject {
+		return pathErr("rename", oldpath, errno)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error    { return f.inner.Remove(name) }
+func (f *FaultFS) RemoveAll(path string) error { return f.inner.RemoveAll(path) }
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	return f.inner.Stat(name)
+}
+
+// faultFile injects into the per-file operations of an open handle.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.readFault("read", f.inner.Name()); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.readFault("read", f.inner.Name()); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.writeFault("write", f.inner.Name()); err != nil {
+		return 0, err
+	}
+	out, tornErr := f.fs.mangle("write", f.inner.Name(), p)
+	n, err := f.inner.Write(out)
+	if err != nil {
+		return n, err
+	}
+	if tornErr != nil {
+		return n, tornErr
+	}
+	// Report full acceptance even when a flipped copy was written: the
+	// corruption is silent by design.
+	return len(p), nil
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.fs.writeFault("write", f.inner.Name()); err != nil {
+		return 0, err
+	}
+	out, tornErr := f.fs.mangle("write", f.inner.Name(), p)
+	n, err := f.inner.WriteAt(out, off)
+	if err != nil {
+		return n, err
+	}
+	if tornErr != nil {
+		return n, tornErr
+	}
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	f.fs.syncs++
+	inject := f.fs.faults.SyncErr > 0 && f.fs.rng.Float64() < f.fs.faults.SyncErr
+	if inject {
+		f.fs.injected["sync"]++
+	}
+	f.fs.mu.Unlock()
+	if inject {
+		return pathErr("sync", f.inner.Name(), syscall.EIO)
+	}
+	return f.inner.Sync()
+}

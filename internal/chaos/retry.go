@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"context"
+	"time"
+)
+
+// Policy bounds an exponential-backoff retry loop.
+type Policy struct {
+	// Attempts is the total number of tries (first attempt included).
+	// Zero or negative means a single attempt, i.e. no retries.
+	Attempts int
+	// Base is the delay before the first retry; it doubles per retry.
+	Base time.Duration
+	// Max caps the per-retry delay.
+	Max time.Duration
+}
+
+// DefaultPolicy is the store-level retry budget: four attempts with
+// 2ms/4ms/8ms backoff. Cheap enough to hide a blip, bounded enough
+// that a dead disk surfaces in well under a second.
+var DefaultPolicy = Policy{Attempts: 4, Base: 2 * time.Millisecond, Max: 100 * time.Millisecond}
+
+// Retry runs op under p, retrying only errors classified Transient.
+// Permanent, Corrupt and Unknown errors return immediately; context
+// cancellation during backoff returns ctx.Err(). The last error is
+// returned when the budget is exhausted.
+func Retry(ctx context.Context, p Policy, op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := p.Base
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+			if p.Max > 0 && delay > p.Max {
+				delay = p.Max
+			}
+		}
+		err = op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}

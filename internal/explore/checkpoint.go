@@ -68,6 +68,9 @@ type RunStats struct {
 	// ArenaSpilledBytes is the visited-arena bytes resident on disk at
 	// the end of the run.
 	ArenaSpilledBytes int64
+	// CheckpointErrors counts periodic snapshot saves that failed; the
+	// run degraded to continuing uncheckpointed instead of aborting.
+	CheckpointErrors int
 }
 
 const checkpointVersion = 1

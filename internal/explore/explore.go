@@ -49,7 +49,9 @@ import (
 	"math/rand"
 	"slices"
 	"strings"
+	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -159,6 +161,11 @@ type Options struct {
 	MemBudget int64
 	// SpillDir hosts the spill scratch files ("" = os.TempDir()).
 	SpillDir string
+	// FS routes the spill-file I/O (frontier segments, arena cold
+	// tail) through a chaos.FS (nil = the host filesystem). The chaos
+	// battery injects faults here; checksums on both spill formats turn
+	// silent corruption into classified errors.
+	FS chaos.FS
 	// Checkpoint, if non-nil, persists a resumable snapshot every
 	// CheckpointEvery expanded states and on context cancellation, and
 	// is consulted at startup: a matching snapshot resumes the run
@@ -551,6 +558,11 @@ func Explore[S sim.Cloneable[S]](newModel func() *Model[S], opts Options) *Resul
 // positions, not chunk positions.
 const exploreChunk = 4096
 
+// ioPanic carries a classified I/O failure out of code that has no
+// error return (hot-path arena reads) to ExploreCtx's recover sites;
+// any other panic value passes through untouched.
+type ioPanic struct{ err error }
+
 // ExploreCtx is Explore with cancellation, an out-of-core memory
 // budget and checkpoint/restore (Options.MemBudget, Options.Checkpoint).
 // On cancellation it returns the partial result and an error wrapping
@@ -558,7 +570,25 @@ const exploreChunk = 4096
 // configured, so an identical later call resumes the run and finishes
 // with the exact bytes an uninterrupted run would have produced
 // (StateBytes excepted: it measures this process's footprint).
-func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[S], opts Options) (*Result, error) {
+//
+// I/O failures in the out-of-core machinery surface as errors
+// classifiable with chaos.Classify — never a panic, never a silently
+// wrong result: transient errors were already retried at the file
+// layer, corrupt spill data was detected by checksum, and the caller
+// (campaign cell retry) decides whether a fresh attempt is worth it.
+// Periodic checkpoint-save failures degrade gracefully: the run
+// continues uncheckpointed and the failure is counted in
+// RunStats.CheckpointErrors.
+func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[S], opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ip, ok := r.(ioPanic)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("explore: %w", ip.err)
+		}
+	}()
 	if opts.MaxBranch == 0 {
 		opts.MaxBranch = 1 << 16
 	}
@@ -578,7 +608,7 @@ func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[
 	}
 	m0 := wss[0].model
 
-	res := &Result{
+	res = &Result{
 		Model: m0.Name, Mode: opts.Mode, MaxIncorrectDepth: -1,
 		Symmetry: opts.Symmetry && len(m0.Syms) > 0,
 	}
@@ -593,6 +623,7 @@ func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[
 	newVisited := func() *Visited {
 		vs := NewVisited(m0.Codec.Words)
 		vs.SetSerial(workers == 1)
+		vs.SetFS(opts.FS)
 		if arenaBudget > 0 {
 			vs.EnableArenaSpill(opts.SpillDir, arenaBudget)
 		}
@@ -600,7 +631,7 @@ func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[
 	}
 	vs := newVisited()
 	defer func() { vs.Close() }()
-	front := NewFrontier(frontBudget, opts.SpillDir)
+	front := NewFrontier(frontBudget, opts.SpillDir, opts.FS)
 	defer front.Close()
 
 	aggs := make([]layerAgg, workers)
@@ -649,7 +680,12 @@ func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[
 				}
 			} else {
 				// Unusable checkpoint (format drift, corruption, a
-				// different options tuple): start fresh on a clean set.
+				// different options tuple): quarantine it if the source
+				// supports that, then start fresh on a clean set — the
+				// rerun converges to the same verdict from scratch.
+				if q, ok := opts.Checkpoint.(interface{ Quarantine() error }); ok {
+					q.Quarantine()
+				}
 				vs.Close()
 				vs = newVisited()
 			}
@@ -763,13 +799,21 @@ func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[
 			if cerr := ctx.Err(); cerr != nil {
 				fillStats()
 				if serr := save(); serr != nil {
-					return res, serr
+					// Still interrupted, but the snapshot did not land: the
+					// rerun restarts from the previous checkpoint (or from
+					// scratch) instead of resuming here.
+					return res, fmt.Errorf("explore: %w at %d states (%v; checkpoint save failed: %v)", ErrInterrupted, vs.States(), cerr, serr)
 				}
 				return res, fmt.Errorf("explore: %w at %d states (%v)", ErrInterrupted, vs.States(), cerr)
 			}
 			if opts.CheckpointEvery > 0 && expandedSince >= opts.CheckpointEvery {
 				if err := save(); err != nil {
-					return res, err
+					// A failed periodic snapshot costs resumability, not
+					// correctness: degrade to an uncheckpointed run and
+					// count the failure instead of aborting the job.
+					if opts.Stats != nil {
+						opts.Stats.CheckpointErrors++
+					}
 				}
 				expandedSince = 0
 			}
@@ -781,9 +825,31 @@ func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[
 				aggs[w].reset()
 			}
 			base := itemBase
+			// Workers run in their own goroutines (par.ForEachWorker), so
+			// an ioPanic from a cold arena read must be caught per worker
+			// — an uncaught panic there would crash the process, not
+			// unwind to this function's recover.
+			var expandMu sync.Mutex
+			var expandErr error
 			par.ForEachWorker(len(chunk), workers, func(w, i int) {
+				defer func() {
+					if r := recover(); r != nil {
+						ip, ok := r.(ioPanic)
+						if !ok {
+							panic(r)
+						}
+						expandMu.Lock()
+						if expandErr == nil {
+							expandErr = ip.err
+						}
+						expandMu.Unlock()
+					}
+				}()
 				wss[w].expand(vs, &aggs[w], chunk[i], base+i, depth)
 			})
+			if expandErr != nil {
+				return res, fmt.Errorf("explore: %w", expandErr)
+			}
 			itemBase += len(chunk)
 			expandedSince += len(chunk)
 			// Merge the chunk's worker aggregates (sums and maxima

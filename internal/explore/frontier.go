@@ -1,10 +1,13 @@
 package explore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
-	"os"
+	"hash/fnv"
 	"path/filepath"
+
+	"repro/internal/chaos"
 )
 
 // Frontier is the explorer's open queue: a FIFO of promoted state ids
@@ -31,11 +34,20 @@ import (
 // a crash mid-segment-write can only lose scratch that the next run
 // rebuilds from the checkpoint.
 //
+// Unlike verdict entries and checkpoints, a spilled segment is live,
+// non-redundant data — there is no other copy of those queued ids in
+// this process — so a segment that fails its checksum cannot be
+// silently skipped. It is renamed aside (*.quarantine) and surfaced as
+// a *chaos.CorruptError; the recovery unit is the whole job (a fresh
+// attempt rebuilds the frontier), driven by the campaign cell retry.
+// Transient write failures during spilling are retried in place.
+//
 // All methods are serial-phase only (the BFS driver owns the frontier;
 // workers never touch it).
 type Frontier struct {
 	budget int64  // in-memory byte budget (0 = never spill)
 	dir    string // parent for the segment dir ("" = os.TempDir())
+	fs     chaos.FS
 
 	head    []int32 // drain side (a loaded segment or the swapped tail)
 	headOff int     // next index to pop from head
@@ -56,10 +68,22 @@ type Frontier struct {
 // one file per handful of ids.
 const frontierMinSpill = 1024
 
+// Segment layout: segMagic, u32 id count, u64 FNV-64a over the
+// payload, then count little-endian u32 ids. The checksum turns torn
+// writes and bit flips into detected corruption instead of silently
+// wrong BFS layers.
+var segMagic = [8]byte{'C', 'C', 'S', 'E', 'G', '1', 0, '\n'}
+
+const segHeaderLen = 8 + 4 + 8
+
 // NewFrontier builds a frontier with the given in-memory byte budget
-// (0 = fully in-memory) spilling under dir ("" = the system temp dir).
-func NewFrontier(budget int64, dir string) *Frontier {
-	return &Frontier{budget: budget, dir: dir}
+// (0 = fully in-memory) spilling under dir ("" = the system temp dir)
+// through fsys (nil = the host filesystem).
+func NewFrontier(budget int64, dir string, fsys chaos.FS) *Frontier {
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	return &Frontier{budget: budget, dir: dir, fs: fsys}
 }
 
 // Len returns the number of queued ids.
@@ -71,9 +95,9 @@ func (f *Frontier) memBytes() int64 {
 }
 
 // Push appends id, spilling the tail to a segment file when the
-// in-memory footprint exceeds the budget. Spill failures are returned
-// (disk full): the caller aborts the exploration rather than silently
-// dropping states.
+// in-memory footprint exceeds the budget. Spill failures — after the
+// transient retry budget — are returned classified (disk full): the
+// caller aborts the exploration rather than silently dropping states.
 func (f *Frontier) Push(id int32) error {
 	f.tail = append(f.tail, id)
 	f.n++
@@ -83,42 +107,96 @@ func (f *Frontier) Push(id int32) error {
 	return nil
 }
 
+// encodeSeg serializes the tail as a checksummed segment.
+func encodeSeg(ids []int32) []byte {
+	buf := make([]byte, segHeaderLen+4*len(ids))
+	copy(buf, segMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(ids)))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint32(buf[segHeaderLen+4*i:], uint32(id))
+	}
+	h := fnv.New64a()
+	h.Write(buf[segHeaderLen:])
+	binary.LittleEndian.PutUint64(buf[12:], h.Sum64())
+	return buf
+}
+
+// decodeSeg validates a segment and appends its ids to dst.
+func decodeSeg(path string, data []byte, dst []int32) ([]int32, error) {
+	if len(data) < segHeaderLen || [8]byte(data[:8]) != segMagic {
+		return nil, &chaos.CorruptError{Path: path, Detail: "frontier segment: bad header"}
+	}
+	count := int(binary.LittleEndian.Uint32(data[8:]))
+	if len(data) != segHeaderLen+4*count {
+		return nil, &chaos.CorruptError{Path: path, Detail: fmt.Sprintf("frontier segment: %d bytes, want %d for %d ids", len(data), segHeaderLen+4*count, count)}
+	}
+	h := fnv.New64a()
+	h.Write(data[segHeaderLen:])
+	if h.Sum64() != binary.LittleEndian.Uint64(data[12:]) {
+		return nil, &chaos.CorruptError{Path: path, Detail: "frontier segment: checksum mismatch"}
+	}
+	for off := segHeaderLen; off+4 <= len(data); off += 4 {
+		dst = append(dst, int32(binary.LittleEndian.Uint32(data[off:])))
+	}
+	return dst, nil
+}
+
 func (f *Frontier) spillTail() error {
-	if f.segDir == "" {
-		d, err := os.MkdirTemp(f.dir, "cc-frontier-")
-		if err != nil {
-			return fmt.Errorf("explore: frontier spill: %v", err)
+	err := chaos.Retry(context.Background(), chaos.DefaultPolicy, func() error {
+		if f.segDir == "" {
+			d, err := f.fs.MkdirTemp(f.dir, "cc-frontier-")
+			if err != nil {
+				return err
+			}
+			f.segDir = d
 		}
-		f.segDir = d
+		path := filepath.Join(f.segDir, fmt.Sprintf("seg-%08d", f.SpillSegments))
+		return f.fs.WriteFile(path, encodeSeg(f.tail), 0o600)
+	})
+	if err != nil {
+		return fmt.Errorf("explore: frontier spill: %w", err)
 	}
 	path := filepath.Join(f.segDir, fmt.Sprintf("seg-%08d", f.SpillSegments))
-	buf := make([]byte, 4*len(f.tail))
-	for i, id := range f.tail {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(id))
-	}
-	if err := os.WriteFile(path, buf, 0o600); err != nil {
-		return fmt.Errorf("explore: frontier spill: %v", err)
-	}
 	f.segs = append(f.segs, path)
 	f.SpillSegments++
-	f.SpilledBytes += int64(len(buf))
+	f.SpilledBytes += int64(4 * len(f.tail))
 	f.tail = f.tail[:0]
 	return nil
+}
+
+// readSeg reads and validates one segment file; corruption renames the
+// file aside (*.quarantine, best-effort) and returns a classified
+// error — the queued ids in it have no other copy, so the job must
+// fail loudly and be retried from scratch rather than continue with a
+// hole in the BFS layer.
+func (f *Frontier) readSeg(path string, dst []int32) ([]int32, error) {
+	var data []byte
+	err := chaos.Retry(context.Background(), chaos.DefaultPolicy, func() error {
+		var rerr error
+		data, rerr = f.fs.ReadFile(path)
+		return rerr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: frontier segment: %w", err)
+	}
+	out, err := decodeSeg(path, data, dst)
+	if err != nil {
+		f.fs.Rename(path, path+".quarantine")
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	return out, nil
 }
 
 // loadSeg reads the oldest segment into the head and deletes its file.
 func (f *Frontier) loadSeg() error {
 	path := f.segs[0]
 	f.segs = f.segs[1:]
-	data, err := os.ReadFile(path)
+	head, err := f.readSeg(path, f.head[:0])
 	if err != nil {
-		return fmt.Errorf("explore: frontier segment: %v", err)
+		return err
 	}
-	os.Remove(path)
-	f.head = f.head[:0]
-	for off := 0; off+4 <= len(data); off += 4 {
-		f.head = append(f.head, int32(binary.LittleEndian.Uint32(data[off:])))
-	}
+	f.fs.Remove(path)
+	f.head = head
 	f.headOff = 0
 	return nil
 }
@@ -158,12 +236,10 @@ func (f *Frontier) PopChunk(dst []int32) ([]int32, error) {
 func (f *Frontier) AppendRemaining(dst []int32) ([]int32, error) {
 	dst = append(dst, f.head[f.headOff:]...)
 	for _, path := range f.segs {
-		data, err := os.ReadFile(path)
+		var err error
+		dst, err = f.readSeg(path, dst)
 		if err != nil {
-			return nil, fmt.Errorf("explore: frontier snapshot: %v", err)
-		}
-		for off := 0; off+4 <= len(data); off += 4 {
-			dst = append(dst, int32(binary.LittleEndian.Uint32(data[off:])))
+			return nil, err
 		}
 	}
 	return append(dst, f.tail...), nil
@@ -173,7 +249,7 @@ func (f *Frontier) AppendRemaining(dst []int32) ([]int32, error) {
 // afterwards.
 func (f *Frontier) Close() {
 	if f.segDir != "" {
-		os.RemoveAll(f.segDir)
+		f.fs.RemoveAll(f.segDir)
 		f.segDir = ""
 	}
 	f.head, f.tail, f.segs = nil, nil, nil

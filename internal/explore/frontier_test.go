@@ -28,7 +28,7 @@ func drainAll(t *testing.T, f *Frontier, chunk int) []int32 {
 func TestFrontierFIFO(t *testing.T) {
 	const n = 50_000
 	for _, budget := range []int64{0, 1 << 12} {
-		f := NewFrontier(budget, t.TempDir())
+		f := NewFrontier(budget, t.TempDir(), nil)
 		for i := int32(0); i < n; i++ {
 			if err := f.Push(i); err != nil {
 				t.Fatal(err)
@@ -56,7 +56,7 @@ func TestFrontierFIFO(t *testing.T) {
 // TestFrontierInterleaved: pushes interleaved with pops (the seeding
 // pattern plus hypothetical future uses) stay FIFO across spills.
 func TestFrontierInterleaved(t *testing.T) {
-	f := NewFrontier(1<<12, t.TempDir())
+	f := NewFrontier(1<<12, t.TempDir(), nil)
 	defer f.Close()
 	next := int32(0)
 	want := int32(0)
@@ -94,7 +94,7 @@ func TestFrontierInterleaved(t *testing.T) {
 // they are drained, and Close removes the rest.
 func TestFrontierSegmentsDeleted(t *testing.T) {
 	dir := t.TempDir()
-	f := NewFrontier(1<<12, dir)
+	f := NewFrontier(1<<12, dir, nil)
 	for i := int32(0); i < 20_000; i++ {
 		if err := f.Push(i); err != nil {
 			t.Fatal(err)
@@ -123,7 +123,7 @@ func TestFrontierSegmentsDeleted(t *testing.T) {
 	}
 
 	// And Close cleans up a half-drained frontier.
-	f2 := NewFrontier(1<<12, dir)
+	f2 := NewFrontier(1<<12, dir, nil)
 	for i := int32(0); i < 20_000; i++ {
 		if err := f2.Push(i); err != nil {
 			t.Fatal(err)
@@ -143,7 +143,7 @@ func TestFrontierSegmentsDeleted(t *testing.T) {
 // taking it does not disturb the drain.
 func TestFrontierAppendRemaining(t *testing.T) {
 	const n = 30_000
-	f := NewFrontier(1<<12, t.TempDir())
+	f := NewFrontier(1<<12, t.TempDir(), nil)
 	defer f.Close()
 	for i := int32(0); i < n; i++ {
 		if err := f.Push(i); err != nil {

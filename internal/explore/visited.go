@@ -3,13 +3,16 @@ package explore
 import (
 	"bufio"
 	"cmp"
+	"context"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
-	"os"
 	"slices"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/chaos"
 )
 
 // Visited is the explorer's concurrent deduplication structure: a
@@ -62,12 +65,17 @@ type Visited struct {
 	drainBuf []Fresh // reused across Drain calls
 
 	// Cold-tail spill (optional; see EnableArenaSpill). Ids < baseID
-	// live in spillFile at offset id*words*8, in id order.
+	// live in spillFile as fixed-width records at offset id*recSize(),
+	// in id order. Each record is words*8 payload bytes plus an 8-byte
+	// FNV-64a checksum, so a bit flip or torn write in the spill file is
+	// detected on read-back (a classified corruption error) instead of
+	// silently changing deduplication — which could change the verdict.
 	spillDir    string
 	arenaBudget int64
-	spillFile   *os.File
+	fs          chaos.FS
+	spillFile   chaos.File
 	baseID      int32
-	spilled     int64         // bytes written to spillFile
+	spilled     int64         // payload bytes written to spillFile
 	restoreW    *bufio.Writer // in-flight restore spill writer (readCold flushes it)
 
 	pending atomic.Int64
@@ -146,7 +154,7 @@ var singleSel = func() (t [256]string) {
 // NewVisited builds a set for states of the given word width.
 func NewVisited(words int) *Visited {
 	const nshards = 64
-	v := &Visited{words: words}
+	v := &Visited{words: words, fs: chaos.OS}
 	v.setShards(make([]vshard, nshards))
 	for i := range v.shards {
 		v.shards[i].slots = make([]vslot, 64)
@@ -173,6 +181,26 @@ func (v *Visited) setShards(shards []vshard) {
 // Serial phases only, before any promotion.
 func (v *Visited) EnableArenaSpill(dir string, budget int64) {
 	v.spillDir, v.arenaBudget = dir, budget
+}
+
+// SetFS routes the spill file I/O through fsys (nil = the host
+// filesystem). Must be called before the first spill.
+func (v *Visited) SetFS(fsys chaos.FS) {
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	v.fs = fsys
+}
+
+// recSize is the on-disk footprint of one spilled arena record:
+// words*8 payload bytes plus the 8-byte FNV-64a checksum.
+func (v *Visited) recSize() int64 { return int64(v.words)*8 + 8 }
+
+// fnv64a is the record checksum (FNV-64a over the payload bytes).
+func fnv64a(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
 }
 
 // SpilledBytes reports how many arena bytes live on disk.
@@ -212,26 +240,39 @@ func (v *Visited) Key(id int32) []uint64 {
 	}
 	buf := make([]uint64, v.words)
 	if err := v.readCold(id, buf); err != nil {
-		panic(fmt.Sprintf("explore: spilled arena read: %v", err))
+		panic(ioPanic{err})
 	}
 	return buf
 }
 
-// readCold reads a spilled key into buf (len v.words). During a
-// restore the spill file is mid-append: flush the writer first so
-// every id below the watermark is readable (no-op once drained).
+// readCold reads a spilled key into buf (len v.words), verifying the
+// record checksum — corruption comes back as *chaos.CorruptError, not
+// a wrong key. During a restore the spill file is mid-append: flush
+// the writer first so every id below the watermark is readable (no-op
+// once drained). Transient read faults are retried in place.
 func (v *Visited) readCold(id int32, buf []uint64) error {
 	if v.restoreW != nil {
 		if err := v.restoreW.Flush(); err != nil {
 			return err
 		}
 	}
-	raw := make([]byte, 8*v.words)
-	if _, err := v.spillFile.ReadAt(raw, int64(id)*int64(v.words)*8); err != nil {
+	raw := make([]byte, v.recSize())
+	err := chaos.Retry(context.Background(), chaos.DefaultPolicy, func() error {
+		_, rerr := v.spillFile.ReadAt(raw, int64(id)*v.recSize())
+		return rerr
+	})
+	if err != nil {
 		return err
 	}
+	payload := raw[:8*v.words]
+	if fnv64a(payload) != binary.LittleEndian.Uint64(raw[8*v.words:]) {
+		return &chaos.CorruptError{
+			Path:   v.spillFile.Name(),
+			Detail: fmt.Sprintf("arena record %d: checksum mismatch", id),
+		}
+	}
 	for i := range buf {
-		buf[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		buf[i] = binary.LittleEndian.Uint64(payload[8*i:])
 	}
 	return nil
 }
@@ -288,7 +329,7 @@ func (v *Visited) refEqual(sh *vshard, ref int32, key []uint64) bool {
 	}
 	cold := sh.cold[:v.words]
 	if err := v.readCold(ref, cold); err != nil {
-		panic(fmt.Sprintf("explore: spilled arena read: %v", err))
+		panic(ioPanic{err})
 	}
 	return wordsEqual(cold, key)
 }
@@ -366,7 +407,7 @@ func (v *Visited) Contains(key []uint64, hash uint64) bool {
 						cold = cold[:v.words]
 					}
 					if err := v.readCold(s.ref, cold); err != nil {
-						panic(fmt.Sprintf("explore: spilled arena read: %v", err))
+						panic(ioPanic{err})
 					}
 					if wordsEqual(cold, key) {
 						return true
@@ -442,7 +483,7 @@ func (v *Visited) slotHash(sh *vshard, s *vslot) uint64 {
 		}
 		cold := sh.cold[:v.words]
 		if err := v.readCold(s.ref, cold); err != nil {
-			panic(fmt.Sprintf("explore: spilled arena read: %v", err))
+			panic(ioPanic{err})
 		}
 		return hashWords(cold)
 	}
@@ -582,15 +623,22 @@ func (v *Visited) restoreSlot(id int32, key []uint64, hash uint64) {
 // passed to fn is scratch, valid for that call only.
 func (v *Visited) scanArena(fn func(id int32, key []uint64)) error {
 	if v.baseID > 0 {
-		r := bufio.NewReaderSize(io.NewSectionReader(v.spillFile, 0, int64(v.baseID)*int64(v.words)*8), 1<<20)
-		raw := make([]byte, 8*v.words)
+		r := bufio.NewReaderSize(io.NewSectionReader(v.spillFile, 0, int64(v.baseID)*v.recSize()), 1<<20)
+		raw := make([]byte, v.recSize())
 		key := make([]uint64, v.words)
 		for id := int32(0); id < v.baseID; id++ {
 			if _, err := io.ReadFull(r, raw); err != nil {
-				return fmt.Errorf("explore: arena scan: %v", err)
+				return fmt.Errorf("explore: arena scan: %w", err)
+			}
+			payload := raw[:8*v.words]
+			if fnv64a(payload) != binary.LittleEndian.Uint64(raw[8*v.words:]) {
+				return fmt.Errorf("explore: arena scan: %w", &chaos.CorruptError{
+					Path:   v.spillFile.Name(),
+					Detail: fmt.Sprintf("arena record %d: checksum mismatch", id),
+				})
 			}
 			for i := range key {
-				key[i] = binary.LittleEndian.Uint64(raw[8*i:])
+				key[i] = binary.LittleEndian.Uint64(payload[8*i:])
 			}
 			fn(id, key)
 		}
@@ -610,23 +658,32 @@ func (v *Visited) maybeSpillArena(hotFrom int32) error {
 		return nil
 	}
 	if v.spillFile == nil {
-		f, err := os.CreateTemp(v.spillDir, "cc-arena-")
+		err := chaos.Retry(context.Background(), chaos.DefaultPolicy, func() error {
+			f, cerr := v.fs.CreateTemp(v.spillDir, "cc-arena-")
+			if cerr != nil {
+				return cerr
+			}
+			v.spillFile = f
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("explore: arena spill: %v", err)
+			return fmt.Errorf("explore: arena spill: %w", err)
 		}
-		v.spillFile = f
 	}
 	words := int(hotFrom-v.baseID) * v.words
-	w := bufio.NewWriterSize(io.NewOffsetWriter(v.spillFile, int64(v.baseID)*int64(v.words)*8), 1<<20)
-	var scratch [8]byte
-	for _, word := range v.arena[:words] {
-		binary.LittleEndian.PutUint64(scratch[:], word)
-		if _, err := w.Write(scratch[:]); err != nil {
-			return fmt.Errorf("explore: arena spill: %v", err)
+	w := bufio.NewWriterSize(io.NewOffsetWriter(v.spillFile, int64(v.baseID)*v.recSize()), 1<<20)
+	rec := make([]byte, v.recSize())
+	for off := 0; off < words; off += v.words {
+		for i, word := range v.arena[off : off+v.words] {
+			binary.LittleEndian.PutUint64(rec[8*i:], word)
+		}
+		binary.LittleEndian.PutUint64(rec[8*v.words:], fnv64a(rec[:8*v.words]))
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("explore: arena spill: %w", err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		return fmt.Errorf("explore: arena spill: %v", err)
+		return fmt.Errorf("explore: arena spill: %w", err)
 	}
 	v.spilled += int64(words) * 8
 	rest := make([]uint64, len(v.arena)-words)
@@ -672,12 +729,18 @@ func (v *Visited) RestoreArena(r io.Reader, nstates int, hotFrom int32) error {
 	}
 	var spillW *bufio.Writer
 	if spillTo > 0 {
-		f, err := os.CreateTemp(v.spillDir, "cc-arena-")
+		err := chaos.Retry(context.Background(), chaos.DefaultPolicy, func() error {
+			f, cerr := v.fs.CreateTemp(v.spillDir, "cc-arena-")
+			if cerr != nil {
+				return cerr
+			}
+			v.spillFile = f
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("explore: arena restore: %v", err)
+			return fmt.Errorf("explore: arena restore: %w", err)
 		}
-		v.spillFile = f
-		spillW = bufio.NewWriterSize(io.NewOffsetWriter(f, 0), 1<<20)
+		spillW = bufio.NewWriterSize(io.NewOffsetWriter(v.spillFile, 0), 1<<20)
 		// Ids below the watermark are readable mid-restore (growLocked
 		// may rehash them) via readCold's flush hook.
 		v.baseID = spillTo
@@ -686,6 +749,7 @@ func (v *Visited) RestoreArena(r io.Reader, nstates int, hotFrom int32) error {
 	}
 	br := bufio.NewReaderSize(r, 1<<20)
 	raw := make([]byte, 8*v.words)
+	rec := make([]byte, v.recSize())
 	key := make([]uint64, v.words)
 	for id := int32(0); int(id) < nstates; id++ {
 		if _, err := io.ReadFull(br, raw); err != nil {
@@ -695,8 +759,12 @@ func (v *Visited) RestoreArena(r io.Reader, nstates int, hotFrom int32) error {
 			key[i] = binary.LittleEndian.Uint64(raw[8*i:])
 		}
 		if id < spillTo {
-			if _, err := spillW.Write(raw); err != nil {
-				return fmt.Errorf("explore: arena restore: %v", err)
+			// The checkpoint stream carries bare keys; spilled records
+			// get their per-record checksum appended here.
+			copy(rec, raw)
+			binary.LittleEndian.PutUint64(rec[8*v.words:], fnv64a(raw))
+			if _, err := spillW.Write(rec); err != nil {
+				return fmt.Errorf("explore: arena restore: %w", err)
 			}
 			v.spilled += int64(len(raw))
 		} else {
@@ -740,7 +808,7 @@ func (v *Visited) Close() {
 	if v.spillFile != nil {
 		name := v.spillFile.Name()
 		v.spillFile.Close()
-		os.Remove(name)
+		v.fs.Remove(name)
 		v.spillFile = nil
 	}
 }

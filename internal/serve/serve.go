@@ -14,9 +14,17 @@
 //	                         between cached and freshly computed verdicts
 //	POST /v1/campaigns       submit a campaign.Spec grid; cells share the job machinery
 //	GET  /v1/campaigns/{id}  deterministic aggregate (cells in expansion order)
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness (the process is up)
+//	GET  /readyz             readiness (accepting work; 503 while draining,
+//	                         degraded while the store breaker is open)
 //	GET  /metrics            Prometheus-style text: cache hit ratio, states/sec,
-//	                         queue depth, worker pool
+//	                         queue depth, worker pool, shedding and breaker state
+//
+// The server degrades rather than collapses: submissions past the queue
+// or in-flight bounds are shed with 429 + Retry-After, each job runs
+// under an optional wall-clock timeout, and a failing verdict store
+// trips a circuit breaker into compute-only mode — verdicts stay
+// correct, they just stop being persisted until the store recovers.
 package serve
 
 import (
@@ -28,10 +36,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/chaos"
 	"repro/internal/explore"
 	"repro/internal/store"
 )
@@ -75,6 +86,30 @@ type Config struct {
 	// letting jobs exceed RAM with byte-identical verdicts.
 	MemBudget int64
 	SpillDir  string
+	// FS routes the explorers' spill-file I/O through a chaos.FS
+	// (nil = the host filesystem). The store carries its own FS from
+	// store.OpenFS; this covers the scratch files.
+	FS chaos.FS
+	// JobTimeout bounds each job's wall-clock run (0 = no timeout;
+	// negative = no timeout). A job past it fails with a classified
+	// timeout message; its checkpoint (if enabled) survives, so a
+	// resubmission resumes rather than restarts.
+	JobTimeout time.Duration
+	// MaxInFlight bounds concurrently-handled API requests (default
+	// 512; negative = unlimited). Requests past it are shed with 429 +
+	// Retry-After before touching any server state; /healthz, /readyz
+	// and /metrics are exempt so operators can always see in.
+	MaxInFlight int
+	// BreakerFailures is the consecutive store-write failures that trip
+	// the circuit breaker into compute-only mode (default 3; negative =
+	// breaker disabled). While open, jobs skip the store entirely —
+	// verdicts are computed and served from memory, not persisted — and
+	// after BreakerCooldown one job probes the store again (half-open):
+	// success closes the breaker, failure re-opens it.
+	BreakerFailures int
+	// BreakerCooldown is how long the breaker stays open before a probe
+	// (default 15s).
+	BreakerCooldown time.Duration
 	// Log, if non-nil, receives one line per job state change.
 	Log func(format string, args ...any)
 }
@@ -120,15 +155,28 @@ type Server struct {
 	stopJobs context.CancelFunc
 	jobsWG   sync.WaitGroup
 
+	// inFlight counts requests currently inside ServeHTTP (atomic: the
+	// shedding check must not contend on mu).
+	inFlight atomic.Int64
+
 	mu        sync.Mutex
 	jobs      map[string]*job
 	doneOrder []string // finished job keys in completion order (FIFO eviction)
 	campaigns map[string]*camp
 
+	// Store circuit breaker (under mu). breakerUntil zero = closed;
+	// in the future = open (compute-only); in the past = half-open
+	// (the next job probes the store).
+	breakerFails int
+	breakerUntil time.Time
+
 	// Counters (under mu; the handler load here is verification jobs,
 	// not a hot path).
 	submitted, deduped, executed, failures int64
 	rejected, interrupted                  int64
+	shed, jobsTimedOut                     int64
+	storeFailures, breakerTrips            int64
+	checkpointErrors                       int64
 	cacheHits, cacheMisses                 int64
 	queued, running                        int64
 	statesExplored                         int64
@@ -163,6 +211,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 1_000_000
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 512
+	}
+	if cfg.BreakerFailures == 0 {
+		cfg.BreakerFailures = 3
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = 15 * time.Second
+	}
 	baseCtx, stopJobs := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
@@ -180,11 +237,32 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz", "/readyz", "/metrics":
+		// Observability stays reachable however overloaded the API is.
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if max := s.cfg.MaxInFlight; max > 0 {
+		n := s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		if n > int64(max) {
+			s.mu.Lock()
+			s.shed++
+			s.mu.Unlock()
+			writeShed(w, http.StatusTooManyRequests, 1,
+				"serve: %d requests in flight exceeds the cap of %d, retry shortly", n, max)
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Log != nil {
@@ -205,6 +283,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeShed is the one shape every load-shedding response takes: a
+// Retry-After hint plus the usual error envelope, so clients (and the
+// CI smoke) can back off mechanically instead of hammering.
+func writeShed(w http.ResponseWriter, code, retryAfter int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, code, format, args...)
+}
+
+// writeReject maps a submit error onto the unified shedding shape:
+// queue-full is 429 with a Retry-After scaled to the backlog (the
+// queue drains at roughly one job per worker slot), shutting-down is
+// 503 with a fixed hint (the restarted server is seconds away, not
+// milliseconds).
+func (s *Server) writeReject(w http.ResponseWriter, err error, format string, args ...any) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.mu.Lock()
+		ra := 1 + int(s.queued)/s.cfg.Jobs
+		s.mu.Unlock()
+		if ra > 60 {
+			ra = 60
+		}
+		writeShed(w, http.StatusTooManyRequests, ra, format, args...)
+	case errors.Is(err, errShuttingDown):
+		writeShed(w, http.StatusServiceUnavailable, 10, format, args...)
+	default:
+		writeError(w, http.StatusServiceUnavailable, format, args...)
+	}
 }
 
 // jobView is the status envelope for one job.
@@ -236,6 +344,62 @@ func (s *Server) view(j *job) jobView {
 // errQueueFull rejects submissions past Config.MaxQueue.
 var errQueueFull = fmt.Errorf("serve: job queue is full, retry later")
 
+// storeAvailable reports whether jobs should touch the verdict store:
+// true when the breaker is closed or past its cooldown (half-open — the
+// caller's store call is the probe).
+func (s *Server) storeAvailable() bool {
+	if s.cfg.BreakerFailures < 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.breakerUntil.IsZero() || time.Now().After(s.breakerUntil)
+}
+
+// storeFailed records a store-write failure and trips the breaker after
+// BreakerFailures consecutive ones (or re-opens it after a failed
+// half-open probe).
+func (s *Server) storeFailed(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storeFailures++
+	if s.cfg.BreakerFailures < 0 {
+		return
+	}
+	s.breakerFails++
+	if s.breakerFails >= s.cfg.BreakerFailures && (s.breakerUntil.IsZero() || time.Now().After(s.breakerUntil)) {
+		s.breakerUntil = time.Now().Add(s.cfg.BreakerCooldown)
+		s.breakerTrips++
+		s.logf("store breaker open for %v after %d consecutive write failures (%v): compute-only until the store recovers",
+			s.cfg.BreakerCooldown, s.breakerFails, err)
+	}
+}
+
+// storeOK records a successful store write, closing the breaker.
+func (s *Server) storeOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.breakerUntil.IsZero() {
+		s.logf("store breaker closed: store write succeeded")
+	}
+	s.breakerFails = 0
+	s.breakerUntil = time.Time{}
+}
+
+// breakerState: 0 closed, 1 half-open, 2 open.
+func (s *Server) breakerState() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.breakerUntil.IsZero():
+		return 0
+	case time.Now().Before(s.breakerUntil):
+		return 2
+	default:
+		return 1
+	}
+}
+
 // submit registers a job for the canonical spec, joining an existing
 // identical job (in flight or completed) or serving it from the store.
 // Returns the job and whether this submission created it; the error is
@@ -265,7 +429,17 @@ func (s *Server) submit(spec store.JobSpec) (*job, bool, error) {
 	s.jobs[key] = j
 	s.mu.Unlock()
 
-	res, raw, hit := s.cfg.Store.Get(spec)
+	// With the breaker open the store is known bad: skip the disk probe
+	// (a miss at worst costs a recompute; a hang here would stall every
+	// handler behind a dead disk).
+	var (
+		res *explore.Result
+		raw []byte
+		hit bool
+	)
+	if s.storeAvailable() {
+		res, raw, hit = s.cfg.Store.Get(spec)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -373,27 +547,47 @@ func (s *Server) run(j *job) {
 	s.mu.Unlock()
 	s.logf("job %s running: %s", j.key[:12], j.spec)
 
+	useStore := s.storeAvailable()
 	eo := campaign.ExecOptions{
 		Workers:   s.cfg.JobWorkers,
 		MemBudget: s.cfg.MemBudget,
 		SpillDir:  s.cfg.SpillDir,
+		FS:        s.cfg.FS,
 		Stats:     &explore.RunStats{},
 	}
-	if s.cfg.CheckpointEvery > 0 {
+	if s.cfg.CheckpointEvery > 0 && useStore {
+		// Compute-only mode skips checkpointing too: snapshots live in
+		// the same store that just failed.
 		eo.Checkpoints = s.cfg.Store
 		eo.CheckpointEvery = s.cfg.CheckpointEvery
 	}
+	jobCtx, cancelJob := s.baseCtx, context.CancelFunc(func() {})
+	if s.cfg.JobTimeout > 0 {
+		jobCtx, cancelJob = context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	}
 	start := time.Now()
-	res, err := campaign.ExecuteOpts(s.baseCtx, j.spec, eo)
+	res, err := campaign.ExecuteOpts(jobCtx, j.spec, eo)
+	cancelJob()
 	elapsed := time.Since(start)
 	interrupted := errors.Is(err, campaign.ErrInterrupted)
+	// A deadline on jobCtx with baseCtx still live is this job's own
+	// timeout, not a shutdown.
+	timedOut := interrupted && errors.Is(jobCtx.Err(), context.DeadlineExceeded) && s.baseCtx.Err() == nil
 
 	var raw []byte
 	if err == nil {
 		// Serve the exact bytes the store now holds; if persisting
 		// fails the verdict is still correct, so marshal it directly
 		// (the next identical submission will recompute).
-		if raw, _ = s.cfg.Store.Put(j.spec, res); raw == nil {
+		if useStore {
+			var perr error
+			if raw, perr = s.cfg.Store.Put(j.spec, res); perr != nil {
+				s.storeFailed(perr)
+			} else {
+				s.storeOK()
+			}
+		}
+		if raw == nil {
 			raw, _ = json.Marshal(res)
 		}
 	}
@@ -401,11 +595,17 @@ func (s *Server) run(j *job) {
 	s.mu.Lock()
 	s.running--
 	s.checkpointsWritten += int64(eo.Stats.CheckpointsWritten)
+	s.checkpointErrors += int64(eo.Stats.CheckpointErrors)
 	if eo.Stats.ResumedStates > 0 {
 		s.jobsResumed++
 		s.statesResumed += int64(eo.Stats.ResumedStates)
 	}
 	switch {
+	case timedOut:
+		s.failures++
+		s.jobsTimedOut++
+		j.status, j.errMsg = StatusFailed,
+			fmt.Sprintf("job exceeded the %v wall-clock timeout (checkpoint saved if enabled; resubmit to resume)", s.cfg.JobTimeout)
 	case interrupted:
 		// Shutdown cancellation: the snapshot (if enabled) is on disk
 		// and a post-restart resubmission resumes it; the record fails
@@ -424,6 +624,8 @@ func (s *Server) run(j *job) {
 	s.finishLocked(j.key)
 	s.mu.Unlock()
 	switch {
+	case timedOut:
+		s.logf("job %s timed out after %v at %d states", j.key[:12], elapsed.Round(time.Millisecond), res.States)
 	case interrupted:
 		s.logf("job %s interrupted at %d states (checkpoint saved)", j.key[:12], res.States)
 	case err != nil:
@@ -465,7 +667,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j, created, err := s.submit(c)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeReject(w, err, "%v", err)
 		return
 	}
 	s.mu.Lock()
@@ -563,7 +765,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 			// Already-queued cells keep running and persist; the client
 			// resubmits the campaign once the queue drains and the done
 			// cells are cache hits.
-			writeError(w, http.StatusServiceUnavailable, "%v after %d/%d cells", err, i, len(cells))
+			s.writeReject(w, err, "%v after %d/%d cells", err, i, len(cells))
 			return
 		}
 	}
@@ -652,6 +854,9 @@ func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// handleHealthz is liveness only: the process is up and serving. It
+// stays 200 while draining or degraded — use /readyz to decide whether
+// to send work here.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":             true,
@@ -660,15 +865,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+var breakerNames = [...]string{"closed", "half-open", "open"}
+
+// handleReadyz is readiness: 503 + Retry-After while draining (new
+// submissions are rejected anyway), 200 otherwise — with degraded=true
+// while the store breaker is open and verdicts are compute-only.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.baseCtx.Err() != nil
+	queued := s.queued
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", "10")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":  false,
+			"reason": "draining: new submissions are rejected while running jobs checkpoint",
+		})
+		return
+	}
+	state := s.breakerState()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready":       true,
+		"degraded":    state != 0,
+		"breaker":     breakerNames[state],
+		"queue_depth": queued,
+		"in_flight":   s.inFlight.Load(),
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	submitted, deduped, executed, failures := s.submitted, s.deduped, s.executed, s.failures
 	rejected, interrupted := s.rejected, s.interrupted
+	shed, timedOut := s.shed, s.jobsTimedOut
+	storeFailures, breakerTrips := s.storeFailures, s.breakerTrips
+	ckptErrs := s.checkpointErrors
 	hits, misses := s.cacheHits, s.cacheMisses
 	queued, running := s.queued, s.running
 	states, nanos := s.statesExplored, s.exploreNanos
 	ckpts, resumed, statesResumed := s.checkpointsWritten, s.jobsResumed, s.statesResumed
 	s.mu.Unlock()
+	breaker := s.breakerState()
 	hitRatio := 0.0
 	if hits+misses > 0 {
 		hitRatio = float64(hits) / float64(hits+misses)
@@ -684,6 +921,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ccserve_jobs_failed_total %d\n", failures)
 	fmt.Fprintf(w, "ccserve_jobs_rejected_total %d\n", rejected)
 	fmt.Fprintf(w, "ccserve_jobs_interrupted_total %d\n", interrupted)
+	fmt.Fprintf(w, "ccserve_requests_shed_total %d\n", shed)
+	fmt.Fprintf(w, "ccserve_jobs_timed_out_total %d\n", timedOut)
+	fmt.Fprintf(w, "ccserve_store_failures_total %d\n", storeFailures)
+	fmt.Fprintf(w, "ccserve_breaker_trips_total %d\n", breakerTrips)
+	fmt.Fprintf(w, "ccserve_breaker_state %d\n", breaker)
+	fmt.Fprintf(w, "ccserve_quarantined_total %d\n", s.cfg.Store.Quarantined())
+	fmt.Fprintf(w, "ccserve_checkpoint_errors_total %d\n", ckptErrs)
 	fmt.Fprintf(w, "ccserve_checkpoints_written_total %d\n", ckpts)
 	fmt.Fprintf(w, "ccserve_jobs_resumed_total %d\n", resumed)
 	fmt.Fprintf(w, "ccserve_states_resumed_total %d\n", statesResumed)

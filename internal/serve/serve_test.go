@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -33,6 +34,14 @@ func newTestServer(t *testing.T, dir string) *httptest.Server {
 
 func postJSON(t *testing.T, url string, body any) (int, map[string]any, []byte) {
 	t.Helper()
+	resp, v, raw := postResp(t, url, body)
+	return resp.StatusCode, v, raw
+}
+
+// postResp is postJSON keeping the response, for header assertions
+// (the body is already consumed and closed).
+func postResp(t *testing.T, url string, body any) (*http.Response, map[string]any, []byte) {
+	t.Helper()
 	data, err := json.Marshal(body)
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +54,20 @@ func postJSON(t *testing.T, url string, body any) (int, map[string]any, []byte) 
 	raw, _ := io.ReadAll(resp.Body)
 	var v map[string]any
 	json.Unmarshal(raw, &v)
-	return resp.StatusCode, v, raw
+	return resp, v, raw
+}
+
+// wantRetryAfter asserts a shed response carries a positive integer
+// Retry-After — the contract every 429/503 from the server honours.
+func wantRetryAfter(t *testing.T, resp *http.Response) {
+	t.Helper()
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("%d response has no Retry-After header", resp.StatusCode)
+	}
+	if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer", ra)
+	}
 }
 
 func get(t *testing.T, url string) (int, []byte) {
@@ -377,8 +399,9 @@ func TestEvictionRehydration(t *testing.T) {
 	}
 }
 
-// TestQueueBound: submissions past MaxQueue are 503s, counted in the
-// rejected metric, and do not leave job records behind.
+// TestQueueBound: submissions past MaxQueue are shed with 429 + a
+// Retry-After hint, counted in the rejected metric, and do not pin the
+// key against resubmission.
 func TestQueueBound(t *testing.T) {
 	st, err := store.Open(t.TempDir())
 	if err != nil {
@@ -412,10 +435,11 @@ func TestQueueBound(t *testing.T) {
 		t.Fatalf("queued job: %d", code)
 	}
 	rejectedSpec := jobSpec("cc1", "synchronous")
-	code, v, _ := postJSON(t, ts.URL+"/v1/jobs", rejectedSpec)
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("overflow submission: %d %v, want 503", code, v)
+	resp, v, _ := postResp(t, ts.URL+"/v1/jobs", rejectedSpec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: %d %v, want 429", resp.StatusCode, v)
 	}
+	wantRetryAfter(t, resp)
 	if metric(t, ts, "ccserve_jobs_rejected_total") != 1 {
 		t.Fatal("rejection not counted")
 	}
@@ -514,5 +538,231 @@ func TestHealthzAndMetrics(t *testing.T) {
 	waitDone(t, ts.URL, id)
 	if got := metric(t, ts, "ccserve_states_explored_total"); got <= 0 {
 		t.Fatalf("states_explored_total = %v after a job", got)
+	}
+}
+
+// TestReadyz: the readiness surface reports ready/closed-breaker on a
+// healthy server, while /healthz stays a pure liveness probe.
+func TestReadyz(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	code, raw := get(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz: %d %s", code, raw)
+	}
+	var v map[string]any
+	json.Unmarshal(raw, &v)
+	if v["ready"] != true || v["degraded"] != false || v["breaker"] != "closed" {
+		t.Fatalf("readyz: %v", v)
+	}
+}
+
+// TestDrainShedding: once Drain starts, submissions and /readyz answer
+// 503 with Retry-After (readiness fails) while /healthz stays 200
+// (liveness holds) — the split that lets an orchestrator stop routing
+// without killing the pod early.
+func TestDrainShedding(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Store: st, Jobs: 1, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	if !s.Drain(5 * time.Second) {
+		t.Fatal("drain of an idle server did not complete")
+	}
+
+	resp, v, _ := postResp(t, ts.URL+"/v1/jobs", jobSpec("cc1", "central"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: %d %v, want 503", resp.StatusCode, v)
+	}
+	wantRetryAfter(t, resp)
+
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", rresp.StatusCode)
+	}
+	wantRetryAfter(t, rresp)
+
+	if code, raw := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d %s, want 200 (liveness is not readiness)", code, raw)
+	}
+}
+
+// TestInFlightShedding: requests past MaxInFlight are shed with 429 +
+// Retry-After before touching any server state, and the observability
+// endpoints stay exempt.
+func TestInFlightShedding(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Store: st, Jobs: 1, JobWorkers: 1, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Park one request inside the handler by streaming its body slowly:
+	// the JSON decoder blocks until the pipe delivers the spec.
+	pr, pw := io.Pipe()
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", pr)
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	inFlight := func() float64 {
+		_, raw := get(t, ts.URL+"/readyz")
+		var v map[string]any
+		json.Unmarshal(raw, &v)
+		f, _ := v["in_flight"].(float64)
+		return f
+	}
+	for deadline := time.Now().Add(5 * time.Second); inFlight() < 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("parked request never registered in flight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, v, _ := postResp(t, ts.URL+"/v1/jobs", jobSpec("cc1", "central"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap request: %d %v, want 429", resp.StatusCode, v)
+	}
+	wantRetryAfter(t, resp)
+	if metric(t, ts, "ccserve_requests_shed_total") != 1 {
+		t.Fatal("shed request not counted")
+	}
+
+	// Release the parked request; it proceeds normally.
+	data, _ := json.Marshal(jobSpec("cc2", "central"))
+	pw.Write(data)
+	pw.Close()
+	if code := <-firstDone; code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("parked request finished with %d", code)
+	}
+}
+
+// TestJobTimeout: a job past Config.JobTimeout fails with a timeout
+// message instead of running forever — and the server distinguishes it
+// from a shutdown interruption in the metrics.
+func TestJobTimeout(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Store: st, Jobs: 1, JobWorkers: 1,
+		JobTimeout: time.Millisecond, CheckpointEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	heavy := store.JobSpec{Alg: "cc2", Topo: "ring:4", Daemon: "all-subsets", Init: "cc-full"}
+	_, v, _ := postJSON(t, ts.URL+"/v1/jobs", heavy)
+	id, _ := v["id"].(string)
+	final := waitDone(t, ts.URL, id)
+	if final["status"] != serve.StatusFailed || !strings.Contains(raw2s(final["error"]), "timeout") {
+		t.Fatalf("heavy job under 1ms timeout: %v", final)
+	}
+	if metric(t, ts, "ccserve_jobs_timed_out_total") != 1 {
+		t.Fatal("timeout not counted")
+	}
+	if metric(t, ts, "ccserve_jobs_interrupted_total") != 0 {
+		t.Fatal("timeout misclassified as shutdown interruption")
+	}
+}
+
+// TestStoreBreakerComputeOnly: store-write failures trip the breaker,
+// the server keeps serving correct verdicts compute-only (degraded, not
+// down), and a healed store closes the breaker through the half-open
+// probe — the serving layer's stabilization property.
+func TestStoreBreakerComputeOnly(t *testing.T) {
+	dir := t.TempDir()
+	ffs := chaos.NewFaultFS(nil, chaos.Faults{})
+	st, err := store.OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Store: st, Jobs: 1, JobWorkers: 1, CheckpointEvery: -1,
+		BreakerFailures: 1, BreakerCooldown: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Break the disk: every write-side op fails permanently (EACCES),
+	// so the store Put fails fast and trips the 1-failure breaker.
+	ffs.SetFaults(chaos.Faults{WriteErr: 1, Permanent: 1})
+	specA := jobSpec("cc1", "central")
+	_, v, _ := postJSON(t, ts.URL+"/v1/jobs", specA)
+	id, _ := v["id"].(string)
+	if final := waitDone(t, ts.URL, id); final["status"] != serve.StatusDone || final["verdict"] != "verified" {
+		t.Fatalf("job under a broken store must still verify from memory: %v", final)
+	}
+	if metric(t, ts, "ccserve_store_failures_total") < 1 {
+		t.Fatal("store failure not counted")
+	}
+	if metric(t, ts, "ccserve_breaker_trips_total") != 1 {
+		t.Fatal("breaker did not trip")
+	}
+
+	// While open: jobs complete compute-only, nothing touches the disk.
+	specB := jobSpec("cc1", "synchronous")
+	_, v, _ = postJSON(t, ts.URL+"/v1/jobs", specB)
+	id, _ = v["id"].(string)
+	if final := waitDone(t, ts.URL, id); final["status"] != serve.StatusDone {
+		t.Fatalf("compute-only job: %v", final)
+	}
+
+	// Heal the disk; after the cooldown the next job's Put is the
+	// half-open probe and closes the breaker.
+	ffs.SetFaults(chaos.Faults{})
+	closed := false
+	for i, deadline := 0, time.Now().Add(15*time.Second); !closed && time.Now().Before(deadline); i++ {
+		time.Sleep(100 * time.Millisecond)
+		// Distinct MaxStates → distinct content keys (Seed is
+		// canonicalized away for non-random inits), so every probe is a
+		// fresh job that actually exercises a store Put.
+		probe := store.JobSpec{Alg: "cc1", Topo: "ring:3", Daemon: "central", Init: "legit", MaxStates: 10_000 + i}
+		_, pv, _ := postJSON(t, ts.URL+"/v1/jobs", probe)
+		pid, _ := pv["id"].(string)
+		waitDone(t, ts.URL, pid)
+		_, raw := get(t, ts.URL+"/readyz")
+		var rv map[string]any
+		json.Unmarshal(raw, &rv)
+		closed = rv["breaker"] == "closed"
+	}
+	if !closed {
+		t.Fatal("breaker never closed after the store healed")
+	}
+	if metric(t, ts, "ccserve_breaker_state") != 0 {
+		t.Fatal("breaker state gauge should read closed")
+	}
+	// The compute-only verdict was never persisted: resubmitting B on a
+	// healed store recomputes (correctly) rather than hitting the cache.
+	if _, _, hit := st.Get(specB.Canonical()); hit {
+		t.Fatal("compute-only job leaked a store entry while the breaker was open")
 	}
 }

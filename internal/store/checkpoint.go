@@ -1,11 +1,15 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/chaos"
 )
 
 // Checkpoint is the handle for one job's checkpoint blob — the
@@ -16,18 +20,19 @@ import (
 // instead of restarting, and the final verdict is byte-identical to an
 // uninterrupted run. A checkpoint is scratch, not truth: once the
 // job's verdict entry exists the checkpoint is dead weight, deleted on
-// completion and garbage-collected (GCCheckpoints) if a crash orphaned
-// it.
+// completion, garbage-collected (GCCheckpoints) if a crash orphaned
+// it, and quarantined (Quarantine) if the explorer rejects its bytes.
 //
-// Checkpoint implements explore.Checkpointer (Load/Save) plus Delete;
-// obtain it from Store.Checkpoint.
+// Checkpoint implements explore.Checkpointer (Load/Save) plus Delete
+// and Quarantine; obtain it from Store.Checkpoint.
 type Checkpoint struct {
+	st   *Store
 	path string
 }
 
 // Checkpoint returns the checkpoint handle for a content key.
 func (st *Store) Checkpoint(key string) *Checkpoint {
-	return &Checkpoint{path: st.checkpointPath(key)}
+	return &Checkpoint{st: st, path: st.checkpointPath(key)}
 }
 
 func (st *Store) checkpointPath(key string) string {
@@ -39,39 +44,66 @@ func (st *Store) checkpointPath(key string) string {
 }
 
 // Load opens the stored snapshot; (nil, nil) when none exists.
-// Corruption is the explorer's problem to reject (it checksums the
-// stream); Load just hands over the bytes.
+// Transient open failures are retried; corruption is the explorer's
+// problem to reject (it checksums the stream), at which point it
+// calls Quarantine and restarts from scratch.
 func (c *Checkpoint) Load() (io.ReadCloser, error) {
-	f, err := os.Open(c.path)
-	if os.IsNotExist(err) {
+	var f chaos.File
+	err := chaos.Retry(context.Background(), c.st.Retry, func() error {
+		var oerr error
+		f, oerr = c.st.fs.Open(c.path)
+		if oerr != nil && errors.Is(oerr, fs.ErrNotExist) {
+			f = nil
+			return nil
+		}
+		return oerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if f == nil {
 		return nil, nil
 	}
-	return f, err
+	return f, nil
 }
 
 // Save persists a snapshot atomically: write streams into a temp file
-// in the same directory, which is renamed over the previous checkpoint
-// only after a successful write — a crash mid-Save leaves the previous
-// checkpoint intact, and a reader never observes a torn file.
+// in the same directory, which is fsynced and renamed over the
+// previous checkpoint only after a successful write — a crash or
+// fault mid-Save leaves the previous checkpoint intact, and a reader
+// never observes a torn file. Transient failures retry the whole
+// write (the write callback must be restartable, which snapshot
+// serialization is: it reads current explorer state).
 func (c *Checkpoint) Save(write func(w io.Writer) error) error {
-	if err := os.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
+	return chaos.Retry(context.Background(), c.st.Retry, func() error {
+		return c.saveOnce(write)
+	})
+}
+
+func (c *Checkpoint) saveOnce(write func(w io.Writer) error) error {
+	if err := c.st.fs.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".ckpt-*")
+	tmp, err := c.st.fs.CreateTemp(filepath.Dir(c.path), ".ckpt-*")
 	if err != nil {
 		return err
 	}
 	if err := write(tmp); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		c.st.fs.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		c.st.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		c.st.fs.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.st.fs.Rename(tmp.Name(), c.path); err != nil {
+		c.st.fs.Remove(tmp.Name())
 		return err
 	}
 	return nil
@@ -80,11 +112,22 @@ func (c *Checkpoint) Save(write func(w io.Writer) error) error {
 // Delete removes the checkpoint (idempotent; called when the job's
 // verdict is persisted).
 func (c *Checkpoint) Delete() error {
-	err := os.Remove(c.path)
-	if os.IsNotExist(err) {
+	err := c.st.fs.Remove(c.path)
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	return err
+}
+
+// Quarantine moves a checkpoint the explorer rejected as corrupt into
+// the store's quarantine directory; the next run starts from scratch
+// and converges to the same verdict. Idempotent and best-effort.
+func (c *Checkpoint) Quarantine() error {
+	if _, err := c.st.fs.Stat(c.path); err != nil {
+		return nil // already gone
+	}
+	c.st.quarantine(c.path, "checkpoint rejected by explorer")
+	return nil
 }
 
 // GCCheckpoints removes orphaned checkpoint blobs: snapshots whose
@@ -102,7 +145,7 @@ func (st *Store) GCCheckpoints() int {
 		base := filepath.Base(path)
 		if strings.HasPrefix(base, ".ckpt-") {
 			// Abandoned temp file from a crashed Save.
-			if os.Remove(path) == nil {
+			if st.fs.Remove(path) == nil {
 				removed++
 			}
 			return nil
@@ -112,7 +155,7 @@ func (st *Store) GCCheckpoints() int {
 			return nil
 		}
 		if _, err := os.Stat(st.path(key)); err == nil {
-			if os.Remove(path) == nil {
+			if st.fs.Remove(path) == nil {
 				removed++
 			}
 		}

@@ -11,24 +11,35 @@
 //
 // Layout: DIR/<kk>/<key>.json where kk is the first two hex digits of
 // the key (fan-out so directories stay small). Each entry embeds the
-// format version and the canonical spec it answers; Get treats a
-// version mismatch, a spec mismatch (hash collision or format drift)
-// or a corrupted file as a miss, never an error — the cache is an
-// accelerator, not a source of truth. Writes are atomic
-// (temp file + rename in the same directory), so a killed campaign
+// format version, the canonical spec it answers and an FNV-64a
+// checksum over spec+result; Get treats a version mismatch, a spec
+// mismatch (hash collision or format drift) or a corrupted file as a
+// miss, never an error — the cache is an accelerator, not a source of
+// truth. A corrupted entry (bad JSON, checksum mismatch) is
+// additionally moved to DIR/quarantine/ so it is preserved for
+// diagnosis but never consulted again. Writes are atomic
+// (temp file + fsync + rename in the same directory) and transient
+// write failures (ENOSPC, EIO) are retried under a bounded
+// exponential-backoff policy, so a killed or fault-ridden campaign
 // leaves only complete entries behind and a concurrent reader never
-// observes a torn file.
+// observes a torn file. All file I/O goes through a chaos.FS, which
+// is how the chaos battery drives this package through injected
+// faults (see docs/robustness.md).
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/explore"
 )
 
@@ -42,7 +53,16 @@ import (
 // between a resumed and an uninterrupted run, and between an
 // out-of-core and an in-memory one — so it cannot be part of
 // byte-identical verdict bytes).
-const Version = 2
+//
+// v3: entries carry an FNV-64a checksum over canonical spec + result
+// bytes, so silent corruption at rest (a bit flip inside otherwise
+// valid JSON) is detected and quarantined instead of served as a
+// wrong verdict.
+const Version = 3
+
+// QuarantineDir is the subdirectory of the cache root that corrupted
+// artifacts are moved into.
+const QuarantineDir = "quarantine"
 
 // JobSpec identifies one exhaustive-verification job. The zero value
 // of every optional field means "the default"; Canonical resolves
@@ -213,7 +233,20 @@ func (s JobSpec) String() string {
 type entry struct {
 	Version int             `json:"version"`
 	Spec    JobSpec         `json:"spec"`
+	Sum     string          `json:"sum"`
 	Result  json.RawMessage `json:"result"`
+}
+
+// entrySum is the integrity checksum persisted with every entry:
+// FNV-64a over the canonical spec JSON followed by the result bytes.
+// It is an anti-corruption seal (one flipped bit anywhere in spec or
+// result breaks it), not a cryptographic commitment — the SHA-256
+// content key already plays that role for the spec.
+func entrySum(specJSON, result []byte) string {
+	h := fnv.New64a()
+	h.Write(specJSON)
+	h.Write(result)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Store is a content-addressed verdict cache rooted at a directory.
@@ -221,43 +254,130 @@ type entry struct {
 // multiple processes (atomicity comes from same-directory rename).
 type Store struct {
 	dir string
+	fs  chaos.FS
+	// Retry bounds the transient-failure retry loop around durable
+	// writes and reads. Defaults to chaos.DefaultPolicy.
+	Retry chaos.Policy
+	// Log, when set, receives one line per quarantined artifact and
+	// per exhausted retry (printf-style).
+	Log func(format string, args ...any)
+
+	quarantined atomic.Int64
 }
 
-// Open creates (if needed) and returns the store rooted at dir.
-func Open(dir string) (*Store, error) {
+// Open creates (if needed) and returns the store rooted at dir, doing
+// I/O directly against the host filesystem.
+func Open(dir string) (*Store, error) { return OpenFS(dir, nil) }
+
+// OpenFS is Open with an explicit filesystem (nil = the host
+// filesystem); the chaos battery passes a chaos.FaultFS here.
+func OpenFS(dir string, fsys chaos.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: %v", err)
+	if fsys == nil {
+		fsys = chaos.OS
 	}
-	return &Store{dir: dir}, nil
+	st := &Store{dir: dir, fs: fsys, Retry: chaos.DefaultPolicy}
+	if err := chaos.Retry(context.Background(), st.Retry, func() error {
+		return fsys.MkdirAll(dir, 0o755)
+	}); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return st, nil
 }
 
 // Dir returns the cache root.
 func (st *Store) Dir() string { return st.dir }
 
+// FS returns the filesystem the store does its I/O through.
+func (st *Store) FS() chaos.FS { return st.fs }
+
+// Quarantined returns the number of corrupted artifacts this handle
+// has moved to the quarantine directory.
+func (st *Store) Quarantined() int64 { return st.quarantined.Load() }
+
+func (st *Store) logf(format string, args ...any) {
+	if st.Log != nil {
+		st.Log(format, args...)
+	}
+}
+
 func (st *Store) path(key string) string {
 	return filepath.Join(st.dir, key[:2], key+".json")
+}
+
+// quarantine moves a corrupted artifact out of the live tree into
+// DIR/quarantine/ (falling back to deletion if even that fails), so it
+// is preserved for diagnosis but never read again. Best-effort: the
+// caller has already decided the artifact is a miss.
+func (st *Store) quarantine(path, detail string) {
+	dst := filepath.Join(st.dir, QuarantineDir, filepath.Base(path))
+	// Don't clobber earlier evidence: the same key can be corrupted,
+	// repaired and corrupted again, and each specimen matters.
+	for i := 1; ; i++ {
+		if _, err := st.fs.Stat(dst); err != nil {
+			break
+		}
+		dst = filepath.Join(st.dir, QuarantineDir, fmt.Sprintf("%s.%d", filepath.Base(path), i))
+	}
+	// Quarantine must work on the degraded disk that corrupted the
+	// artifact in the first place, so tolerate transient failures.
+	err := chaos.Retry(context.Background(), st.Retry, func() error {
+		if err := st.fs.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		return st.fs.Rename(path, dst)
+	})
+	if err != nil {
+		st.fs.Remove(path)
+	}
+	st.quarantined.Add(1)
+	st.logf("store: quarantined %s (%s)", path, detail)
+}
+
+// readEntry reads and structurally validates the entry file for a
+// key: JSON must parse, the version must match and the checksum must
+// cover spec+result. A missing file is (zero, false) with corrupt ==
+// false; a present-but-damaged file is quarantined and reported with
+// corrupt == true. A version mismatch is a legitimate miss (format
+// drift), never quarantined.
+func (st *Store) readEntry(key string) (e entry, ok, corrupt bool) {
+	path := st.path(key)
+	var data []byte
+	err := chaos.Retry(context.Background(), st.Retry, func() error {
+		var rerr error
+		data, rerr = st.fs.ReadFile(path)
+		return rerr
+	})
+	if err != nil {
+		return entry{}, false, false
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		st.quarantine(path, "undecodable entry: "+err.Error())
+		return entry{}, false, true
+	}
+	if e.Version != Version {
+		return entry{}, false, false // format drift: invalidated, not corrupt
+	}
+	specJSON, _ := json.Marshal(e.Spec)
+	if entrySum(specJSON, e.Result) != e.Sum {
+		st.quarantine(path, "checksum mismatch")
+		return entry{}, false, true
+	}
+	return e, true, false
 }
 
 // Get looks the spec's verdict up. On a hit it returns the decoded
 // result plus the exact stored result bytes (so cached verdicts can be
 // served byte-identically to freshly computed ones). Version
 // mismatches, spec mismatches and unreadable or corrupted entries are
-// misses, not errors.
+// misses, not errors; corrupted entries are additionally quarantined.
 func (st *Store) Get(spec JobSpec) (*explore.Result, []byte, bool) {
 	c := spec.Canonical()
-	data, err := os.ReadFile(st.path(c.Key()))
-	if err != nil {
+	e, ok, _ := st.readEntry(c.Key())
+	if !ok {
 		return nil, nil, false
-	}
-	var e entry
-	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, nil, false // corrupted: recompute
-	}
-	if e.Version != Version {
-		return nil, nil, false // format drift: invalidated
 	}
 	want, _ := json.Marshal(c)
 	got, _ := json.Marshal(e.Spec.Canonical())
@@ -277,56 +397,79 @@ func (st *Store) Get(spec JobSpec) (*explore.Result, []byte, bool) {
 // JSON — compact so the raw result passes through the entry wrapper
 // verbatim (an indented wrapper would re-indent it) — so identical
 // results, e.g. the same job explored at different worker counts,
-// round-trip byte-identically.
+// round-trip byte-identically. Transient write failures are retried
+// under st.Retry; the returned error, if any, is classifiable with
+// chaos.Classify.
 func (st *Store) Put(spec JobSpec, res *explore.Result) ([]byte, error) {
 	c := spec.Canonical()
 	raw, err := json.Marshal(res)
 	if err != nil {
 		return nil, fmt.Errorf("store: marshal result: %v", err)
 	}
-	data, err := json.Marshal(entry{Version: Version, Spec: c, Result: raw})
+	specJSON, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal spec: %v", err)
+	}
+	data, err := json.Marshal(entry{Version: Version, Spec: c, Sum: entrySum(specJSON, raw), Result: raw})
 	if err != nil {
 		return nil, fmt.Errorf("store: marshal entry: %v", err)
 	}
 	path := st.path(c.Key())
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, fmt.Errorf("store: %v", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	err = chaos.Retry(context.Background(), st.Retry, func() error {
+		return st.writeAtomic(path, append(data, '\n'))
+	})
 	if err != nil {
-		return nil, fmt.Errorf("store: %v", err)
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("store: %v", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("store: %v", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("store: %v", err)
+		st.logf("store: put %s failed: %s", c.Key()[:12], chaos.Describe(err))
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	return raw, nil
+}
+
+// writeAtomic lands data at path via temp file + fsync + rename in the
+// same directory: a crash or injected fault at any point leaves either
+// the previous content or the new content, never a torn file.
+func (st *Store) writeAtomic(path string, data []byte) error {
+	if err := st.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := st.fs.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		st.fs.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		// Failed fsync means the bytes may not be durable: the temp file
+		// is poison, not a candidate for rename.
+		tmp.Close()
+		st.fs.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		st.fs.Remove(tmp.Name())
+		return err
+	}
+	if err := st.fs.Rename(tmp.Name(), path); err != nil {
+		st.fs.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // GetByKey reads the entry stored under a content key directly —
 // the serving layer evicts completed in-memory jobs and re-hydrates
 // them from the store by their job id, which IS the key. The embedded
-// spec must canonicalize back to the key (and the version must match);
-// anything else reads as a miss.
+// spec must canonicalize back to the key (and the version and checksum
+// must match); anything else reads as a miss.
 func (st *Store) GetByKey(key string) (JobSpec, *explore.Result, []byte, bool) {
 	if len(key) < 3 {
 		return JobSpec{}, nil, nil, false
 	}
-	data, err := os.ReadFile(st.path(key))
-	if err != nil {
-		return JobSpec{}, nil, nil, false
-	}
-	var e entry
-	if json.Unmarshal(data, &e) != nil || e.Version != Version {
+	e, ok, _ := st.readEntry(key)
+	if !ok {
 		return JobSpec{}, nil, nil, false
 	}
 	c := e.Spec.Canonical()
@@ -341,14 +484,49 @@ func (st *Store) GetByKey(key string) (JobSpec, *explore.Result, []byte, bool) {
 }
 
 // Len counts the complete entries currently in the store (a
-// diagnostic; it does not validate them).
+// diagnostic; it does not validate them). Quarantined artifacts are
+// not entries and are excluded.
 func (st *Store) Len() int {
 	n := 0
+	quarantine := filepath.Join(st.dir, QuarantineDir)
 	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && d.IsDir() && path == quarantine {
+			return filepath.SkipDir
+		}
 		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasPrefix(filepath.Base(path), ".") {
 			n++
 		}
 		return nil
 	})
 	return n
+}
+
+// GCTemp removes abandoned temp files left anywhere under the cache
+// root by a killed process — .put-* (verdict writes), .ckpt-*
+// (checkpoint writes) and *.tmp — and returns the number removed.
+// Temp files are invisible to every read path, so this is pure
+// hygiene and safe to run concurrently with live jobs only at
+// startup (a live Put's in-flight temp file could be swept).
+func (st *Store) GCTemp() int {
+	removed := 0
+	quarantine := filepath.Join(st.dir, QuarantineDir)
+	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if path == quarantine {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		base := filepath.Base(path)
+		if strings.HasPrefix(base, ".put-") || strings.HasPrefix(base, ".ckpt-") || strings.HasSuffix(base, ".tmp") {
+			if st.fs.Remove(path) == nil {
+				removed++
+			}
+		}
+		return nil
+	})
+	return removed
 }
