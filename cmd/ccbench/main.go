@@ -229,6 +229,14 @@ func runExploreBench(jsonPath, checkPath string) error {
 				return fmt.Errorf("explore bench %s: speedup regressed >2x: %.2fx now vs %.2fx committed",
 					want.Workload, got.Speedup, want.Speedup)
 			}
+			// Spill cells measure the out-of-core tax against the same
+			// engine in-memory, a ratio pinned near 1.0 — the relative
+			// /2 rule alone would let it rot to half speed unnoticed, so
+			// they also carry an absolute floor.
+			if strings.Contains(want.Workload, "/spill-") && got.Speedup < 0.8 {
+				return fmt.Errorf("explore bench %s: spill-mode throughput ratio %.2fx below the 0.80x floor",
+					want.Workload, got.Speedup)
+			}
 		}
 		fmt.Printf("explore bench: no >2x speedup regression vs %s\n", checkPath)
 	}

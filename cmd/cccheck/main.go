@@ -120,6 +120,7 @@ func main() {
 		maxN       = flag.Int("max-n", 14, "random mode: professor bound for random scenarios")
 		traces     = flag.Int("traces", 3, "max violations to collect and print per run")
 		workers    = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
+		scalar     = flag.Bool("scalar", false, "force the scalar (non-batch) expansion path; the verdict is byte-identical by contract — this flag exists for differential drills and perf comparison")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -180,7 +181,7 @@ func main() {
 	}
 	exec := execConfig{
 		cacheDir: *cacheDir, memBudget: budget, checkpointEvery: *ckptEvery,
-		spillDir: *spillDir, fs: fsys,
+		spillDir: *spillDir, fs: fsys, scalar: *scalar,
 	}
 
 	switch *mode {
@@ -258,6 +259,7 @@ type execConfig struct {
 	checkpointEvery int
 	spillDir        string
 	fs              chaos.FS // -chaos fault injector (nil = host filesystem)
+	scalar          bool     // -scalar: force the non-batch expansion path
 }
 
 // runExhaustive checks one (alg, topo, init) instance under each of the
@@ -306,7 +308,7 @@ func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalar
 			eo := campaign.ExecOptions{
 				Workers: par.Workers, Stats: &stats,
 				MemBudget: exec.memBudget, SpillDir: exec.spillDir,
-				FS: exec.fs,
+				FS: exec.fs, Scalar: exec.scalar,
 			}
 			if st != nil && exec.checkpointEvery >= 0 {
 				eo.Checkpoints = st
@@ -418,6 +420,7 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 		MemBudget: exec.memBudget,
 		SpillDir:  exec.spillDir,
 		FS:        exec.fs,
+		Scalar:    exec.scalar,
 		Progress: func(ev campaign.Event) {
 			resumed := ""
 			if ev.Resumed > 0 {

@@ -312,6 +312,9 @@ type RunOptions struct {
 	// (bytes; 0 = fully in-memory), spilling to SpillDir past it.
 	MemBudget int64
 	SpillDir  string
+	// Scalar forces every cell down the scalar expansion path
+	// (see ExecOptions.Scalar).
+	Scalar bool
 	// Retries is the per-cell retry budget for recoverable failures
 	// (transient I/O, quarantined corruption): a failing cell is
 	// re-executed up to this many extra times, with exponential
@@ -381,7 +384,7 @@ func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOp
 				eo := ExecOptions{
 					Workers: opts.JobWorkers, Stats: &stats,
 					MemBudget: opts.MemBudget, SpillDir: opts.SpillDir,
-					FS: opts.FS,
+					FS: opts.FS, Scalar: opts.Scalar,
 				}
 				if st != nil && opts.Checkpoint {
 					eo.Checkpoints = st

@@ -189,6 +189,12 @@ type ExecOptions struct {
 	// classified error, or quarantine an artifact — never change the
 	// verdict bytes.
 	FS chaos.FS
+	// Scalar forces the scalar expansion path even when the model
+	// declares a batch kernel (explore.Options.DisableBatch).
+	// Result-irrelevant by the batch pipeline's byte-identity
+	// contract; differential drills use it to pit the two paths
+	// against each other on cached cells.
+	Scalar bool
 }
 
 // ErrInterrupted reports that a job was cancelled mid-exploration; if
@@ -235,6 +241,7 @@ func ExecuteOpts(ctx context.Context, spec store.JobSpec, o ExecOptions) (*explo
 		FS:              o.FS,
 		CheckpointEvery: o.CheckpointEvery,
 		Stats:           o.Stats,
+		DisableBatch:    o.Scalar,
 	}
 	if o.Workers <= 0 {
 		opts.Workers = 1

@@ -47,14 +47,14 @@ type exploreWorkload struct {
 // (central and all-subsets branching) and a deep dedup-bound token-ring
 // cell where the visited-set and codec dominate.
 func exploreBenchWorkloads() []exploreWorkload {
-	ccCell := func(variant core.Variant, h *hypergraph.H, init explore.InitMode, mode sim.SelectionMode) func() (func(bool) *explore.Result, error) {
+	ccCell := func(variant core.Variant, h *hypergraph.H, init explore.InitMode, mode sim.SelectionMode, maxStates int) func() (func(bool) *explore.Result, error) {
 		return func() (func(bool) *explore.Result, error) {
 			factory, err := explore.CC(variant, h, explore.CCOptions{Init: init})
 			if err != nil {
 				return nil, err
 			}
 			opts := explore.Options{
-				Mode: mode, MaxStates: 6_000_000,
+				Mode: mode, MaxStates: maxStates,
 				CheckDeadlock: true, CheckClosure: true,
 			}
 			return func(ref bool) *explore.Result {
@@ -90,14 +90,14 @@ func exploreBenchWorkloads() []exploreWorkload {
 	// verdicts — the out-of-core path must change nothing but the
 	// footprint). Expect a speedup near (slightly under) 1.0 and a
 	// bytes ratio well under 1.0.
-	spillCell := func(variant core.Variant, h *hypergraph.H, init explore.InitMode, mode sim.SelectionMode, budget int64) func() (func(bool) *explore.Result, error) {
+	spillCell := func(variant core.Variant, h *hypergraph.H, init explore.InitMode, mode sim.SelectionMode, maxStates int, budget int64) func() (func(bool) *explore.Result, error) {
 		return func() (func(bool) *explore.Result, error) {
 			factory, err := explore.CC(variant, h, explore.CCOptions{Init: init})
 			if err != nil {
 				return nil, err
 			}
 			opts := explore.Options{
-				Mode: mode, MaxStates: 6_000_000,
+				Mode: mode, MaxStates: maxStates,
 				CheckDeadlock: true, CheckClosure: true,
 			}
 			return func(ref bool) *explore.Result {
@@ -110,11 +110,21 @@ func exploreBenchWorkloads() []exploreWorkload {
 		}
 	}
 	return []exploreWorkload{
-		{"cc2/ring:3/cc-full/central", ccCell(core.CC2, hypergraph.CommitteeRing(3), explore.InitCCFull, sim.SelectCentral)},
-		{"cc2/ring:3/cc-full/all-subsets", ccCell(core.CC2, hypergraph.CommitteeRing(3), explore.InitCCFull, sim.SelectAllSubsets)},
-		{"cc2/ring:4/cc/central", ccCell(core.CC2, hypergraph.CommitteeRing(4), explore.InitCC, sim.SelectCentral)},
+		{"cc2/ring:3/cc-full/central", ccCell(core.CC2, hypergraph.CommitteeRing(3), explore.InitCCFull, sim.SelectCentral, 6_000_000)},
+		{"cc2/ring:3/cc-full/all-subsets", ccCell(core.CC2, hypergraph.CommitteeRing(3), explore.InitCCFull, sim.SelectAllSubsets, 6_000_000)},
+		{"cc2/ring:4/cc/central", ccCell(core.CC2, hypergraph.CommitteeRing(4), explore.InitCC, sim.SelectCentral, 6_000_000)},
+		// The two batch-pipeline showcase cells: overlapping-triples
+		// topologies under all-subsets branching are where the columnar
+		// kernel, mask enumeration and incremental spec checks compound
+		// (deep selection fan-out, wide per-state check surface). Bounded
+		// to 1M states so the oracle side stays tractable.
+		{"cc1/triples:3/legit/all-subsets/1M", ccCell(core.CC1, hypergraph.ChainOfTriples(3), explore.InitLegit, sim.SelectAllSubsets, 1_000_000)},
+		{"cc3/triples:3/legit/all-subsets/1M", ccCell(core.CC3, hypergraph.ChainOfTriples(3), explore.InitLegit, sim.SelectAllSubsets, 1_000_000)},
 		{"token-ring/ring:7/central/1M", tokenCell(7, 1_000_000)},
-		{"cc2/ring:4/cc/central/spill-1MiB", spillCell(core.CC2, hypergraph.CommitteeRing(4), explore.InitCC, sim.SelectCentral, 1<<20)},
+		// Bounded cc-full keeps each spill run around two seconds, so the
+		// ratio measures steady-state out-of-core throughput rather than
+		// fixed spill setup.
+		{"cc2/ring:4/cc-full/central/600k/spill-1MiB", spillCell(core.CC2, hypergraph.CommitteeRing(4), explore.InitCCFull, sim.SelectCentral, 600_000, 1<<20)},
 	}
 }
 

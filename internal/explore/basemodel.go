@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/hypergraph"
+	"repro/internal/sim"
 )
 
 // Baseline adapts the related-work baselines (dining, token-ring) to the
@@ -37,6 +38,19 @@ func Baseline(kind baseline.Kind, h *hypergraph.H, disc int) (func() *Model[base
 		a := baseline.New(kind, h, disc)
 		prog := a.Program()
 		n := prog.NumProcs
+		// Batch kernel: the generic scalar kernel — no columnar
+		// speedups, but the same bulk apply-once/patch-per-selection
+		// expansion structure, which keeps the baselines in the batch
+		// differential battery. Requires the incremental codec (every
+		// per-process block ≤ 64 bits) and an enabled set that fits a
+		// word; kernels are per-worker scratch, so each gets a fresh
+		// program.
+		var kernel func() sim.BatchKernel[baseline.BState]
+		if layout.incr && n <= 64 {
+			kernel = func() sim.BatchKernel[baseline.BState] {
+				return sim.NewProgramKernel(baseline.New(kind, h, disc).Program())
+			}
+		}
 		return &Model[baseline.BState]{
 			Name:  name,
 			Prog:  prog,
@@ -55,6 +69,7 @@ func Baseline(kind baseline.Kind, h *hypergraph.H, disc int) (func() *Model[base
 			},
 			Render: func(cfg []baseline.BState) string { return renderBase(a, cfg) },
 			Syms:   syms,
+			Kernel: kernel,
 		}
 	}, nil
 }

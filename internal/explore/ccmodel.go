@@ -149,8 +149,31 @@ func CC(variant core.Variant, h *hypergraph.H, opts CCOptions) (func() *Model[co
 			Render:  func(cfg []core.State) string { return renderCC(alg, cfg) },
 			Syms:    syms,
 			Deps:    func(p int) []int { return deps[p] },
+			Kernel:  ccKernel(variant, h, opts),
 		}
 	}, nil
+}
+
+// ccKernel picks the batch kernel for the model: the columnar
+// core.Kernel for the pristine program, the generic scalar kernel when
+// a mutation rewrote guards (core.NewKernel hardcodes the transcribed
+// guard semantics and must not silently shadow a deliberately broken
+// program — its action-name validation would also reject skip-stab
+// outright).
+func ccKernel(variant core.Variant, h *hypergraph.H, opts CCOptions) func() sim.BatchKernel[core.State] {
+	if h.N() > 64 {
+		return nil
+	}
+	return func() sim.BatchKernel[core.State] {
+		alg, prog := newCCProg(variant, h)
+		if opts.Mutation != "" {
+			if err := MutateCC(alg, prog, opts.Mutation); err != nil {
+				panic(err) // validated by CC
+			}
+			return sim.NewProgramKernel(prog)
+		}
+		return core.NewKernel(alg, prog)
+	}
 }
 
 // newCCProg builds an Alg with the frozen eager environment and

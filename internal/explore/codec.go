@@ -49,6 +49,21 @@ func patchWords(dst []uint64, off, width int, payload uint64) {
 	}
 }
 
+// extractWords reads the width-bit field at bit offset off — the exact
+// inverse of patchWords, used by the fuzz battery to cross-check
+// EncodeProc payloads against full encodings.
+func extractWords(src []uint64, off, width int) uint64 {
+	word, sh := off>>6, off&63
+	v := src[word] >> sh
+	if sh+width > 64 {
+		v |= src[word+1] << (64 - sh)
+	}
+	if width < 64 {
+		v &= uint64(1)<<width - 1
+	}
+	return v
+}
+
 // StringCodec is the PR 2 byte-per-field state codec, kept as the
 // differential oracle (Reference) and performance baseline; the binary
 // Codec is the engine's.

@@ -67,6 +67,42 @@ func sameSel(a, b []int) bool {
 	return true
 }
 
+// assertThreeWay is the widened battery cell: the batch pipeline, the
+// scalar engine (DisableBatch) and the frozen PR 2 oracle must agree.
+// The oracle comparison is field-by-field (its trace keys are nil);
+// batch vs scalar vs every worker count is full marshalled-report
+// byte-equality — counterexample traces, truncation flags and all.
+// Returns the batch result for cell-specific pinned assertions.
+func assertThreeWay[S sim.Cloneable[S]](t *testing.T, factory func() *Model[S], opts Options) *Result {
+	t.Helper()
+	oracle := Reference(factory, opts)
+	var batch *Result
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		for _, scalar := range []bool{false, true} {
+			o := opts
+			o.Workers = workers
+			o.DisableBatch = scalar
+			res := Explore(factory, o)
+			if workers == 1 && !scalar {
+				batch = res
+				assertSameResult(t, res, oracle)
+			}
+			data, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = data
+			} else if string(data) != string(ref) {
+				t.Fatalf("report (workers=%d scalar=%v) differs from batch workers=1:\n%s\nvs\n%s",
+					workers, scalar, data, ref)
+			}
+		}
+	}
+	return batch
+}
+
 func TestDifferentialBattery(t *testing.T) {
 	variants := map[string]core.Variant{"cc1": core.CC1, "cc2": core.CC2, "cc3": core.CC3}
 	topos := map[string]func() *hypergraph.H{
@@ -126,7 +162,7 @@ func TestDifferentialBattery(t *testing.T) {
 					if mode == sim.SelectSynchronous {
 						opts.CheckConvergence = true
 					}
-					assertSameResult(t, Explore(factory, opts), Reference(factory, opts))
+					assertThreeWay(t, factory, opts)
 				})
 			}
 		}
@@ -149,8 +185,7 @@ func TestDifferentialBattery(t *testing.T) {
 					opts := Options{
 						Mode: mode, MaxStates: 60_000, MaxViolations: 2, CheckDeadlock: true,
 					}
-					a, b := Explore(factory, opts), Reference(factory, opts)
-					assertSameResult(t, a, b)
+					a := assertThreeWay(t, factory, opts)
 					if kind == baseline.Dining && topoName == "ring:3" && modeName == "central" && a.Deadlocks == 0 {
 						t.Fatal("pinned dining deadlock on ring:3 disappeared from both engines")
 					}
@@ -178,7 +213,7 @@ func TestDifferentialMutations(t *testing.T) {
 		opts := Options{
 			Mode: tc.mode, CheckDeadlock: true, CheckConvergence: tc.converge, MaxViolations: 3,
 		}
-		assertSameResult(t, Explore(factory, opts), Reference(factory, opts))
+		assertThreeWay(t, factory, opts)
 	}
 }
 
@@ -188,8 +223,7 @@ func TestDifferentialTruncation(t *testing.T) {
 	factory := mustCC(t, core.CC2, hypergraph.CommitteeRing(3), CCOptions{Init: InitCCFull})
 	for _, maxStates := range []int{500, 46656, 50_000} {
 		opts := Options{Mode: sim.SelectCentral, MaxStates: maxStates, CheckDeadlock: true}
-		a, b := Explore(factory, opts), Reference(factory, opts)
-		assertSameResult(t, a, b)
+		a := assertThreeWay(t, factory, opts)
 		if a.States > maxStates {
 			t.Fatalf("MaxStates=%d exceeded: %d states", maxStates, a.States)
 		}
@@ -197,14 +231,15 @@ func TestDifferentialTruncation(t *testing.T) {
 }
 
 // TestParallelReportsByteIdentical is the -j property: marshalled
-// reports at one, two and eight workers are byte-identical, including
-// counterexample traces from a mutated run.
+// reports at one, two and eight workers are byte-identical — from both
+// the batch pipeline and the scalar engine — including counterexample
+// traces from a mutated run.
 func TestParallelReportsByteIdentical(t *testing.T) {
-	run := func(workers int, mutation string, init InitMode) []byte {
+	run := func(workers int, scalar bool, mutation string, init InitMode) []byte {
 		factory := mustCC(t, core.CC2, hypergraph.CommitteeRing(3), CCOptions{Init: init, Mutation: mutation})
 		res := Explore(factory, Options{
 			Mode: sim.SelectAllSubsets, CheckDeadlock: true, CheckClosure: true,
-			MaxViolations: 4, Workers: workers,
+			MaxViolations: 4, Workers: workers, DisableBatch: scalar,
 		})
 		data, err := json.Marshal(res)
 		if err != nil {
@@ -220,10 +255,16 @@ func TestParallelReportsByteIdentical(t *testing.T) {
 		{"clean", "", InitCC},
 		{"mutated", MutationLeaveEarly, InitLegit},
 	} {
-		ref := run(1, tc.mutation, tc.init)
-		for _, workers := range []int{2, 8} {
-			if got := run(workers, tc.mutation, tc.init); string(got) != string(ref) {
-				t.Fatalf("%s: report at -j %d differs from -j 1:\n%s\nvs\n%s", tc.name, workers, got, ref)
+		ref := run(1, false, tc.mutation, tc.init)
+		for _, workers := range []int{1, 2, 8} {
+			for _, scalar := range []bool{false, true} {
+				if workers == 1 && !scalar {
+					continue
+				}
+				if got := run(workers, scalar, tc.mutation, tc.init); string(got) != string(ref) {
+					t.Fatalf("%s: report at -j %d scalar=%v differs from batch -j 1:\n%s\nvs\n%s",
+						tc.name, workers, scalar, got, ref)
+				}
 			}
 		}
 	}

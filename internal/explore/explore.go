@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"math/rand"
 	"slices"
 	"strings"
@@ -112,6 +113,15 @@ type Model[S sim.Cloneable[S]] struct {
 	// the parent's values elsewhere — the same locality contract the
 	// incremental step engine uses. nil falls back to recomputing all.
 	Deps func(p int) []int
+	// Kernel, if non-nil, returns a fresh sim.BatchKernel for the
+	// model's program, switching expansion to the batch/SoA pipeline
+	// (see batch.go). Called once per worker — a kernel is
+	// single-goroutine scratch. The kernel must reproduce the scalar
+	// guard semantics of Prog exactly (the differential battery checks
+	// this); the pipeline additionally requires Codec.EncodeProc and at
+	// most 64 processes, and is skipped under symmetry reduction, so a
+	// declared Kernel is only an enablement, never an obligation.
+	Kernel func() sim.BatchKernel[S]
 }
 
 // Options bound and parameterize an exploration.
@@ -151,6 +161,12 @@ type Options struct {
 	Symmetry bool
 	// Workers overrides the worker-pool width (0 = par.Workers).
 	Workers int
+	// DisableBatch forces the scalar expansion path even when the model
+	// declares a batch kernel. Result-irrelevant — the batch pipeline is
+	// byte-identical by contract — so, like MemBudget, it is not part of
+	// a job's content key or checkpoint identity; the differential
+	// battery uses it to pit the two paths against each other.
+	DisableBatch bool
 
 	// MemBudget bounds the in-memory footprint of the open queue and
 	// the visited arena (bytes; 0 = fully in-memory). Past the budget
@@ -324,11 +340,67 @@ type workerState[S sim.Cloneable[S]] struct {
 	stateEpoch uint64
 	payEpoch   []uint64
 	payload    []uint64
+
+	// Batch pipeline state (nil bkern = scalar path): the worker's
+	// kernel and the post-state buffer Apply fills per enabled process.
+	bkern batchEval[S]
+	post  []S
+	// changed collects, per selection, the committees whose meets status
+	// differs from the parent's — the only edges the event check must
+	// judge. conflict[e] is the bitmask of committees conflicting with e
+	// (nil when the edge count exceeds a word): a state needs the full
+	// exclusion scan only if some meeting edge's conflict mask intersects
+	// the meets mask.
+	changed  []int
+	conflict []uint64
+
+	// Mask-form topology for the per-branch fast path (nil when the edge
+	// count exceeds a word): edgeMaskOf[p] is the committees incident to
+	// p, memberMask[e] the members of e, depMask[p] the closed Correct
+	// dependency neighborhood of p (Model.Deps).
+	edgeMaskOf []uint64
+	memberMask []uint64
+	depMask    []uint64
+	depList    [][]int
+
+	// Per-expansion memo tables for the merged-view spec reads. Meets
+	// reads only an edge's members and Correct only a process's Deps
+	// neighborhood (the same locality contracts the incremental checks
+	// rely on), so each result is a pure function of the selection
+	// restricted to that neighborhood — a handful of bits, memoized per
+	// expanded state across its (up to 2^k) selections. -1 = unknown.
+	// pmLo/pcLo mark neighborhoods that are contiguous bit ranges (the
+	// common case for ring and chain topologies): the memo index is then
+	// a single shift-and-mask instead of a gather loop. -1 = use the
+	// general list extraction (or no memo slot at all).
+	pmOff   []int32
+	pmCache []int8
+	pmLo    []int8
+	pmW     []uint64
+	pcOff   []int32
+	pcCache []int8
+	pcLo    []int8
+	pcW     []uint64
+
+	// Per-expansion context for the pre-bound batchSel callback. The
+	// callback is bound once at construction: a closure created inside
+	// expandBatch would escape into sim.MaskSuccessors and allocate on
+	// every expansion, breaking the steady-state loop's zero-allocation
+	// guarantee (pinned by TestBatchSteadyStateZeroAlloc).
+	selCB          func(uint64) bool
+	curVS          *Visited
+	curAgg         *layerAgg
+	curID          int32
+	curItem        int
+	curBranch      int
+	curAtCap       bool
+	curNeutral     uint64
+	curCorrectPrev []bool
 }
 
 func newWorkerState[S sim.Cloneable[S]](m *Model[S], opts *Options) *workerState[S] {
 	n := m.Prog.NumProcs
-	return &workerState[S]{
+	ws := &workerState[S]{
 		model:    m,
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(1)),
@@ -342,6 +414,118 @@ func newWorkerState[S sim.Cloneable[S]](m *Model[S], opts *Options) *workerState
 		payEpoch: make([]uint64, n),
 		payload:  make([]uint64, n),
 	}
+	// Batch-pipeline eligibility: a declared kernel, incremental
+	// encoding (successor keys are assembled by patching), an enabled
+	// set that fits a word, and no symmetry canonicalization (which must
+	// encode whole orbit images per successor).
+	if m.Kernel != nil && m.Codec.EncodeProc != nil && n <= 64 &&
+		!(opts.Symmetry && len(m.Syms) > 0) && !opts.DisableBatch {
+		k := m.Kernel()
+		if be, ok := k.(batchEval[S]); ok {
+			ws.bkern = be
+		} else {
+			ws.bkern = newGenericChecker(k, m)
+		}
+		ws.selCB = ws.batchSel
+		ws.post = make([]S, n)
+		// expandBatch reslices these without growing; size them now so
+		// the steady-state loop allocates nothing.
+		mEdges := m.Probe.H.M()
+		ws.was = make([]bool, mEdges)
+		ws.is = make([]bool, mEdges)
+		ws.correct = make([]bool, n)
+		ws.changed = make([]int, 0, mEdges)
+		if mEdges <= 64 {
+			ws.conflict = make([]uint64, mEdges)
+			for e := 0; e < mEdges; e++ {
+				for f := 0; f < mEdges; f++ {
+					if f != e && m.Probe.H.Edge(e).Conflicts(m.Probe.H.Edge(f)) {
+						ws.conflict[e] |= 1 << uint(f)
+					}
+				}
+			}
+			ws.memberMask = make([]uint64, mEdges)
+			ws.edgeMaskOf = make([]uint64, n)
+			for e := 0; e < mEdges; e++ {
+				for _, q := range m.Probe.H.Edge(e) {
+					ws.memberMask[e] |= 1 << uint(q)
+				}
+			}
+			// Processes beyond the professor range (the baselines'
+			// committee agents) keep a zero mask: Probe.Meets reads
+			// member states only, so their moves touch no committee —
+			// the same skip the scalar path applies.
+			for p := 0; p < n && p < m.Probe.H.N(); p++ {
+				for _, e := range m.Probe.H.EdgesOf(p) {
+					ws.edgeMaskOf[p] |= 1 << uint(e)
+				}
+			}
+			ws.pmOff = make([]int32, mEdges)
+			ws.pmLo = make([]int8, mEdges)
+			ws.pmW = make([]uint64, mEdges)
+			pmTotal := 0
+			for e := 0; e < mEdges; e++ {
+				ws.pmLo[e] = -1
+				if sz := len(m.Probe.H.Edge(e)); sz <= 6 {
+					ws.pmOff[e] = int32(pmTotal)
+					pmTotal += 1 << uint(sz)
+				} else {
+					ws.pmOff[e] = -1
+				}
+			}
+			if pmTotal > 0 {
+				ws.pmCache = make([]int8, pmTotal)
+				for e := 0; e < mEdges; e++ {
+					if mask := ws.memberMask[e]; ws.pmOff[e] >= 0 && mask != 0 {
+						lo := bits.TrailingZeros64(mask)
+						if mask>>uint(lo) == 1<<uint(bits.OnesCount64(mask))-1 {
+							ws.pmLo[e] = int8(lo)
+							ws.pmW[e] = mask >> uint(lo)
+						}
+					}
+				}
+			} else {
+				ws.pmOff = nil
+			}
+		}
+		if m.Deps != nil && n == m.Probe.H.N() {
+			ws.depMask = make([]uint64, n)
+			ws.depList = make([][]int, n)
+			ws.pcOff = make([]int32, n)
+			ws.pcLo = make([]int8, n)
+			ws.pcW = make([]uint64, n)
+			pcTotal := 0
+			for p := 0; p < n; p++ {
+				ds := m.Deps(p)
+				ws.depList[p] = ds
+				ws.pcLo[p] = -1
+				for _, q := range ds {
+					ws.depMask[p] |= 1 << uint(q)
+				}
+				if len(ds) <= 8 && pcTotal <= 1<<13 {
+					ws.pcOff[p] = int32(pcTotal)
+					pcTotal += 1 << uint(len(ds))
+				} else {
+					ws.pcOff[p] = -1
+				}
+			}
+			if pcTotal > 0 {
+				ws.pcCache = make([]int8, pcTotal)
+				for p := 0; p < n; p++ {
+					if mask := ws.depMask[p]; ws.pcOff[p] >= 0 && mask != 0 {
+						lo := bits.TrailingZeros64(mask)
+						if mask>>uint(lo) == 1<<uint(bits.OnesCount64(mask))-1 {
+							ws.pcLo[p] = int8(lo)
+							ws.pcW[p] = mask >> uint(lo)
+						}
+					}
+				}
+			} else {
+				ws.pcOff = nil
+			}
+		}
+	}
+	return ws
 }
 
 // canonKey encodes cfg, canonicalized to the least encoding in its
@@ -379,6 +563,10 @@ func copyWords(w []uint64) []uint64 { return append([]uint64(nil), w...) }
 // the deterministic merge) and records the transition properties into
 // the worker's layer aggregate.
 func (ws *workerState[S]) expand(vs *Visited, agg *layerAgg, id int32, item, depth int) {
+	if ws.bkern != nil {
+		ws.expandBatch(vs, agg, id, item, depth)
+		return
+	}
 	m := ws.model
 	opts := ws.opts
 	m.Codec.Decode(ws.cfg, vs.Key(id))

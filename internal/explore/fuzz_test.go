@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"math/bits"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -107,6 +108,171 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			}
 			if eng.Step() == nil {
 				break
+			}
+		}
+	})
+}
+
+// FuzzBatchGuards: the columnar kernel's word-parallel guard
+// evaluation must agree bit-for-bit with the per-state scalar walk
+// (sim.EnabledOf over the same program) — on fully random
+// configurations (every field from its whole domain, token layer
+// included) and along a short reachable walk driven by the kernel's
+// own Apply. A single wrong bit silently reshapes the explored graph,
+// so this is a soundness target, not a robustness one.
+func FuzzBatchGuards(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(1))
+	f.Add(int64(99), byte(8), byte(2))
+	f.Add(int64(-7), byte(13), byte(0))
+	f.Fuzz(func(t *testing.T, seed int64, topoByte, variantByte byte) {
+		h := fuzzTopo(topoByte)
+		if h.N() > 64 {
+			t.Skip("batch path requires n <= 64")
+		}
+		variant := []core.Variant{core.CC1, core.CC2, core.CC3}[variantByte%3]
+		alg, prog := newCCProg(variant, h)
+		k := core.NewKernel(alg, prog)
+		rng := rand.New(rand.NewSource(seed))
+
+		cfg := make([]core.State, h.N())
+		var enabled []int
+		check := func(what string) uint64 {
+			mask := k.Eval(cfg)
+			enabled = sim.EnabledOf(prog, cfg, enabled[:0])
+			var want uint64
+			for _, p := range enabled {
+				want |= 1 << uint(p)
+			}
+			if mask != want {
+				t.Fatalf("%s: kernel mask %064b != scalar %064b (cfg %v)", what, mask, want, cfg)
+			}
+			return mask
+		}
+
+		for round := 0; round < 8; round++ {
+			for p := range cfg {
+				cfg[p] = alg.RandomState(p, rng)
+			}
+			mask := check("random")
+			// Reachable walk: apply one enabled process at a time with the
+			// kernel's own Apply, re-judging the full guard vector after
+			// every step.
+			for step := 0; step < 6 && mask != 0; step++ {
+				// Pick the (step mod popcount)-th enabled process.
+				idx := step % bits.OnesCount64(mask)
+				m := mask
+				for ; idx > 0; idx-- {
+					m &= m - 1
+				}
+				p := bits.TrailingZeros64(m)
+				next := cfg[p].Clone()
+				k.Apply(cfg, p, &next)
+				cfg[p] = next
+				mask = check("walk")
+			}
+		}
+	})
+}
+
+// FuzzBatchDecode: successor keys assembled the batch way — decode the
+// parent key, apply each selected process once, patch its pre-encoded
+// block payload into the parent words — must equal the scalar codec's
+// full encoding of the merged successor configuration, and decode back
+// to it, for every selection mask. Key equality IS state identity in
+// the explorer, so a single divergent bit forks or merges states.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(1))
+	f.Add(int64(5), byte(6), byte(2))
+	f.Add(int64(-11), byte(19), byte(0))
+	f.Fuzz(func(t *testing.T, seed int64, topoByte, variantByte byte) {
+		h := fuzzTopo(topoByte)
+		if h.N() > 64 {
+			t.Skip("batch path requires n <= 64")
+		}
+		variant := []core.Variant{core.CC1, core.CC2, core.CC3}[variantByte%3]
+		alg, prog := newCCProg(variant, h)
+		k := core.NewKernel(alg, prog)
+		// Independent program instance for the scalar comparison: the
+		// generic kernel applies guard/action closures one process at a
+		// time, sharing nothing with the columnar kernel.
+		_, prog2 := newCCProg(variant, h)
+		gk := sim.NewProgramKernel(prog2)
+		layout := newCCLayout(alg)
+		rng := rand.New(rand.NewSource(seed))
+
+		n := h.N()
+		cfg := make([]core.State, n)
+		cfg2 := make([]core.State, n)
+		post := make([]core.State, n)
+		merged := make([]core.State, n)
+		parent := make([]uint64, layout.words)
+		patched := make([]uint64, layout.words)
+		full := make([]uint64, layout.words)
+		payload := make([]uint64, n)
+		back := make([]core.State, n)
+
+		for round := 0; round < 8; round++ {
+			for p := range cfg {
+				cfg[p] = alg.RandomState(p, rng)
+			}
+			layout.encode(parent, cfg)
+			layout.decode(cfg2, parent) // the batch path expands decoded keys
+
+			enabledMask := k.Eval(cfg2)
+			if gm := gk.Eval(cfg2); gm != enabledMask {
+				t.Fatalf("kernel masks diverge: columnar %064b vs generic %064b", enabledMask, gm)
+			}
+			for rest := enabledMask; rest != 0; rest &= rest - 1 {
+				p := bits.TrailingZeros64(rest)
+				post[p] = cfg2[p].Clone()
+				k.Apply(cfg2, p, &post[p])
+				// The generic kernel must produce the identical post state.
+				gp := cfg2[p].Clone()
+				gk.Apply(cfg2, p, &gp)
+				if post[p] != gp {
+					t.Fatalf("Apply diverges at p=%d: columnar %+v vs generic %+v", p, post[p], gp)
+				}
+				payload[p] = layout.encodeProc(post, p)
+			}
+
+			// Every selection mask on small enabled sets, random masks on
+			// large ones.
+			en := bits.OnesCount64(enabledMask)
+			masks := make([]uint64, 0, 16)
+			if en <= 4 {
+				// all subsets of the enabled mask
+				sub := uint64(0)
+				for {
+					masks = append(masks, sub)
+					sub = (sub - enabledMask) & enabledMask
+					if sub == 0 {
+						break
+					}
+				}
+			} else {
+				for i := 0; i < 12; i++ {
+					masks = append(masks, rng.Uint64()&enabledMask)
+				}
+			}
+			for _, selMask := range masks {
+				copy(patched, parent)
+				copy(merged, cfg2)
+				for sm := selMask; sm != 0; sm &= sm - 1 {
+					p := bits.TrailingZeros64(sm)
+					patchWords(patched, layout.procOff[p], layout.procBits[p], payload[p])
+					merged[p] = post[p]
+				}
+				layout.encode(full, merged)
+				if !wordsEqual(patched, full) {
+					t.Fatalf("sel %064b: patched key %x != full encoding %x", selMask, patched, full)
+				}
+				layout.decode(back, patched)
+				for p := range merged {
+					if back[p] != merged[p] {
+						t.Fatalf("sel %064b: decode(patched) diverges at p=%d: %+v vs %+v",
+							selMask, p, back[p], merged[p])
+					}
+				}
 			}
 		}
 	})

@@ -6,11 +6,9 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"slices"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/chaos"
 )
@@ -78,7 +76,20 @@ type Visited struct {
 	spilled     int64         // payload bytes written to spillFile
 	restoreW    *bufio.Writer // in-flight restore spill writer (readCold flushes it)
 
-	pending atomic.Int64
+	// order is the serial-mode insertion-order log: with one worker,
+	// pending entries are inserted in exactly the (item, branch) layer
+	// order Drain must return, so Drain walks this log instead of
+	// sorting — unless a min-merge or a checkpoint re-probe perturbed
+	// the order (Drain verifies monotonicity and falls back to the
+	// sort). Parallel runs leave it empty.
+	order []pendRef
+}
+
+// pendRef locates one pending entry: shard index plus the shard-local
+// pending index (both stable until Reset — slot tables may grow, the
+// pend buffers only append).
+type pendRef struct {
+	shard, pidx int32
 }
 
 const (
@@ -111,12 +122,22 @@ type vshard struct {
 	pend   []pendEntry
 	keys   []uint64 // backing storage for pending keys
 	cold   []uint64 // scratch for comparing against spilled arena keys
+	raw    []byte   // scratch for spilled-record reads (under the stripe lock)
+}
+
+// rawBuf returns the shard's spilled-record scratch, grown to n bytes.
+func (sh *vshard) rawBuf(n int64) []byte {
+	if int64(cap(sh.raw)) < n {
+		sh.raw = make([]byte, n)
+	}
+	return sh.raw[:n]
 }
 
 type pendEntry struct {
 	hash   uint64
 	pos    uint64 // least (item, branch) proposing this state
 	parent int32
+	slot   int32 // current slot index in the shard's table (growLocked updates it)
 	sel    string
 	key    []uint64 // aliases vshard.keys
 }
@@ -127,8 +148,9 @@ type Fresh struct {
 	Parent int32
 	Sel    string
 
-	hash uint64
-	key  []uint64
+	hash        uint64
+	key         []uint64
+	shard, pidx int32 // the pending entry, for O(1) promotion
 }
 
 // selString interns a selection byte string: the overwhelmingly common
@@ -196,11 +218,16 @@ func (v *Visited) SetFS(fsys chaos.FS) {
 // words*8 payload bytes plus the 8-byte FNV-64a checksum.
 func (v *Visited) recSize() int64 { return int64(v.words)*8 + 8 }
 
-// fnv64a is the record checksum (FNV-64a over the payload bytes).
+// fnv64a is the record checksum (FNV-64a over the payload bytes),
+// inlined — the hash/fnv interface allocates a hasher per call, and the
+// spill read path runs under the probe stripe lock.
 func fnv64a(b []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(b)
-	return h.Sum64()
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // SpilledBytes reports how many arena bytes live on disk.
@@ -224,8 +251,15 @@ func hashWords(key []uint64) uint64 {
 func (v *Visited) States() int { return v.nstates }
 
 // Pending returns the number of pending entries (serial phases only —
-// the init-stream bound check; workers never read it).
-func (v *Visited) Pending() int { return int(v.pending.Load()) }
+// the init-stream bound check; workers never read it). Summed from the
+// shard buffers, so the insertion hot path maintains no shared counter.
+func (v *Visited) Pending() int {
+	n := 0
+	for i := range v.shards {
+		n += len(v.shards[i].pend)
+	}
+	return n
+}
 
 // Key returns the encoding of promoted state id. For hot ids this is a
 // read-only view into the arena (valid until the next promotion batch
@@ -239,24 +273,24 @@ func (v *Visited) Key(id int32) []uint64 {
 		return v.arena[off : off+v.words : off+v.words]
 	}
 	buf := make([]uint64, v.words)
-	if err := v.readCold(id, buf); err != nil {
+	if err := v.readCold(id, buf, make([]byte, v.recSize())); err != nil {
 		panic(ioPanic{err})
 	}
 	return buf
 }
 
-// readCold reads a spilled key into buf (len v.words), verifying the
-// record checksum — corruption comes back as *chaos.CorruptError, not
-// a wrong key. During a restore the spill file is mid-append: flush
-// the writer first so every id below the watermark is readable (no-op
-// once drained). Transient read faults are retried in place.
-func (v *Visited) readCold(id int32, buf []uint64) error {
+// readCold reads a spilled key into buf (len v.words) through the raw
+// record scratch (len recSize), verifying the record checksum —
+// corruption comes back as *chaos.CorruptError, not a wrong key. During
+// a restore the spill file is mid-append: flush the writer first so
+// every id below the watermark is readable (no-op once drained).
+// Transient read faults are retried in place.
+func (v *Visited) readCold(id int32, buf []uint64, raw []byte) error {
 	if v.restoreW != nil {
 		if err := v.restoreW.Flush(); err != nil {
 			return err
 		}
 	}
-	raw := make([]byte, v.recSize())
 	err := chaos.Retry(context.Background(), chaos.DefaultPolicy, func() error {
 		_, rerr := v.spillFile.ReadAt(raw, int64(id)*v.recSize())
 		return rerr
@@ -292,6 +326,8 @@ func (v *Visited) Bytes() int64 {
 		b += int64(cap(sh.pend)) * pendEntrySize
 	}
 	b += int64(cap(v.drainBuf)) * 48
+	// The serial insertion-order log is deliberately excluded: it exists
+	// only at one worker, and StateBytes must be identical at any -j.
 	return b
 }
 
@@ -302,12 +338,13 @@ func (v *Visited) Bytes() int64 {
 // arena, or a negative value otherwise. sel is copied only when a
 // pending entry is created or improved.
 func (v *Visited) Probe(key []uint64, hash uint64, pos uint64, parent int32, sel []byte) int32 {
-	sh := &v.shards[hash&v.smask]
+	shIdx := int32(hash & v.smask)
+	sh := &v.shards[shIdx]
 	if v.serial {
-		return v.probeLocked(sh, key, hash, pos, parent, sel)
+		return v.probeLocked(sh, shIdx, key, hash, pos, parent, sel)
 	}
 	sh.mu.Lock()
-	id := v.probeLocked(sh, key, hash, pos, parent, sel)
+	id := v.probeLocked(sh, shIdx, key, hash, pos, parent, sel)
 	sh.mu.Unlock()
 	return id
 }
@@ -328,13 +365,13 @@ func (v *Visited) refEqual(sh *vshard, ref int32, key []uint64) bool {
 		sh.cold = make([]uint64, v.words)
 	}
 	cold := sh.cold[:v.words]
-	if err := v.readCold(ref, cold); err != nil {
+	if err := v.readCold(ref, cold, sh.rawBuf(v.recSize())); err != nil {
 		panic(ioPanic{err})
 	}
 	return wordsEqual(cold, key)
 }
 
-func (v *Visited) probeLocked(sh *vshard, key []uint64, hash uint64, pos uint64, parent int32, sel []byte) int32 {
+func (v *Visited) probeLocked(sh *vshard, shIdx int32, key []uint64, hash uint64, pos uint64, parent int32, sel []byte) int32 {
 	mask := uint64(len(sh.slots) - 1)
 	idx := (hash >> v.shardShift) & mask
 	tag := int32(hash)
@@ -349,7 +386,7 @@ func (v *Visited) probeLocked(sh *vshard, key []uint64, hash uint64, pos uint64,
 			} else {
 				sh.filled++
 			}
-			v.insertPending(sh, at, key, hash, pos, parent, sel)
+			v.insertPending(sh, shIdx, at, key, hash, pos, parent, sel)
 			if sh.filled*3 > len(sh.slots)*2 {
 				v.growLocked(sh)
 			}
@@ -387,6 +424,7 @@ func (v *Visited) Contains(key []uint64, hash uint64) bool {
 	idx := (hash >> v.shardShift) & mask
 	tag := int32(hash)
 	var coldArr [4]uint64
+	var rawArr [40]byte // recSize for up to 4 words
 	for {
 		s := &sh.slots[idx]
 		switch {
@@ -406,7 +444,13 @@ func (v *Visited) Contains(key []uint64, hash uint64) bool {
 					} else {
 						cold = cold[:v.words]
 					}
-					if err := v.readCold(s.ref, cold); err != nil {
+					raw := rawArr[:]
+					if rec := v.recSize(); rec > int64(len(rawArr)) {
+						raw = make([]byte, rec)
+					} else {
+						raw = raw[:rec]
+					}
+					if err := v.readCold(s.ref, cold, raw); err != nil {
 						panic(ioPanic{err})
 					}
 					if wordsEqual(cold, key) {
@@ -439,15 +483,18 @@ func wordsEqual(a, b []uint64) bool {
 	return true
 }
 
-func (v *Visited) insertPending(sh *vshard, at int, key []uint64, hash uint64, pos uint64, parent int32, sel []byte) {
+func (v *Visited) insertPending(sh *vshard, shIdx int32, at int, key []uint64, hash uint64, pos uint64, parent int32, sel []byte) {
 	off := len(sh.keys)
 	sh.keys = append(sh.keys, key...)
 	sh.pend = append(sh.pend, pendEntry{
-		hash: hash, pos: pos, parent: parent, sel: selString(sel),
+		hash: hash, pos: pos, parent: parent, slot: int32(at), sel: selString(sel),
 		key: sh.keys[off : off+v.words : off+v.words],
 	})
-	sh.slots[at] = vslot{ref: slotPend, pidx: int32(len(sh.pend) - 1)}
-	v.pending.Add(1)
+	pidx := int32(len(sh.pend) - 1)
+	sh.slots[at] = vslot{ref: slotPend, pidx: pidx}
+	if v.serial {
+		v.order = append(v.order, pendRef{shard: shIdx, pidx: pidx})
+	}
 }
 
 // growLocked doubles a shard's slot table, dropping tombstones.
@@ -468,6 +515,9 @@ func (v *Visited) growLocked(sh *vshard) {
 			idx = (idx + 1) & mask
 		}
 		sh.slots[idx] = s
+		if s.ref == slotPend {
+			sh.pend[s.pidx].slot = int32(idx)
+		}
 		sh.filled++
 	}
 }
@@ -482,7 +532,7 @@ func (v *Visited) slotHash(sh *vshard, s *vslot) uint64 {
 			sh.cold = make([]uint64, v.words)
 		}
 		cold := sh.cold[:v.words]
-		if err := v.readCold(s.ref, cold); err != nil {
+		if err := v.readCold(s.ref, cold, sh.rawBuf(v.recSize())); err != nil {
 			panic(ioPanic{err})
 		}
 		return hashWords(cold)
@@ -493,17 +543,52 @@ func (v *Visited) slotHash(sh *vshard, s *vslot) uint64 {
 // Drain collects the pending entries of all shards, sorted by layer
 // position — the deterministic promotion order. Serial phases only;
 // the returned slice is reused by the next Drain.
+//
+// With one worker the insertion-order log already is the position
+// order (a serial expansion proposes states in ascending (item, branch)
+// position), so Drain walks the log and only falls back to the sort
+// when the order was perturbed — a checkpoint restore re-probes its
+// pending snapshot in shard order, and its min-merges can lower the
+// position of an already-logged entry.
 func (v *Visited) Drain() []Fresh {
 	out := v.drainBuf[:0]
+	if v.serial && len(v.order) > 0 {
+		mono := true
+		last := uint64(0)
+		for _, pr := range v.order {
+			e := &v.shards[pr.shard].pend[pr.pidx]
+			if e.pos < last {
+				mono = false
+				break
+			}
+			last = e.pos
+			out = append(out, Fresh{
+				Pos: e.pos, Parent: e.parent, Sel: e.sel,
+				hash: e.hash, key: e.key, shard: pr.shard, pidx: pr.pidx,
+			})
+		}
+		if mono {
+			return v.keepDrainBuf(out)
+		}
+		out = out[:0]
+	}
 	for i := range v.shards {
-		for _, e := range v.shards[i].pend {
-			out = append(out, Fresh{Pos: e.pos, Parent: e.parent, Sel: e.sel, hash: e.hash, key: e.key})
+		for j := range v.shards[i].pend {
+			e := &v.shards[i].pend[j]
+			out = append(out, Fresh{
+				Pos: e.pos, Parent: e.parent, Sel: e.sel,
+				hash: e.hash, key: e.key, shard: int32(i), pidx: int32(j),
+			})
 		}
 	}
 	slices.SortFunc(out, func(a, b Fresh) int { return cmp.Compare(a.Pos, b.Pos) })
-	// Reuse the buffer while its capacity tracks the layer size, but
-	// release the slack after a spike (a huge seed layer would otherwise
-	// stay resident for the whole run).
+	return v.keepDrainBuf(out)
+}
+
+// keepDrainBuf reuses the drain buffer while its capacity tracks the
+// layer size, but releases the slack after a spike (a huge seed layer
+// would otherwise stay resident for the whole run).
+func (v *Visited) keepDrainBuf(out []Fresh) []Fresh {
 	if cap(out) > 2*len(out)+4096 {
 		v.drainBuf = nil
 	} else {
@@ -529,20 +614,16 @@ func (v *Visited) Promote(f Fresh) int32 {
 func (v *Visited) Drop(f Fresh) { v.setRef(f, slotTomb) }
 
 func (v *Visited) setRef(f Fresh, ref int32) {
-	sh := &v.shards[f.hash&v.smask]
-	mask := uint64(len(sh.slots) - 1)
-	idx := (f.hash >> v.shardShift) & mask
-	for {
-		s := &sh.slots[idx]
-		if s.ref == slotPend && sh.pend[s.pidx].hash == f.hash && wordsEqual(sh.pend[s.pidx].key, f.key) {
-			s.ref, s.pidx = ref, int32(f.hash)
-			return
-		}
-		if s.ref == slotEmpty {
-			panic("explore: drained entry not found in its shard")
-		}
-		idx = (idx + 1) & mask
+	// O(1): the drained entry remembers its shard, pending index and
+	// current slot (growLocked keeps the slot current), so promotion
+	// does not re-walk the probe chain.
+	sh := &v.shards[f.shard]
+	e := &sh.pend[f.pidx]
+	s := &sh.slots[e.slot]
+	if s.ref != slotPend || s.pidx != f.pidx {
+		panic("explore: drained entry does not own its recorded slot")
 	}
+	s.ref, s.pidx = ref, int32(f.hash)
 }
 
 // Reset clears the pending side after a promotion batch, reusing the
@@ -560,7 +641,11 @@ func (v *Visited) Reset() {
 			sh.keys = sh.keys[:0]
 		}
 	}
-	v.pending.Store(0)
+	if cap(v.order) > 2*len(v.order)+4096 {
+		v.order = nil
+	} else {
+		v.order = v.order[:0]
+	}
 }
 
 // Housekeep runs the serial-phase scaling maintenance after a

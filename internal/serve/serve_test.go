@@ -416,7 +416,10 @@ func TestQueueBound(t *testing.T) {
 
 	// Occupy the single worker slot with a slower job, queue one, then
 	// overflow.
-	slow := store.JobSpec{Alg: "cc2", Topo: "ring:3", Daemon: "all-subsets", Init: "cc-full"}
+	// The slot-holder must outlive the two submissions below by a wide
+	// margin on a loaded 1-CPU box: ring:4 cc-full all-subsets bounded
+	// to 500k states runs for seconds regardless of engine speed.
+	slow := store.JobSpec{Alg: "cc2", Topo: "ring:4", Daemon: "all-subsets", Init: "cc-full", MaxStates: 500_000}
 	code, _, _ := postJSON(t, ts.URL+"/v1/jobs", slow)
 	if code != http.StatusAccepted {
 		t.Fatalf("slow job: %d", code)
