@@ -121,6 +121,7 @@ func main() {
 		traces     = flag.Int("traces", 3, "max violations to collect and print per run")
 		workers    = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
 		scalar     = flag.Bool("scalar", false, "force the scalar (non-batch) expansion path; the verdict is byte-identical by contract — this flag exists for differential drills and perf comparison")
+		peersSpec  = flag.String("peers", "", "exhaustive mode: distribute each job across this comma-separated list of ccserve peer base URLs (one visited-set shard per peer; the peers must share one -cache directory); the verdict is byte-identical to a single-node run by the cluster differential battery's contract")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -179,9 +180,23 @@ func main() {
 		}
 		fsys = chaos.NewFaultFS(nil, faults)
 	}
+	var peers []string
+	if *peersSpec != "" {
+		if *mode != "exhaustive" {
+			fatalf("-peers applies to -mode exhaustive only (current mode: %s)", *mode)
+		}
+		for _, p := range strings.Split(*peersSpec, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, strings.TrimRight(p, "/"))
+			}
+		}
+		if len(peers) == 0 {
+			fatalf("-peers lists no usable URLs")
+		}
+	}
 	exec := execConfig{
 		cacheDir: *cacheDir, memBudget: budget, checkpointEvery: *ckptEvery,
-		spillDir: *spillDir, fs: fsys, scalar: *scalar,
+		spillDir: *spillDir, fs: fsys, scalar: *scalar, peers: peers,
 	}
 
 	switch *mode {
@@ -260,6 +275,7 @@ type execConfig struct {
 	spillDir        string
 	fs              chaos.FS // -chaos fault injector (nil = host filesystem)
 	scalar          bool     // -scalar: force the non-batch expansion path
+	peers           []string // -peers: distribute jobs across these ccserve peers
 }
 
 // runExhaustive checks one (alg, topo, init) instance under each of the
@@ -310,11 +326,18 @@ func runExhaustive(algName, topoSpec, daemons, initName, mutation string, scalar
 				MemBudget: exec.memBudget, SpillDir: exec.spillDir,
 				FS: exec.fs, Scalar: exec.scalar,
 			}
-			if st != nil && exec.checkpointEvery >= 0 {
+			if st != nil && exec.checkpointEvery >= 0 && len(exec.peers) == 0 {
 				eo.Checkpoints = st
 				eo.CheckpointEvery = exec.checkpointEvery
 			}
-			res, err = campaign.ExecuteOpts(ctx, s, eo)
+			if len(exec.peers) > 0 {
+				// Distributed: the peers shard the visited set; recovery
+				// runs on per-shard barrier snapshots in the shared store
+				// instead of the single-node checkpoint.
+				res, err = campaign.ExecuteCluster(ctx, s, exec.peers, eo)
+			} else {
+				res, err = campaign.ExecuteOpts(ctx, s, eo)
+			}
 			if errors.Is(err, campaign.ErrInterrupted) {
 				if eo.Checkpoints != nil {
 					fmt.Printf("interrupted at %d states — checkpoint saved; re-run the same command to resume\n", res.States)

@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +68,7 @@ func main() {
 		spillDir   = flag.String("spill-dir", "", "directory for out-of-core spill scratch (empty = the system temp dir)")
 		jobTimeout = flag.Duration("job-timeout", time.Hour, "per-job wall-clock budget: a job past it fails (checkpoint saved; resubmit to resume); 0 = no timeout")
 		maxInFl    = flag.Int("max-inflight", 512, "concurrently-handled API requests before shedding with 429 + Retry-After (negative = unlimited; /healthz, /readyz, /metrics are exempt)")
+		peersFlag  = flag.String("peers", "", "comma-separated base URLs of this checker cluster's peers, this server among them (e.g. http://a:8344,http://b:8344); recorded in /v1/cluster/status — a cccheck -peers coordinator distributes jobs across them, one visited-set shard per peer, and all peers must share one -cache directory so shard snapshots can migrate on node loss")
 		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
@@ -108,11 +110,19 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	st.Log = logf // quarantine/retry lines share the job log stream
+	var peers []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, strings.TrimRight(p, "/"))
+			}
+		}
+	}
 	srv, err := serve.New(serve.Config{
 		Store: st, Jobs: *jobs, JobWorkers: *jobWorkers,
 		MaxStatesCap: *maxStates, RetainJobs: *retain, MaxQueue: *maxQueue,
 		CheckpointEvery: *ckptEvery, MemBudget: budget, SpillDir: *spillDir,
-		JobTimeout: *jobTimeout, MaxInFlight: *maxInFl, Log: logf,
+		JobTimeout: *jobTimeout, MaxInFlight: *maxInFl, Peers: peers, Log: logf,
 	})
 	if err != nil {
 		fatalf("%v", err)

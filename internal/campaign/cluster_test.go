@@ -1,0 +1,59 @@
+package campaign_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestExecuteClusterMatchesSingleNode drives the campaign-level
+// cluster entry point against two real ccserve peers sharing a store
+// and pins the distributed verdict byte-identical to ExecuteOpts on
+// the same spec. The deep grid lives in internal/cluster's
+// differential battery and internal/serve's end-to-end test; this one
+// covers the coordinator-side plumbing (spec marshalling, transport
+// dial, result normalization) from campaign's own package.
+func TestExecuteClusterMatchesSingleNode(t *testing.T) {
+	dir := t.TempDir()
+	peers := make([]string, 2)
+	for i := range peers {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(serve.Config{Store: st, Jobs: 1, JobWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		peers[i] = ts.URL
+	}
+
+	spec := store.JobSpec{Alg: "cc2", Topo: "ring:3", Daemon: "central", Init: "legit"}
+	want, err := campaign.ExecuteOpts(context.Background(), spec, campaign.ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := campaign.ExecuteCluster(context.Background(), spec, peers, campaign.ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("cluster verdict differs from single-node:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+
+	// An unreachable peer list fails the dial loudly instead of
+	// degrading to a partial cluster.
+	if _, err := campaign.ExecuteCluster(context.Background(), spec,
+		[]string{peers[0], "http://127.0.0.1:1"}, campaign.ExecOptions{Workers: 1}); err == nil {
+		t.Fatal("dial against an unreachable peer succeeded")
+	}
+}

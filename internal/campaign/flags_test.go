@@ -1,0 +1,77 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/store"
+)
+
+func TestParseBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"", 0},
+		{"0", 0},
+		{"4096", 4096},
+		{"1K", 1 << 10},
+		{"256M", 256 << 20},
+		{"2G", 2 << 30},
+		{"2g", 2 << 30},
+		{"512MB", 512 << 20},
+		{"  1kb ", 1 << 10},
+	} {
+		got, err := campaign.ParseBytes("mem-budget", tc.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"x", "-1", "1.5G", "99999999999G", "M", "KB"} {
+		if _, err := campaign.ParseBytes("mem-budget", bad); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSpecStrict(t *testing.T) {
+	s, err := campaign.ParseSpec("cc1,cc2", "ring:3", "central,synchronous", "legit", "none,leave-early")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Algs) != 2 || len(s.Daemons) != 2 || len(s.Mutations) != 2 {
+		t.Fatalf("unexpected grid: %+v", s)
+	}
+	// One bad list anywhere fails the whole parse, whichever flag it is.
+	for _, tc := range [][5]string{
+		{"cc1,,cc2", "ring:3", "", "", ""},
+		{"cc1", "ring:3,", "", "", ""},
+		{"cc1", "ring:3", " , ", "", ""},
+		{"cc1", "ring:3", "", ",legit", ""},
+		{"cc1", "ring:3", "", "", "none,"},
+	} {
+		if _, err := campaign.ParseSpec(tc[0], tc[1], tc[2], tc[3], tc[4]); err == nil {
+			t.Errorf("ParseSpec(%q,%q,%q,%q,%q) accepted", tc[0], tc[1], tc[2], tc[3], tc[4])
+		}
+	}
+}
+
+// TestSetScalarsRoundTrip: every scalar bound and toggle a CLI can set
+// on a single job must survive the copy into a campaign grid — the
+// grid cells inherit exactly the bounds the operator asked for.
+func TestSetScalarsRoundTrip(t *testing.T) {
+	j := store.JobSpec{
+		RandomInits: 7, Seed: 42, MaxStates: 1000, MaxDepth: 9,
+		MaxBranch: 3, MaxViolations: 2, Symmetry: true,
+		NoDeadlock: true, NoClosure: true, NoConverge: true,
+	}
+	var s campaign.Spec
+	s.SetScalars(j)
+	if s.RandomInits != 7 || s.Seed != 42 || s.MaxStates != 1000 || s.MaxDepth != 9 ||
+		s.MaxBranch != 3 || s.MaxViolations != 2 || !s.Symmetry ||
+		!s.NoDeadlock || !s.NoClosure || !s.NoConverge {
+		t.Fatalf("scalar copy dropped a field: %+v", s)
+	}
+}

@@ -16,12 +16,14 @@ package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/hypergraph"
@@ -114,6 +116,8 @@ type checkedFactory struct {
 	hasSyms     bool
 	whySymEmpty string
 	run         func(ctx context.Context, opts explore.Options) (*explore.Result, error)
+	runCluster  func(ctx context.Context, opts explore.Options, tr cluster.Transport) (*explore.Result, error)
+	newPeer     func(opts explore.Options, cfg explore.PeerConfig) (explore.PeerEngine, error)
 }
 
 func newFactoryChecked(c store.JobSpec, h *hypergraph.H) (*checkedFactory, error) {
@@ -136,6 +140,12 @@ func newFactoryChecked(c store.JobSpec, h *hypergraph.H) (*checkedFactory, error
 			run: func(ctx context.Context, opts explore.Options) (*explore.Result, error) {
 				return explore.ExploreCtx(ctx, factory, opts)
 			},
+			runCluster: func(ctx context.Context, opts explore.Options, tr cluster.Transport) (*explore.Result, error) {
+				return cluster.Run(ctx, factory, opts, tr)
+			},
+			newPeer: func(opts explore.Options, cfg explore.PeerConfig) (explore.PeerEngine, error) {
+				return explore.NewPeer(factory, opts, cfg)
+			},
 		}, nil
 	}
 	kind := baseline.Dining
@@ -152,6 +162,12 @@ func newFactoryChecked(c store.JobSpec, h *hypergraph.H) (*checkedFactory, error
 			"dining does not (its fork orientation and request tie-break read the committee index order)",
 		run: func(ctx context.Context, opts explore.Options) (*explore.Result, error) {
 			return explore.ExploreCtx(ctx, factory, opts)
+		},
+		runCluster: func(ctx context.Context, opts explore.Options, tr cluster.Transport) (*explore.Result, error) {
+			return cluster.Run(ctx, factory, opts, tr)
+		},
+		newPeer: func(opts explore.Options, cfg explore.PeerConfig) (explore.PeerEngine, error) {
+			return explore.NewPeer(factory, opts, cfg)
 		},
 	}, nil
 }
@@ -202,26 +218,11 @@ type ExecOptions struct {
 // same spec resumes it.
 var ErrInterrupted = explore.ErrInterrupted
 
-// Execute runs one job to completion and returns its result (see
-// ExecuteOpts; this is the no-frills form the CLIs used before
-// checkpointing existed and the tests still exercise).
-func Execute(spec store.JobSpec, workers int) (*explore.Result, error) {
-	return ExecuteOpts(context.Background(), spec, ExecOptions{Workers: workers})
-}
-
-// ExecuteOpts runs one job under a context, with optional
-// checkpoint/restore and an out-of-core memory budget. On cancellation
-// it returns an error wrapping ErrInterrupted (snapshot saved when
-// o.Checkpoints is set). On success the result's StateBytes is zeroed:
-// it measures this process's retained footprint — different between
-// resumed/fresh and spilled/in-memory runs of the same job — and the
-// persisted verdict must be byte-identical across all of them.
-func ExecuteOpts(ctx context.Context, spec store.JobSpec, o ExecOptions) (*explore.Result, error) {
-	c := spec.Canonical()
-	factory, err := prepare(c)
-	if err != nil {
-		return nil, err
-	}
+// jobOptions maps a canonical spec plus execution options onto the
+// explorer's option set — the one translation every execution path
+// (single-node, cluster coordinator, cluster peer) must share, or
+// their verdicts could legally diverge.
+func jobOptions(c store.JobSpec, o ExecOptions) explore.Options {
 	mode, _ := selectionMode(c.Daemon)
 	maxStates := c.MaxStates
 	if maxStates < 0 {
@@ -246,16 +247,86 @@ func ExecuteOpts(ctx context.Context, spec store.JobSpec, o ExecOptions) (*explo
 	if o.Workers <= 0 {
 		opts.Workers = 1
 	}
-	var ckpt *store.Checkpoint
-	if o.Checkpoints != nil {
-		ckpt = o.Checkpoints.Checkpoint(c.Key())
-		opts.Checkpoint = ckpt
-	}
 	if _, ok := ccVariants[c.Alg]; ok {
 		opts.CheckClosure = !c.NoClosure
 		if mode == sim.SelectSynchronous {
 			opts.CheckConvergence = !c.NoConverge
 		}
+	}
+	return opts
+}
+
+// NewPeerEngine builds the peer half of a distributed exploration for
+// one job spec: the model factory and option translation are exactly
+// ExecuteOpts', so a cluster of these engines is checking the same
+// problem a single node would. ccserve's /v1/cluster tier calls this
+// when a coordinator opens a job on it.
+func NewPeerEngine(spec store.JobSpec, o ExecOptions, cfg explore.PeerConfig) (explore.PeerEngine, error) {
+	c := spec.Canonical()
+	factory, err := prepare(c)
+	if err != nil {
+		return nil, err
+	}
+	return factory.newPeer(jobOptions(c, o), cfg)
+}
+
+// ExecuteCluster runs one job distributed across a set of ccserve
+// peers (base URLs) and returns a result byte-identical to ExecuteOpts
+// on a single node — that identity is pinned by the cluster
+// differential battery. The spec is forwarded to every peer verbatim;
+// each peer owns one contiguous shard of the state-hash space, and
+// shard snapshots land in the peers' (shared) verdict store so a lost
+// peer's work migrates instead of restarting.
+func ExecuteCluster(ctx context.Context, spec store.JobSpec, peers []string, o ExecOptions) (*explore.Result, error) {
+	c := spec.Canonical()
+	factory, err := prepare(c)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: marshal spec: %w", err)
+	}
+	tr, err := cluster.DialHTTP(ctx, cluster.HTTPConfig{
+		Peers: peers, Job: c.Key(), Spec: raw, Workers: o.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	res, err := factory.runCluster(ctx, jobOptions(c, o), tr)
+	if err != nil {
+		return res, err
+	}
+	res.StateBytes = 0
+	return res, nil
+}
+
+// Execute runs one job to completion and returns its result (see
+// ExecuteOpts; this is the no-frills form the CLIs used before
+// checkpointing existed and the tests still exercise).
+func Execute(spec store.JobSpec, workers int) (*explore.Result, error) {
+	return ExecuteOpts(context.Background(), spec, ExecOptions{Workers: workers})
+}
+
+// ExecuteOpts runs one job under a context, with optional
+// checkpoint/restore and an out-of-core memory budget. On cancellation
+// it returns an error wrapping ErrInterrupted (snapshot saved when
+// o.Checkpoints is set). On success the result's StateBytes is zeroed:
+// it measures this process's retained footprint — different between
+// resumed/fresh and spilled/in-memory runs of the same job — and the
+// persisted verdict must be byte-identical across all of them.
+func ExecuteOpts(ctx context.Context, spec store.JobSpec, o ExecOptions) (*explore.Result, error) {
+	c := spec.Canonical()
+	factory, err := prepare(c)
+	if err != nil {
+		return nil, err
+	}
+	opts := jobOptions(c, o)
+	var ckpt *store.Checkpoint
+	if o.Checkpoints != nil {
+		ckpt = o.Checkpoints.Checkpoint(c.Key())
+		opts.Checkpoint = ckpt
 	}
 	res, err := factory.run(ctx, opts)
 	if err != nil {

@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PeerLoss is the cluster-tier fault: one checker peer dies mid-layer
+// at a given BFS depth. The local cluster transport injects it by
+// failing the peer's expansion RPC after a bounded number of its
+// outgoing frontier frames have already been delivered — the realistic
+// half-sent shape of a process kill — and refusing every later call to
+// the peer, so the coordinator must roll the survivors back to the
+// layer barrier and migrate the lost shards from their snapshots. Like
+// every other injected fault, the outcome contract is: byte-identical
+// verdict or a classified error, never a wrong result, never a hang.
+type PeerLoss struct {
+	// Peer is the index of the peer to kill.
+	Peer int
+	// Depth is the BFS layer during whose expansion the peer dies.
+	Depth int
+	// FramesBeforeDeath bounds how many outgoing frontier frames the
+	// dying peer still delivers during the fatal layer before its sends
+	// start failing (partial-delivery realism; 0 = none get out).
+	FramesBeforeDeath int
+}
+
+// ParsePeerLoss parses a comma list of "peer@depth" or
+// "peer@depth+frames" elements (e.g. "1@3,2@5+2"): peer 1 dies during
+// layer 3 delivering no frames; peer 2 dies during layer 5 after
+// delivering 2 frames.
+func ParsePeerLoss(spec string) ([]PeerLoss, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []PeerLoss
+	for _, part := range strings.Split(spec, ",") {
+		elem := strings.TrimSpace(part)
+		peerS, rest, ok := strings.Cut(elem, "@")
+		if !ok {
+			return nil, fmt.Errorf("chaos: bad peer-loss element %q (want peer@depth or peer@depth+frames)", elem)
+		}
+		depthS, framesS, hasFrames := strings.Cut(rest, "+")
+		peer, err := strconv.Atoi(peerS)
+		if err != nil || peer < 0 {
+			return nil, fmt.Errorf("chaos: bad peer index in %q", elem)
+		}
+		depth, err := strconv.Atoi(depthS)
+		if err != nil || depth < 0 {
+			return nil, fmt.Errorf("chaos: bad depth in %q", elem)
+		}
+		frames := 0
+		if hasFrames {
+			frames, err = strconv.Atoi(framesS)
+			if err != nil || frames < 0 {
+				return nil, fmt.Errorf("chaos: bad frame budget in %q", elem)
+			}
+		}
+		out = append(out, PeerLoss{Peer: peer, Depth: depth, FramesBeforeDeath: frames})
+	}
+	return out, nil
+}

@@ -227,11 +227,19 @@ func (ws *workerState[S]) batchSel(selMask uint64) bool {
 		patchWords(key, m.Codec.ProcOff[p], m.Codec.ProcBits[p], ws.payload[p])
 		ws.selBuf = append(ws.selBuf, byte(p))
 	}
-	if ws.curAtCap {
+	switch {
+	case ws.curAtCap && ws.cl != nil:
+		if ws.cl.capMiss(key, hashWords(key)) {
+			ws.curAgg.truncated = true
+		}
+	case ws.curAtCap:
 		if !vs.Contains(key, hashWords(key)) {
 			ws.curAgg.truncated = true
 		}
-	} else {
+	case ws.cl != nil:
+		pos := uint64(ws.curItem)<<32 | uint64(ws.curBranch)
+		ws.cl.sink(key, hashWords(key), pos, ws.cl.parent, ws.selBuf)
+	default:
 		pos := uint64(ws.curItem)<<32 | uint64(ws.curBranch)
 		vs.Probe(key, hashWords(key), pos, ws.curID, ws.selBuf)
 	}
@@ -512,8 +520,12 @@ func (ws *workerState[S]) expandBatch(vs *Visited, agg *layerAgg, id int32, item
 	}
 
 	// See expand: at the state cap a read-only membership check replaces
-	// the insertion probe, deterministically.
+	// the insertion probe, deterministically. A cluster peer takes the
+	// coordinator's layer-global decision instead of the local count.
 	ws.curAtCap = opts.MaxStates > 0 && vs.States() >= opts.MaxStates
+	if ws.cl != nil {
+		ws.curAtCap = ws.cl.atCap
+	}
 	ws.curBranch = 0
 	ws.curNeutral = neutral
 	ws.curCorrectPrev = correctPrev

@@ -213,9 +213,34 @@ func (c *ckptReader) blob(limit int) []byte {
 		c.err = fmt.Errorf("explore: checkpoint blob length %d out of range", n)
 		return nil
 	}
-	p := make([]byte, n)
-	c.bytes(p)
+	// Grow with the bytes actually read, not the claimed length: a
+	// corrupted header must not make a tiny torn file allocate
+	// gigabytes before ReadFull notices the data is missing.
+	p := make([]byte, 0, min(n, 1<<16))
+	for len(p) < n {
+		k := min(n-len(p), 1<<16)
+		off := len(p)
+		p = append(p, make([]byte, k)...)
+		c.bytes(p[off:])
+		if c.err != nil {
+			return nil
+		}
+	}
 	return p
+}
+
+// i32s reads a counted []int32 section, growing with the values
+// actually decoded for the same torn-header reason as blob.
+func (c *ckptReader) i32s(n int) []int32 {
+	out := make([]int32, 0, min(n, 1<<14))
+	for i := 0; i < n; i++ {
+		v := c.i32()
+		if c.err != nil {
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // snapLimit bounds variable-length checkpoint sections against
@@ -334,6 +359,11 @@ func readSnapshot(r io.Reader, wantHash [32]byte, words int, vs *Visited) (*snap
 		return nil, fmt.Errorf("explore: checkpoint word width %d != codec %d", s.words, words)
 	}
 	s.nstates = c.int()
+	if c.err == nil && (s.nstates < 0 || s.nstates > 1<<31-1) {
+		// Ids are int32; anything past that is a corrupted header, and
+		// it must fail here rather than size the visited set from it.
+		return nil, fmt.Errorf("explore: checkpoint state count %d out of range", s.nstates)
+	}
 	s.inits = c.int()
 	s.transitions = c.i64()
 	s.resDepth = c.int()
@@ -371,23 +401,23 @@ func readSnapshot(r io.Reader, wantHash [32]byte, words int, vs *Visited) (*snap
 		return nil, fmt.Errorf("explore: checkpoint frontier length %d out of range", nf)
 	}
 	if c.err == nil {
-		s.frontier = make([]int32, nf)
-		for i := range s.frontier {
-			s.frontier[i] = c.i32()
-		}
+		s.frontier = c.i32s(nf)
 	}
 	np := c.int()
 	if c.err == nil && np != s.nstates {
 		return nil, fmt.Errorf("explore: checkpoint parent table length %d != %d states", np, s.nstates)
 	}
 	if c.err == nil {
-		s.parentOf = make([]int32, np)
-		for i := range s.parentOf {
-			s.parentOf[i] = c.i32()
-		}
-		s.selOf = make([]string, np)
-		for i := range s.selOf {
-			s.selOf[i] = string(c.blob(1 << 16))
+		s.parentOf = c.i32s(np)
+	}
+	if c.err == nil {
+		s.selOf = make([]string, 0, min(np, 1<<14))
+		for i := 0; i < np; i++ {
+			sel := string(c.blob(1 << 16))
+			if c.err != nil {
+				break
+			}
+			s.selOf = append(s.selOf, sel)
 		}
 	}
 	npend := c.int()
@@ -395,20 +425,50 @@ func readSnapshot(r io.Reader, wantHash [32]byte, words int, vs *Visited) (*snap
 		return nil, fmt.Errorf("explore: checkpoint pending count %d out of range", npend)
 	}
 	if c.err == nil {
-		s.pending = make([]PendSnap, npend)
-		for i := range s.pending {
-			s.pending[i].Pos = c.u64()
-			s.pending[i].Parent = c.i32()
-			s.pending[i].Sel = string(c.blob(1 << 16))
+		s.pending = make([]PendSnap, 0, min(npend, 1<<12))
+		for i := 0; i < npend; i++ {
+			var p PendSnap
+			p.Pos = c.u64()
+			p.Parent = c.i32()
+			p.Sel = string(c.blob(1 << 16))
+			if c.err != nil {
+				break
+			}
 			key := make([]uint64, words)
 			for j := range key {
 				key[j] = c.u64()
 			}
-			s.pending[i].Key = key
+			p.Key = key
+			s.pending = append(s.pending, p)
 		}
 	}
 	if c.err != nil {
 		return nil, fmt.Errorf("explore: checkpoint read: %v", c.err)
+	}
+	// Semantic bounds the resume path indexes by: a file that passes
+	// the checksum but violates these would walk the engine out of its
+	// own tables.
+	if s.inits < 0 || s.inits > s.nstates {
+		return nil, fmt.Errorf("explore: checkpoint init count %d out of range", s.inits)
+	}
+	for _, id := range s.frontier {
+		if id < 0 || int(id) >= s.nstates {
+			return nil, fmt.Errorf("explore: checkpoint frontier id %d out of range", id)
+		}
+	}
+	for _, p := range s.parentOf {
+		if p < -1 || int(p) >= s.nstates {
+			return nil, fmt.Errorf("explore: checkpoint parent id %d out of range", p)
+		}
+	}
+	for _, p := range s.pending {
+		if p.Parent < -1 || int(p.Parent) >= s.nstates {
+			return nil, fmt.Errorf("explore: checkpoint pending parent %d out of range", p.Parent)
+		}
+	}
+	if s.curDepth < 0 || s.resDepth < 0 || s.transitions < 0 {
+		return nil, fmt.Errorf("explore: checkpoint counters out of range (depth %d/%d, transitions %d)",
+			s.curDepth, s.resDepth, s.transitions)
 	}
 
 	// Arena: stream straight into the visited set, keeping the ids the

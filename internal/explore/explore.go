@@ -396,6 +396,34 @@ type workerState[S sim.Cloneable[S]] struct {
 	curAtCap       bool
 	curNeutral     uint64
 	curCorrectPrev []bool
+
+	// cl, when non-nil, diverts successor handling to a cluster peer:
+	// the at-cap decision and the parent identity become layer-global
+	// values owned by the coordinator, and the probe/membership calls
+	// route by state-hash shard (possibly to a remote peer's outbox)
+	// instead of into the single local visited set. nil on every
+	// single-node path, so the hot loop pays one predictable branch.
+	cl *peerHooks
+}
+
+// peerHooks is the cluster seam threaded through a worker's expansion:
+// everything a successor probe needs to know that differs between a
+// single-node run and a shard-partitioned peer.
+type peerHooks struct {
+	// atCap mirrors the single-node "States() >= MaxStates" layer
+	// decision, computed over the *cluster-wide* promoted count by the
+	// coordinator and broadcast per layer.
+	atCap bool
+	// parent is the global id (gid) of the item being expanded; probes
+	// record it in place of the shard-local id.
+	parent int32
+	// sink replaces vs.Probe: route the successor to its owning shard
+	// (a local probe or a remote-frontier outbox record).
+	sink func(key []uint64, hash uint64, pos uint64, parent int32, sel []byte)
+	// capMiss replaces the at-cap !vs.Contains check; a remote-owned
+	// key is shipped as a membership query and the owner folds the
+	// answer into its own layer report, so this returns false for it.
+	capMiss func(key []uint64, hash uint64) bool
 }
 
 func newWorkerState[S sim.Cloneable[S]](m *Model[S], opts *Options) *workerState[S] {
@@ -614,6 +642,9 @@ func (ws *workerState[S]) expand(vs *Visited, agg *layerAgg, id int32, item, dep
 	// Checking States() rather than the concurrently-moving pending
 	// count keeps the decision, and hence the reports, deterministic.
 	atCap := opts.MaxStates > 0 && vs.States() >= opts.MaxStates
+	if ws.cl != nil {
+		atCap = ws.cl.atCap
+	}
 	branch := 0
 	enabled, branches := sim.SuccessorsBuf(m.Prog, cfg, opts.Mode, ws.rng, opts.MaxBranch, &ws.succ, func(sel []int, nxt []S) bool {
 		var key []uint64
@@ -630,11 +661,20 @@ func (ws *workerState[S]) expand(vs *Visited, agg *layerAgg, id int32, item, dep
 		} else {
 			key = ws.canonKey(nxt)
 		}
-		if atCap {
+		switch {
+		case atCap && ws.cl != nil:
+			if ws.cl.capMiss(key, hashWords(key)) {
+				agg.truncated = true
+			}
+		case atCap:
 			if !vs.Contains(key, hashWords(key)) {
 				agg.truncated = true
 			}
-		} else {
+		case ws.cl != nil:
+			pos := uint64(item)<<32 | uint64(branch)
+			ws.selBuf = appendSel(ws.selBuf[:0], sel)
+			ws.cl.sink(key, hashWords(key), pos, ws.cl.parent, ws.selBuf)
+		default:
 			pos := uint64(item)<<32 | uint64(branch)
 			ws.selBuf = appendSel(ws.selBuf[:0], sel)
 			vs.Probe(key, hashWords(key), pos, id, ws.selBuf)

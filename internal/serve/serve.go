@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,13 @@ type Config struct {
 	// BreakerCooldown is how long the breaker stays open before a probe
 	// (default 15s).
 	BreakerCooldown time.Duration
+	// Peers, when non-empty, records the cluster this server is a
+	// member of (base URLs, one per peer, this server among them) for
+	// /v1/cluster/status. The cluster endpoints themselves are always
+	// mounted — a coordinator's open request carries the peer list it
+	// is driving — so this is operator-facing configuration, not a
+	// gate.
+	Peers []string
 	// Log, if non-nil, receives one line per job state change.
 	Log func(format string, args ...any)
 }
@@ -159,10 +167,11 @@ type Server struct {
 	// shedding check must not contend on mu).
 	inFlight atomic.Int64
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	doneOrder []string // finished job keys in completion order (FIFO eviction)
-	campaigns map[string]*camp
+	mu          sync.Mutex
+	jobs        map[string]*job
+	doneOrder   []string // finished job keys in completion order (FIFO eviction)
+	campaigns   map[string]*camp
+	clusterJobs map[string]*clusterPeer
 
 	// Store circuit breaker (under mu). breakerUntil zero = closed;
 	// in the future = open (compute-only); in the past = half-open
@@ -177,6 +186,10 @@ type Server struct {
 	shed, jobsTimedOut                     int64
 	storeFailures, breakerTrips            int64
 	checkpointErrors                       int64
+	badRequests                            int64
+	clusterOpens, clusterAdoptions         int64
+	clusterFramesIn, clusterFrameBytes     int64
+	clusterErrors                          int64
 	cacheHits, cacheMisses                 int64
 	queued, running                        int64
 	statesExplored                         int64
@@ -222,20 +235,25 @@ func New(cfg Config) (*Server, error) {
 	}
 	baseCtx, stopJobs := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		mux:       http.NewServeMux(),
-		sem:       make(chan struct{}, cfg.Jobs),
-		start:     time.Now(),
-		baseCtx:   baseCtx,
-		stopJobs:  stopJobs,
-		jobs:      map[string]*job{},
-		campaigns: map[string]*camp{},
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		sem:         make(chan struct{}, cfg.Jobs),
+		start:       time.Now(),
+		baseCtx:     baseCtx,
+		stopJobs:    stopJobs,
+		jobs:        map[string]*job{},
+		campaigns:   map[string]*camp{},
+		clusterJobs: map[string]*clusterPeer{},
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	s.mux.HandleFunc("POST /v1/cluster/rpc", s.handleClusterRPC)
+	s.mux.HandleFunc("POST /v1/cluster/frontier", s.handleClusterFrontier)
+	s.mux.HandleFunc("POST /v1/cluster/adopt", s.handleClusterAdopt)
+	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -246,6 +264,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/healthz", "/readyz", "/metrics":
 		// Observability stays reachable however overloaded the API is.
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/cluster/") {
+		// The cluster tier is exempt from load shedding: a shed frame or
+		// barrier RPC mid-layer would force a whole distributed layer
+		// retry, and the peer set is a closed, operator-sized population
+		// — not the open client population the in-flight cap protects
+		// against.
 		s.mux.ServeHTTP(w, r)
 		return
 	}
@@ -284,6 +311,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
+
+// badRequest is the 400 path for client mistakes — malformed JSON,
+// unknown fields, oversized bodies, invalid specs — counted separately
+// from server-side failures so the error-path tests (and operators)
+// can see rejects move without parsing logs.
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.mu.Lock()
+	s.badRequests++
+	s.mu.Unlock()
+	writeError(w, http.StatusBadRequest, format, args...)
+}
+
+// maxSpecBytes bounds job and campaign submission bodies: a canonical
+// spec is well under a kilobyte, so anything past this is hostile or
+// broken and is rejected before buffering more.
+const maxSpecBytes = 1 << 20
 
 // writeShed is the one shape every load-shedding response takes: a
 // Retry-After hint plus the usual error envelope, so clients (and the
@@ -654,15 +697,15 @@ func (s *Server) validateSpec(spec store.JobSpec) (store.JobSpec, error) {
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var spec store.JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		s.badRequest(w, "bad job spec: %v", err)
 		return
 	}
 	c, err := s.validateSpec(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.badRequest(w, "%v", err)
 		return
 	}
 	j, created, err := s.submit(c)
@@ -732,15 +775,15 @@ func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	var spec campaign.Spec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		s.badRequest(w, "bad campaign spec: %v", err)
 		return
 	}
 	cells, err := spec.Expand()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.badRequest(w, "%v", err)
 		return
 	}
 	// Validate every cell against the server cap before any work runs:
@@ -748,7 +791,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	keys := make([]string, len(cells))
 	for i, c := range cells {
 		if _, err := s.validateSpec(c); err != nil {
-			writeError(w, http.StatusBadRequest, "cell %s: %v", c, err)
+			s.badRequest(w, "cell %s: %v", c, err)
 			return
 		}
 		keys[i] = c.Key()
@@ -904,6 +947,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.queued, s.running
 	states, nanos := s.statesExplored, s.exploreNanos
 	ckpts, resumed, statesResumed := s.checkpointsWritten, s.jobsResumed, s.statesResumed
+	badReqs := s.badRequests
+	clOpens, clAdoptions := s.clusterOpens, s.clusterAdoptions
+	clFrames, clFrameBytes := s.clusterFramesIn, s.clusterFrameBytes
+	clErrors, clJobs := s.clusterErrors, int64(len(s.clusterJobs))
 	s.mu.Unlock()
 	breaker := s.breakerState()
 	hitRatio := 0.0
@@ -938,6 +985,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ccserve_states_per_second %g\n", statesPerSec)
 	fmt.Fprintf(w, "ccserve_queue_depth %d\n", queued)
 	fmt.Fprintf(w, "ccserve_jobs_running %d\n", running)
+	fmt.Fprintf(w, "ccserve_bad_requests_total %d\n", badReqs)
+	fmt.Fprintf(w, "ccserve_cluster_jobs_open %d\n", clJobs)
+	fmt.Fprintf(w, "ccserve_cluster_opens_total %d\n", clOpens)
+	fmt.Fprintf(w, "ccserve_cluster_frames_in_total %d\n", clFrames)
+	fmt.Fprintf(w, "ccserve_cluster_frame_bytes_total %d\n", clFrameBytes)
+	fmt.Fprintf(w, "ccserve_cluster_adoptions_total %d\n", clAdoptions)
+	fmt.Fprintf(w, "ccserve_cluster_errors_total %d\n", clErrors)
 	fmt.Fprintf(w, "ccserve_worker_slots %d\n", cap(s.sem))
 	fmt.Fprintf(w, "ccserve_job_workers %d\n", s.cfg.JobWorkers)
 	fmt.Fprintf(w, "ccserve_uptime_seconds %g\n", time.Since(s.start).Seconds())

@@ -769,3 +769,92 @@ func TestStoreBreakerComputeOnly(t *testing.T) {
 		t.Fatal("compute-only job leaked a store entry while the breaker was open")
 	}
 }
+
+// TestHTTPErrorSurface sweeps the general API's refusal paths beyond
+// spec validation: oversized payloads, ill-shaped ids, and the wrong
+// method on every route — each must produce the right status code, and
+// the refusals the server classifies as client errors must move the
+// bad-request counter so operators can see a misbehaving client.
+func TestHTTPErrorSurface(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	badBefore := metric(t, ts, "ccserve_bad_requests_total")
+
+	big := strings.Repeat("x", 2<<20) // past the 1 MiB spec bound
+	for _, tc := range []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"oversized job body", "/v1/jobs", `{"alg":"` + big + `"}`, http.StatusBadRequest},
+		{"oversized campaign body", "/v1/campaigns", `{"algs":["` + big + `"]}`, http.StatusBadRequest},
+		{"campaign bad json", "/v1/campaigns", `{"algs":`, http.StatusBadRequest},
+		{"campaign unknown field", "/v1/campaigns", `{"algs":["cc1"],"topos":["ring:3"],"bogus":1}`, http.StatusBadRequest},
+		{"campaign empty grid", "/v1/campaigns", `{"algs":[],"topos":[]}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: got %d (%s), want %d", tc.name, resp.StatusCode, raw, tc.want)
+		}
+		var v map[string]any
+		if json.Unmarshal(raw, &v) != nil || v["error"] == "" {
+			t.Fatalf("%s: refusal carries no error envelope: %s", tc.name, raw)
+		}
+	}
+
+	// Ill-shaped ids (not hex, traversal attempts) must be clean 404s,
+	// never 500s or path escapes.
+	for _, path := range []string{
+		"/v1/jobs/not-a-key", "/v1/jobs/..%2f..%2fetc/result", "/v1/campaigns/%00",
+	} {
+		if code, _ := get(t, ts.URL+path); code != http.StatusNotFound {
+			t.Fatalf("GET %s: got %d, want 404", path, code)
+		}
+	}
+
+	// The wrong method on every route is a 405 from the mux, not a
+	// handler-level surprise.
+	for _, m := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs"},
+		{http.MethodDelete, "/v1/jobs"},
+		{http.MethodPost, "/v1/jobs/deadbeef"},
+		{http.MethodPost, "/v1/jobs/deadbeef/result"},
+		{http.MethodGet, "/v1/campaigns"},
+		{http.MethodPost, "/v1/campaigns/deadbeef"},
+		{http.MethodPost, "/healthz"},
+		{http.MethodPost, "/readyz"},
+		{http.MethodPost, "/metrics"},
+	} {
+		req, err := http.NewRequest(m.method, ts.URL+m.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: got %d, want 405", m.method, m.path, resp.StatusCode)
+		}
+	}
+
+	if after := metric(t, ts, "ccserve_bad_requests_total"); after <= badBefore {
+		t.Fatalf("bad-request counter did not move: %g -> %g", badBefore, after)
+	}
+
+	// A valid submission still works after the abuse — the error paths
+	// must not wedge the server.
+	code, v, raw := postJSON(t, ts.URL+"/v1/jobs", jobSpec("cc2", "central"))
+	if code != http.StatusOK && code != http.StatusAccepted && code != http.StatusCreated {
+		t.Fatalf("valid submission after error sweep: %d %s", code, raw)
+	}
+	if id, _ := v["id"].(string); id != "" {
+		waitDone(t, ts.URL, id)
+	}
+}

@@ -1,0 +1,108 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/explore"
+	"repro/internal/store"
+)
+
+// TestStartupGCIdempotent runs the full startup hygiene pass —
+// GCTemp, GCCheckpoints, GCSpill, in the order ccserve and cccheck
+// invoke them — twice over the same planted debris. The first pass
+// must collect everything collectable; the second must be a pure
+// no-op; and neither may reach into quarantine/, whose contents are
+// evidence an operator still wants.
+func TestStartupGCIdempotent(t *testing.T) {
+	st := open(t)
+	dir := st.Dir()
+	spill := t.TempDir()
+
+	// Debris a killed process leaves behind. Store temps:
+	write := func(path, data string) {
+		t.Helper()
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(data), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(filepath.Join(dir, ".put-1234"), "torn verdict write")
+	write(filepath.Join(dir, "aa", "scratch.tmp"), "abandoned")
+	// An orphaned checkpoint: its job already has a verdict.
+	doneSpec := smallSpec()
+	res, err := campaign.Execute(doneSpec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(doneSpec, res); err != nil {
+		t.Fatal(err)
+	}
+	payload(st.Checkpoint(doneSpec.Key()), t, "orphan")
+	write(filepath.Join(dir, "checkpoints", "99", ".ckpt-777"), "torn save")
+	// Spill scratch from in-flight explorations, plus a bystander file
+	// the sweep must leave alone.
+	write(filepath.Join(spill, "cc-frontier-123", "seg0"), "frontier segment")
+	write(filepath.Join(spill, "cc-arena-456"), "cold arena")
+	write(filepath.Join(spill, "unrelated.dat"), "not ours")
+	// Quarantined artifacts are off-limits for every sweep, even when
+	// their names match the temp patterns.
+	qdir := filepath.Join(dir, store.QuarantineDir)
+	write(filepath.Join(qdir, "bad-verdict.json"), "kept for diagnosis")
+	write(filepath.Join(qdir, "evidence.tmp"), "kept too")
+
+	lsQuarantine := func() []string {
+		t.Helper()
+		entries, err := os.ReadDir(qdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		return names
+	}
+	qBefore := lsQuarantine()
+
+	// GCTemp runs first at startup and owns every temp pattern,
+	// including .ckpt-* save temps; GCCheckpoints then collects the
+	// orphaned snapshot itself.
+	if n := st.GCTemp(); n != 3 {
+		t.Fatalf("first GCTemp removed %d, want 3 (.put-* + *.tmp + .ckpt-*)", n)
+	}
+	if n := st.GCCheckpoints(); n != 1 {
+		t.Fatalf("first GCCheckpoints removed %d, want 1 (the orphan)", n)
+	}
+	if n := explore.GCSpill(spill); n != 2 {
+		t.Fatalf("first GCSpill removed %d, want 2 (frontier dir + arena file)", n)
+	}
+
+	// Second pass: the repo's startup sequence after a clean start must
+	// find nothing — a sweep that keeps "collecting" would be deleting
+	// live state.
+	if n := st.GCTemp(); n != 0 {
+		t.Fatalf("second GCTemp removed %d, want 0", n)
+	}
+	if n := st.GCCheckpoints(); n != 0 {
+		t.Fatalf("second GCCheckpoints removed %d, want 0", n)
+	}
+	if n := explore.GCSpill(spill); n != 0 {
+		t.Fatalf("second GCSpill removed %d, want 0", n)
+	}
+
+	if got := lsQuarantine(); len(got) != len(qBefore) {
+		t.Fatalf("quarantine touched by GC: %v -> %v", qBefore, got)
+	}
+	if _, err := os.Stat(filepath.Join(spill, "unrelated.dat")); err != nil {
+		t.Fatal("GCSpill removed a file it does not own")
+	}
+	// The verdict that orphaned the checkpoint is still served.
+	if _, _, ok := st.Get(doneSpec); !ok {
+		t.Fatal("verdict lost after GC")
+	}
+}
