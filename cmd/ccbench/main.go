@@ -29,6 +29,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/par"
 )
@@ -40,8 +41,9 @@ func main() {
 		quick        = flag.Bool("quick", false, "reduced sizes")
 		list         = flag.Bool("list", false, "list experiments and exit")
 		parallel     = flag.Bool("parallel", true, "fan experiments and their cells across the worker pool")
-		workers      = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
+		workers      = cliutil.Workers(flag.CommandLine, "j", 0, "worker-pool width (0 = GOMAXPROCS)")
 		cacheDir     = flag.String("cache", "", "verdict-store directory: serve the MC experiment's exhaustive cells from cache and persist fresh ones (shared with cccheck -cache and ccserve)")
+		storeEngine  = flag.String("store-engine", "dir", "store backend for -cache: dir or log")
 		benchJSON    = flag.String("bench-json", "", "run the engine-step microbenchmark and write JSON to this path")
 		exploreJSON  = flag.String("explore-json", "", "run the explorer throughput benchmark (binary engine vs PR 2 string-codec oracle) and write JSON to this path")
 		exploreCheck = flag.String("explore-check", "", "compare a fresh explorer benchmark against this committed BENCH_explore.json; exit 1 on a >2x speedup regression")
@@ -55,11 +57,16 @@ func main() {
 		return
 	}
 
+	nworkers, err := workers.Value()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	switch {
 	case !*parallel:
 		par.Workers = 1
-	case *workers > 0:
-		par.Workers = *workers
+	case nworkers > 0:
+		par.Workers = nworkers
 	}
 
 	if *benchJSON != "" {
@@ -99,7 +106,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, CacheDir: *cacheDir}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, CacheDir: *cacheDir, StoreEngine: *storeEngine}
 	results, err := experiments.RunAll(ids, cfg, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -9,7 +9,10 @@
 // it is a scenario harness: randomized topologies × random initial
 // configurations × real daemons, monitored by the runtime spec checkers.
 // In campaign mode the flags become comma lists and the cartesian grid
-// fans across the worker pool.
+// fans across the worker pool. In query mode nothing is explored: the
+// command reads an existing -cache warehouse and answers
+// list/filter/summary/diff questions over the stored verdicts, with
+// JSON bytes identical to the corresponding ccserve endpoints.
 //
 //	cccheck -alg cc2 -topo ring:3                         # exhaustive, all daemon modes
 //	cccheck -alg cc2 -topo ring:4 -init cc -daemon central  # the scaled instance (78k states, <1s)
@@ -21,6 +24,9 @@
 //	cccheck -alg token-ring -topo ring:5 -symmetry        # quotient modulo ring rotation
 //	cccheck -mode campaign -alg cc1,cc2,cc3 -topo ring:3,star:4 \
 //	        -daemon central,synchronous -init legit,cc -cache ./verdicts -j 8
+//	cccheck -mode query -cache ./verdicts -filter alg=cc2,verdict=violated
+//	cccheck -mode query -cache ./verdicts -summary <campaign-id>
+//	cccheck -mode query -cache ./verdicts -diff <id-a>,<id-b>
 //
 // A campaign streams per-cell progress, persists every completed cell
 // before moving on, and prints one aggregate report whose bytes are
@@ -44,6 +50,21 @@
 //     from the snapshot — surviving even kill -9, which loses at most
 //     one checkpoint interval — and finishes with verdict bytes
 //     identical to an uninterrupted run.
+//
+// The -cache warehouse has two engines, selected by -store-engine: dir
+// (one file per verdict, the default) and log (append-only checksummed
+// segments with background compaction). Both serve byte-identical
+// entries and share the same directory layout for campaign manifests,
+// checkpoints and quarantine; pick one per directory and stay with it.
+// Every CLI in this module accepts -j as the worker-count spelling
+// (ccserve also keeps -job-workers; giving both different values is a
+// usage error).
+//
+// The query grammar: -filter takes comma-separated key=value pairs over
+// alg, topo, daemon, init, mutation and verdict (verified | bounded |
+// violated); -summary aggregates one campaign's pass rates; -diff
+// compares two campaigns cell by cell. See docs/api.md for the full
+// grammar and the matching HTTP endpoints.
 //
 // Unknown flag-grammar values — a misspelled daemon, an out-of-range
 // topology size like ring:0, a trailing comma in a campaign list — are
@@ -83,6 +104,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/chaos"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/hypergraph"
@@ -109,6 +131,10 @@ func main() {
 		symmetry   = flag.Bool("symmetry", false, "explore modulo the model's rotation/block automorphism group (exact; only for models that declare one)")
 		mutate     = flag.String("mutate", "", "deliberately break a guard: "+strings.Join(explore.Mutations(), " | ")+" (campaign mode: comma list, 'none' = unmutated)")
 		cacheDir   = flag.String("cache", "", "content-addressed verdict store directory: serve cached verdicts, persist fresh ones (shared with ccserve and ccbench -cache)")
+		storeEng   = flag.String("store-engine", "dir", "store backend for -cache: dir (one file per verdict) or log (append-only segments with compaction); Get bytes are identical either way")
+		filterStr  = flag.String("filter", "", "query mode: filter grammar, e.g. 'alg=cc2,topo=ring:3,verdict=violated' (empty = every stored verdict)")
+		summaryID  = flag.String("summary", "", "query mode: aggregate this campaign id's pass rate instead of listing verdicts")
+		diffSpec   = flag.String("diff", "", "query mode: 'A,B' — diff two campaign ids cell by cell instead of listing verdicts")
 		memBudget  = flag.String("mem-budget", "", "in-memory budget for the explorer's frontier + visited arena (e.g. 256M, 2G; empty = unlimited): past it the exploration spills to temp files with an identical verdict")
 		ckptEvery  = flag.Int("checkpoint-every", 1_000_000, "with -cache: persist a resumable exploration snapshot under the job's content key every N expanded states and on SIGINT/SIGTERM, so an interrupted run resumes instead of restarting (0 = on interruption only, negative = disabled)")
 		spillDir   = flag.String("spill-dir", "", "directory for out-of-core spill scratch (empty = the system temp dir)")
@@ -119,7 +145,7 @@ func main() {
 		steps      = flag.Int("steps", 4000, "random mode: steps per scenario")
 		maxN       = flag.Int("max-n", 14, "random mode: professor bound for random scenarios")
 		traces     = flag.Int("traces", 3, "max violations to collect and print per run")
-		workers    = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
+		workers    = cliutil.Workers(flag.CommandLine, "j", 0, "worker-pool width (0 = GOMAXPROCS)")
 		scalar     = flag.Bool("scalar", false, "force the scalar (non-batch) expansion path; the verdict is byte-identical by contract — this flag exists for differential drills and perf comparison")
 		peersSpec  = flag.String("peers", "", "exhaustive mode: distribute each job across this comma-separated list of ccserve peer base URLs (one visited-set shard per peer; the peers must share one -cache directory); the verdict is byte-identical to a single-node run by the cluster differential battery's contract")
 	)
@@ -127,8 +153,10 @@ func main() {
 	if flag.NArg() > 0 {
 		fatalf("unexpected arguments %v", flag.Args())
 	}
-	if *workers > 0 {
-		par.Workers = *workers
+	if w, err := workers.Value(); err != nil {
+		fatalf("%v", err)
+	} else if w > 0 {
+		par.Workers = w
 	}
 	if *maxStates == 0 {
 		// The flag has always meant "0 = unlimited"; JobSpec encodes
@@ -142,9 +170,9 @@ func main() {
 		if *topo == "" {
 			*topo = "ring:3"
 		}
-	case "random":
+	case "random", "query":
 	default:
-		fatalf("unknown mode %q (exhaustive | random | campaign)", *mode)
+		fatalf("unknown mode %q (exhaustive | random | campaign | query)", *mode)
 	}
 	if *campJSON != "" && *mode != "campaign" {
 		fatalf("-campaign-json applies to -mode campaign only (current mode: %s)", *mode)
@@ -195,7 +223,7 @@ func main() {
 		}
 	}
 	exec := execConfig{
-		cacheDir: *cacheDir, memBudget: budget, checkpointEvery: *ckptEvery,
+		cacheDir: *cacheDir, engine: *storeEng, memBudget: budget, checkpointEvery: *ckptEvery,
 		spillDir: *spillDir, fs: fsys, scalar: *scalar, peers: peers,
 	}
 
@@ -216,6 +244,8 @@ func main() {
 			fatalf("unknown algorithm %q (cc1 | cc2 | cc3 | dining | token-ring)", *algName)
 		}
 		runRandom(*algName, *topo, *daemons, *runs, *steps, *maxN, *seed, *mutate)
+	case "query":
+		runQuery(exec, *filterStr, *summaryID, *diffSpec)
 	}
 }
 
@@ -241,11 +271,11 @@ func exitIO(err error) {
 // checkpoints and spill scratch left by a killed process are swept and
 // their counts reported. stderr only — stdout carries verdicts and
 // must stay byte-stable.
-func (e execConfig) openStore() *store.Store {
+func (e execConfig) openStore() store.Interface {
 	if e.cacheDir == "" {
-		return nil
+		return nil // untyped nil: campaign.Run and the nil checks below rely on it
 	}
-	st, err := store.OpenFS(e.cacheDir, e.fs)
+	st, err := store.OpenEngine(e.engine, e.cacheDir, e.fs)
 	if err != nil {
 		exitIO(err)
 	}
@@ -258,9 +288,9 @@ func (e execConfig) openStore() *store.Store {
 	if n := explore.GCSpill(e.spillDir); n > 0 {
 		fmt.Fprintf(os.Stderr, "cccheck: removed %d orphaned spill scratch entr(ies)\n", n)
 	}
-	st.Log = func(format string, args ...any) {
+	st.SetLog(func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "cccheck: "+format+"\n", args...)
-	}
+	})
 	return st
 }
 
@@ -270,6 +300,7 @@ func (e execConfig) openStore() *store.Store {
 // out-of-core budget, checkpoint cadence) from the flags to the modes.
 type execConfig struct {
 	cacheDir        string
+	engine          string // -store-engine: dir | log
 	memBudget       int64
 	checkpointEvery int
 	spillDir        string
@@ -433,6 +464,20 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 		fmt.Printf(" (cache %s)", st.Dir())
 	}
 	fmt.Println()
+	if st != nil {
+		// Persist the manifest up front so the query plane (-mode query,
+		// ccserve summary/diff) can address this campaign by id even if
+		// the run is interrupted. Same id ccserve computes at submit.
+		keys := make([]string, len(cells))
+		for i, c := range cells {
+			keys[i] = c.Canonical().Key()
+		}
+		id := store.CampaignID(keys)
+		if err := st.PutCampaign(id, keys); err != nil {
+			exitIO(err)
+		}
+		fmt.Printf("campaign id: %s\n", id)
+	}
 
 	// Ctrl-C / SIGTERM stops scheduling new cells; completed ones are
 	// already persisted, so the next identical run resumes from there.
@@ -502,6 +547,60 @@ func runCampaign(algs, topos, daemons, inits, mutations string, scalars store.Jo
 		}
 		os.Exit(1)
 	}
+}
+
+// --- Query mode ---------------------------------------------------------------
+
+// runQuery is the offline face of the query plane: the same
+// list/summary/diff answers ccserve's /v1/verdicts and /v1/campaigns
+// endpoints give, computed directly from the cache directory and
+// printed as one JSON document on stdout (byte-identical to the HTTP
+// body, whichever engine holds the warehouse).
+func runQuery(exec execConfig, filter, summary, diffSpec string) {
+	if exec.cacheDir == "" {
+		fatalf("-mode query needs -cache DIR")
+	}
+	if summary != "" && diffSpec != "" {
+		fatalf("-summary and -diff are mutually exclusive")
+	}
+	st := exec.openStore()
+	defer st.Close()
+
+	var doc any
+	switch {
+	case summary != "":
+		s, err := store.CampaignSummary(st, summary)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		doc = s
+	case diffSpec != "":
+		a, b, ok := strings.Cut(diffSpec, ",")
+		a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+		if !ok || a == "" || b == "" {
+			fatalf("-diff wants two campaign ids: A,B")
+		}
+		d, err := store.DiffCampaigns(st, a, b)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		doc = d
+	default:
+		f, err := store.ParseFilter(filter)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rows, err := store.List(st, f)
+		if err != nil {
+			exitIO(err)
+		}
+		doc = map[string]any{"count": len(rows), "verdicts": rows}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		exitIO(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
 }
 
 func unmarshalStrict(data []byte, v any) error {

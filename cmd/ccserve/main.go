@@ -13,12 +13,33 @@
 //	curl -s localhost:8344/v1/jobs/<id>/result
 //	curl -s -X POST localhost:8344/v1/campaigns -d '{"algs":["cc1","cc2"],"topos":["ring:3"],"inits":["cc"]}'
 //	curl -s localhost:8344/v1/campaigns/<id>
+//	curl -s 'localhost:8344/v1/verdicts?filter=alg%3Dcc2,verdict%3Dviolated'
+//	curl -s localhost:8344/v1/campaigns/<id>/summary
+//	curl -s 'localhost:8344/v1/campaigns/diff?a=<id>&b=<id>'
+//	curl -s localhost:8344/v1/store/stats
+//	curl -s -X POST localhost:8344/v1/store/compact
 //	curl -s localhost:8344/metrics
+//
+// The query plane (GET /v1/verdicts, /v1/campaigns/{id}/summary,
+// /v1/campaigns/diff) answers list/filter/summary/diff questions over
+// the verdict store; its JSON bodies are byte-identical to cccheck
+// -mode query over the same directory. The management plane
+// (/v1/store/stats, POST /v1/store/compact) inspects and compacts the
+// store; compaction never changes a served verdict byte. The full HTTP
+// surface, the error envelope {"error","class","retry_after"} every
+// non-2xx response carries, and the filter grammar are specified in
+// docs/api.md.
+//
+// -store-engine selects the verdict-store backend for -cache: dir (one
+// file per verdict, the default) or log (append-only checksummed
+// segments with background compaction). Both serve byte-identical
+// entries.
 //
 // Concurrency: at most -jobs explorations run at once, each with
 // -job-workers explorer goroutines (default: jobs × workers ≈
-// GOMAXPROCS), so any number of concurrent clients shares a bounded
-// pool. Specs whose state bound exceeds -max-states-cap are rejected
+// GOMAXPROCS; -j is accepted as an alias, and conflicting values for
+// the two spellings are a usage error), so any number of concurrent
+// clients shares a bounded pool. Specs whose state bound exceeds -max-states-cap are rejected
 // with 400.
 //
 // Degradation (see docs/robustness.md): submissions past -max-queue or
@@ -49,6 +70,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/chaos"
+	"repro/internal/cliutil"
 	"repro/internal/explore"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -59,7 +81,8 @@ func main() {
 		addr       = flag.String("addr", ":8344", "listen address")
 		cacheDir   = flag.String("cache", "", "verdict-store directory (required; shared with cccheck/ccbench -cache)")
 		jobs       = flag.Int("jobs", 2, "explorations running concurrently")
-		jobWorkers = flag.Int("job-workers", 0, "explorer goroutines per job (0 = GOMAXPROCS/jobs)")
+		jobWorkers = cliutil.Workers(flag.CommandLine, "job-workers", 0, "explorer goroutines per job (0 = GOMAXPROCS/jobs)")
+		storeEng   = flag.String("store-engine", "dir", "store backend for -cache: dir (one file per verdict) or log (append-only segments with compaction); Get bytes are identical either way")
 		maxStates  = flag.Int("max-states-cap", 6_000_000, "reject jobs whose state bound exceeds this (negative = uncapped)")
 		retain     = flag.Int("retain-jobs", 1024, "finished jobs kept in memory; older ones re-hydrate from the store on demand (negative = unlimited)")
 		maxQueue   = flag.Int("max-queue", 256, "jobs waiting for a worker slot before submissions get 503 (negative = unlimited)")
@@ -75,6 +98,12 @@ func main() {
 	if flag.NArg() > 0 {
 		fatalf("unexpected arguments %v", flag.Args())
 	}
+	// Flag grammar first: a conflicting -job-workers/-j pair is a usage
+	// error even when other required flags are also missing.
+	workers, err := jobWorkers.Value()
+	if err != nil {
+		fatalf("%v", err)
+	}
 	if *cacheDir == "" {
 		fatalf("-cache DIR is required (the verdict store shared with cccheck/ccbench)")
 	}
@@ -85,7 +114,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	st, err := store.Open(*cacheDir)
+	st, err := store.OpenEngine(*storeEng, *cacheDir, nil)
 	if err != nil {
 		if chaos.Classify(err) != chaos.Unknown {
 			fmt.Fprintf(os.Stderr, "ccserve: %s\n", chaos.Describe(err))
@@ -109,7 +138,7 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	st.Log = logf // quarantine/retry lines share the job log stream
+	st.SetLog(logf) // quarantine/retry lines share the job log stream
 	var peers []string
 	if *peersFlag != "" {
 		for _, p := range strings.Split(*peersFlag, ",") {
@@ -119,7 +148,7 @@ func main() {
 		}
 	}
 	srv, err := serve.New(serve.Config{
-		Store: st, Jobs: *jobs, JobWorkers: *jobWorkers,
+		Store: st, Jobs: *jobs, JobWorkers: workers,
 		MaxStatesCap: *maxStates, RetainJobs: *retain, MaxQueue: *maxQueue,
 		CheckpointEvery: *ckptEvery, MemBudget: budget, SpillDir: *spillDir,
 		JobTimeout: *jobTimeout, MaxInFlight: *maxInFl, Peers: peers, Log: logf,

@@ -340,7 +340,7 @@ type RunOptions struct {
 // from the store. st may be nil (no caching, everything explores).
 // The returned report is byte-identical at any opts.Workers for a
 // given starting cache state.
-func Run(ctx context.Context, st *store.Store, cells []store.JobSpec, opts RunOptions) *Report {
+func Run(ctx context.Context, st store.Interface, cells []store.JobSpec, opts RunOptions) *Report {
 	rep := &Report{Cells: len(cells), Results: make([]CellResult, len(cells))}
 	retries := opts.Retries
 	switch {

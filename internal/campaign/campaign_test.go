@@ -19,7 +19,7 @@ import (
 	"repro/internal/store"
 )
 
-func openStore(t *testing.T) *store.Store {
+func openStore(t *testing.T) store.Interface {
 	t.Helper()
 	st, err := store.Open(t.TempDir())
 	if err != nil {

@@ -90,7 +90,7 @@ func TestChaosBatteryEscalating(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			st.Log = func(string, ...any) {}
+			st.SetLog(func(string, ...any) {})
 			ffs.SetFaults(tc.faults)
 
 			// Per-test deadline: a hung campaign shows up as skipped
@@ -161,7 +161,7 @@ func TestChaosENOSPCMidCampaignRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.Log = func(string, ...any) {}
+	st.SetLog(func(string, ...any) {})
 	// One-shot ENOSPC on the 6th write-side op: with a serial pool that
 	// lands inside an early cell's Put, mid-campaign.
 	ffs.SetFaults(chaos.Faults{FailWriteAt: 6})
@@ -192,7 +192,7 @@ func TestChaosENOSPCMidCampaignRecovers(t *testing.T) {
 func TestChaosCorruptEntryRecompute(t *testing.T) {
 	cells := chaosGrid(t)
 	st := openStore(t)
-	st.Log = func(string, ...any) {}
+	st.SetLog(func(string, ...any) {})
 	rep1 := campaign.Run(context.Background(), st, cells, campaign.RunOptions{Workers: 4})
 	if !rep1.Ok() || !rep1.Complete() {
 		t.Fatalf("setup campaign not clean:\n%s", rep1.JSON())
@@ -240,7 +240,7 @@ func TestChaosCorruptCheckpointFreshRun(t *testing.T) {
 	ref := buildRef(t, cells)
 
 	st := openStore(t)
-	st.Log = func(string, ...any) {}
+	st.SetLog(func(string, ...any) {})
 	ck := st.Checkpoint(spec.Canonical().Key())
 	if err := ck.Save(func(w io.Writer) error {
 		_, err := w.Write([]byte("not a checkpoint: the explorer must reject and quarantine this"))

@@ -186,7 +186,7 @@ type ExecOptions struct {
 	// store: the job resumes from an existing snapshot under its
 	// content key, persists one every CheckpointEvery expanded states
 	// and on context cancellation, and deletes it on completion.
-	Checkpoints *store.Store
+	Checkpoints store.Interface
 	// CheckpointEvery is the expanded-state snapshot cadence
 	// (0 = snapshot only on cancellation).
 	CheckpointEvery int

@@ -25,7 +25,7 @@ func bigSpec() store.JobSpec {
 
 // interruptAfterCheckpoint cancels ctx as soon as a checkpoint file
 // for spec appears in the store.
-func interruptAfterCheckpoint(t *testing.T, st *store.Store, spec store.JobSpec, cancel context.CancelFunc) chan struct{} {
+func interruptAfterCheckpoint(t *testing.T, st store.Interface, spec store.JobSpec, cancel context.CancelFunc) chan struct{} {
 	t.Helper()
 	stop := make(chan struct{})
 	glob := filepath.Join(st.Dir(), "checkpoints", spec.Key()[:2], spec.Key()+".ckpt")

@@ -1,0 +1,61 @@
+// Package cliutil holds the flag grammar shared by every command in
+// this module. Its one concern today is the worker-count spelling: all
+// CLIs accept -j (the spelling cccheck/ccbench/ccsim always had), and
+// a command with a longer canonical name (ccserve -job-workers) keeps
+// it with -j as an alias. Setting both spellings to different values
+// is a usage error, never a silent last-one-wins; setting both to the
+// same value is accepted.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+)
+
+// WorkerFlag is a worker-count flag registered under a canonical
+// spelling plus the shared -j alias. Resolve it after flag parsing.
+type WorkerFlag struct {
+	fs        *flag.FlagSet
+	canonical string
+	long      int
+	short     int
+}
+
+// Workers registers the worker-count flag on fs under canonical and,
+// when canonical is not already "j", under the -j alias too. def is
+// the shared default; usage documents the canonical spelling.
+func Workers(fs *flag.FlagSet, canonical string, def int, usage string) *WorkerFlag {
+	w := &WorkerFlag{fs: fs, canonical: canonical, long: def, short: def}
+	fs.IntVar(&w.long, canonical, def, usage)
+	if canonical != "j" {
+		fs.IntVar(&w.short, "j", def, "alias for -"+canonical)
+	}
+	return w
+}
+
+// Value resolves the parsed flag: whichever spelling was set wins, and
+// setting both to different values is an error (equal duplicates are
+// fine — scripts concatenating flag fragments do that legitimately).
+// Call after fs.Parse.
+func (w *WorkerFlag) Value() (int, error) {
+	if w.canonical == "j" {
+		return w.long, nil
+	}
+	var setLong, setShort bool
+	w.fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case w.canonical:
+			setLong = true
+		case "j":
+			setShort = true
+		}
+	})
+	if setLong && setShort && w.long != w.short {
+		return 0, fmt.Errorf("conflicting -%s=%d and -j=%d (they are the same knob; set one, or both to the same value)",
+			w.canonical, w.long, w.short)
+	}
+	if setShort {
+		return w.short, nil
+	}
+	return w.long, nil
+}

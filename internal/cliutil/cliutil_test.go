@@ -1,0 +1,63 @@
+package cliutil_test
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cliutil"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		canonical string
+		args      []string
+		want      int
+		wantErr   string
+	}{
+		{"default", "job-workers", nil, 7, ""},
+		{"canonical only", "job-workers", []string{"-job-workers", "3"}, 3, ""},
+		{"alias only", "job-workers", []string{"-j", "5"}, 5, ""},
+		{"both equal", "job-workers", []string{"-job-workers", "4", "-j", "4"}, 4, ""},
+		{"both conflicting", "job-workers", []string{"-job-workers", "2", "-j", "3"}, 0, "conflicting"},
+		{"canonical is j", "j", []string{"-j", "9"}, 9, ""},
+		{"canonical is j default", "j", nil, 7, ""},
+		// The flag package's own last-one-wins applies to repeats of a
+		// single spelling; the conflict check is about the two names.
+		{"alias repeated", "job-workers", []string{"-j", "2", "-j", "6"}, 6, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			w := cliutil.Workers(fs, tc.canonical, 7, "workers")
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			got, err := w.Value()
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Value() = %d, %v; want error containing %q", got, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("Value() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// A canonical of "j" must not register the alias twice (flag panics on
+// duplicate registration); Workers guards that.
+func TestWorkersNoDuplicateRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cliutil.Workers(fs, "j", 0, "workers")
+	if fs.Lookup("j") == nil {
+		t.Fatal("-j not registered")
+	}
+}

@@ -37,13 +37,14 @@ func init() {
 				Header: []string{"algorithm", "topology", "init family", "daemon branching", "inits", "states", "transitions", "deadlocks", "violations"},
 			}
 
-			var st *store.Store
+			var st store.Interface
 			if cfg.CacheDir != "" {
 				var err error
-				if st, err = store.Open(cfg.CacheDir); err != nil {
+				if st, err = store.OpenEngine(cfg.StoreEngine, cfg.CacheDir, nil); err != nil {
 					res.failf("MC: cache: %v", err)
 					return res
 				}
+				defer st.Close()
 			}
 			// runCell serves one content-addressed cell, through the
 			// store when configured. Cells fan across the pool, so each

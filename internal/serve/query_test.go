@@ -1,0 +1,218 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// Query-plane endpoint tests, run against both store engines: the
+// list/filter/summary/diff surface, the stats/compact management
+// endpoints, and the guarantee that compaction is invisible in served
+// verdict bytes.
+
+// newEngineServer boots a server over a store of the given engine.
+func newEngineServer(t *testing.T, dir, engine string) *httptest.Server {
+	t.Helper()
+	st, err := store.OpenEngine(engine, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Store: st, Jobs: 2, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// runQueryCampaign submits the standard 2×2 grid and waits for it.
+func runQueryCampaign(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	code, v, _ := postJSON(t, ts.URL+"/v1/campaigns", map[string]any{
+		"algs": []string{"cc1", "cc2"}, "topos": []string{"ring:3"},
+		"daemons": []string{"central", "synchronous"}, "inits": []string{"legit"},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST campaign: %d %v", code, v)
+	}
+	id, _ := v["id"].(string)
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		_, raw := get(t, ts.URL+"/v1/campaigns/"+id)
+		var agg map[string]any
+		json.Unmarshal(raw, &agg)
+		if agg["status"] == "done" {
+			return id
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never finished: %s", raw)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestQueryEndpoints drives the whole query plane over each engine and
+// asserts the list body is byte-identical between engines — the HTTP
+// face of the store battery's differential guarantee.
+func TestQueryEndpoints(t *testing.T) {
+	listBodies := map[string][]byte{}
+	for _, engine := range []string{store.EngineDir, store.EngineLog} {
+		t.Run(engine, func(t *testing.T) {
+			ts := newEngineServer(t, t.TempDir(), engine)
+			id := runQueryCampaign(t, ts)
+
+			code, raw := get(t, ts.URL+"/v1/verdicts")
+			if code != http.StatusOK {
+				t.Fatalf("GET /v1/verdicts: %d %s", code, raw)
+			}
+			var list map[string]any
+			json.Unmarshal(raw, &list)
+			if list["count"] != float64(4) {
+				t.Fatalf("list count: %v", list["count"])
+			}
+			listBodies[engine] = raw
+
+			code, raw = get(t, ts.URL+"/v1/verdicts?filter="+url.QueryEscape("alg=cc1"))
+			var filtered map[string]any
+			json.Unmarshal(raw, &filtered)
+			if code != http.StatusOK || filtered["count"] != float64(2) {
+				t.Fatalf("filtered list: %d %s", code, raw)
+			}
+			for _, row := range filtered["verdicts"].([]any) {
+				spec := row.(map[string]any)["spec"].(map[string]any)
+				if spec["alg"] != "cc1" {
+					t.Fatalf("filter leaked a foreign row: %v", row)
+				}
+			}
+
+			code, raw = get(t, ts.URL+"/v1/campaigns/"+id+"/summary")
+			var sum map[string]any
+			json.Unmarshal(raw, &sum)
+			if code != http.StatusOK || sum["campaign"] != id ||
+				sum["verified"] != float64(4) || sum["pass_rate"] != float64(1) {
+				t.Fatalf("summary: %d %s", code, raw)
+			}
+
+			code, raw = get(t, ts.URL+"/v1/campaigns/diff?a="+id+"&b="+id)
+			var diff map[string]any
+			json.Unmarshal(raw, &diff)
+			if code != http.StatusOK || diff["equal"] != float64(4) || diff["differing"] != float64(0) {
+				t.Fatalf("self-diff: %d %s", code, raw)
+			}
+
+			code, raw = get(t, ts.URL+"/v1/store/stats")
+			var stats map[string]any
+			json.Unmarshal(raw, &stats)
+			if code != http.StatusOK {
+				t.Fatalf("stats: %d %s", code, raw)
+			}
+			if got := stats["store"].(map[string]any)["engine"]; got != engine {
+				t.Fatalf("stats report engine %v, want %s", got, engine)
+			}
+			if stats["campaigns"] != float64(1) {
+				t.Fatalf("stats campaigns: %v", stats["campaigns"])
+			}
+
+			// Compaction must not change a single served byte. Fetch every
+			// verdict body, compact through the API, fetch again.
+			keys := make([]string, 0, 4)
+			for _, row := range list["verdicts"].([]any) {
+				keys = append(keys, row.(map[string]any)["key"].(string))
+			}
+			before := map[string][]byte{}
+			for _, k := range keys {
+				code, body := get(t, ts.URL+"/v1/jobs/"+k+"/result")
+				if code != http.StatusOK {
+					t.Fatalf("result %s: %d", k[:8], code)
+				}
+				before[k] = body
+			}
+			resp, cv, craw := postJSON(t, ts.URL+"/v1/store/compact", nil)
+			if resp != http.StatusOK {
+				t.Fatalf("compact: %d %s", resp, craw)
+			}
+			if engine == store.EngineLog && cv["live"] != float64(4) {
+				t.Fatalf("compact stats: %v", cv)
+			}
+			for _, k := range keys {
+				if _, body := get(t, ts.URL+"/v1/jobs/"+k+"/result"); !bytes.Equal(body, before[k]) {
+					t.Fatalf("verdict %s changed across compaction", k[:8])
+				}
+			}
+
+			if metric(t, ts, "ccserve_queries_total") == 0 {
+				t.Fatal("query counter never moved")
+			}
+			if metric(t, ts, "ccserve_compactions_total") != 1 {
+				t.Fatal("compaction counter did not record the compact")
+			}
+		})
+	}
+	if !bytes.Equal(listBodies[store.EngineDir], listBodies[store.EngineLog]) {
+		t.Fatal("/v1/verdicts body differs between dir and log engines")
+	}
+}
+
+// TestQueryErrorPaths: every refusal on the query plane carries the
+// standard envelope with the right class.
+func TestQueryErrorPaths(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	id := runQueryCampaign(t, ts)
+	for _, tc := range []struct {
+		name, path string
+		code       int
+		class      string
+	}{
+		{"bad filter key", "/v1/verdicts?filter=" + url.QueryEscape("color=red"), 400, "bad_request"},
+		{"bad filter verdict", "/v1/verdicts?filter=" + url.QueryEscape("verdict=maybe"), 400, "bad_request"},
+		{"unknown summary", "/v1/campaigns/nope/summary", 404, "not_found"},
+		{"diff missing b", "/v1/campaigns/diff?a=" + id, 400, "bad_request"},
+		{"diff missing both", "/v1/campaigns/diff", 400, "bad_request"},
+		{"diff unknown a", "/v1/campaigns/diff?a=nope&b=" + id, 404, "not_found"},
+		{"diff unknown b", "/v1/campaigns/diff?a=" + id + "&b=nope", 404, "not_found"},
+	} {
+		code, raw := get(t, ts.URL+tc.path)
+		if code != tc.code {
+			t.Errorf("%s: got %d (%s), want %d", tc.name, code, raw, tc.code)
+			continue
+		}
+		wantEnvelope(t, tc.name, raw, tc.class)
+	}
+}
+
+// wantEnvelope asserts the unified error shape: non-empty error, the
+// expected class, and retry_after only on shed classes.
+func wantEnvelope(t *testing.T, name string, raw []byte, class string) {
+	t.Helper()
+	var env struct {
+		Error      string `json:"error"`
+		Class      string `json:"class"`
+		RetryAfter int    `json:"retry_after"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Errorf("%s: refusal is not JSON: %s", name, raw)
+		return
+	}
+	if env.Error == "" {
+		t.Errorf("%s: envelope has no error message: %s", name, raw)
+	}
+	if env.Class != class {
+		t.Errorf("%s: class %q, want %q (%s)", name, env.Class, class, raw)
+	}
+	shed := class == "shed" || class == "unavailable"
+	if shed && env.RetryAfter < 1 {
+		t.Errorf("%s: shed envelope without retry_after: %s", name, raw)
+	}
+	if !shed && env.RetryAfter != 0 {
+		t.Errorf("%s: non-shed envelope carries retry_after: %s", name, raw)
+	}
+}

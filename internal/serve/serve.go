@@ -14,11 +14,24 @@
 //	                         between cached and freshly computed verdicts
 //	POST /v1/campaigns       submit a campaign.Spec grid; cells share the job machinery
 //	GET  /v1/campaigns/{id}  deterministic aggregate (cells in expansion order)
+//	GET  /v1/campaigns/{id}/summary  pass-rate aggregate from the query plane
+//	GET  /v1/campaigns/diff?a=…&b=…  cell-by-cell diff of two campaigns
+//	GET  /v1/verdicts?filter=…       list/filter the verdict warehouse
+//	GET  /v1/store/stats     store engine footprint (entries, segments, garbage)
+//	POST /v1/store/compact   force a store compaction (no-op on the dir engine)
 //	GET  /healthz            liveness (the process is up)
 //	GET  /readyz             readiness (accepting work; 503 while draining,
 //	                         degraded while the store breaker is open)
 //	GET  /metrics            Prometheus-style text: cache hit ratio, states/sec,
 //	                         queue depth, worker pool, shedding and breaker state
+//
+// Every error response — including the mux-generated 404/405 for
+// unknown routes and wrong methods — is one JSON envelope:
+// {"error": …, "class": …, "retry_after": …} where class is a
+// machine-readable kind (bad_request | not_found | method_not_allowed
+// | shed | unavailable | internal) and retry_after (seconds, also the
+// Retry-After header) appears on shed and draining responses. See
+// docs/api.md.
 //
 // The server degrades rather than collapses: submissions past the queue
 // or in-flight bounds are shed with 429 + Retry-After, each job runs
@@ -29,8 +42,6 @@ package serve
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,8 +61,9 @@ import (
 
 // Config parameterizes the server.
 type Config struct {
-	// Store is the verdict cache (required).
-	Store *store.Store
+	// Store is the verdict cache (required) — either engine behind
+	// store.Interface.
+	Store store.Interface
 	// Jobs is the number of explorations running concurrently
 	// (default 2). Submissions beyond it queue.
 	Jobs int
@@ -196,6 +208,7 @@ type Server struct {
 	exploreNanos                           int64
 	checkpointsWritten                     int64
 	jobsResumed, statesResumed             int64
+	queries, compactions                   int64
 }
 
 // New builds a Server over the given store.
@@ -249,7 +262,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
+	s.mux.HandleFunc("GET /v1/campaigns/diff", s.handleDiffCampaigns)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/summary", s.handleCampaignSummary)
+	s.mux.HandleFunc("GET /v1/verdicts", s.handleListVerdicts)
+	s.mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
+	s.mux.HandleFunc("POST /v1/store/compact", s.handleStoreCompact)
 	s.mux.HandleFunc("POST /v1/cluster/rpc", s.handleClusterRPC)
 	s.mux.HandleFunc("POST /v1/cluster/frontier", s.handleClusterFrontier)
 	s.mux.HandleFunc("POST /v1/cluster/adopt", s.handleClusterAdopt)
@@ -261,10 +279,14 @@ func New(cfg Config) (*Server, error) {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Every mux dispatch goes through the envelope interceptor so even
+	// the stdlib's own plain-text 404/405 responses come out as the
+	// unified JSON error envelope.
+	ew := &envelopeWriter{ResponseWriter: w, req: r}
 	switch r.URL.Path {
 	case "/healthz", "/readyz", "/metrics":
 		// Observability stays reachable however overloaded the API is.
-		s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(ew, r)
 		return
 	}
 	if strings.HasPrefix(r.URL.Path, "/v1/cluster/") {
@@ -273,7 +295,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// retry, and the peer set is a closed, operator-sized population
 		// — not the open client population the in-flight cap protects
 		// against.
-		s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(ew, r)
 		return
 	}
 	if max := s.cfg.MaxInFlight; max > 0 {
@@ -288,7 +310,54 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(ew, r)
+}
+
+// envelopeWriter rewrites the plain-text 404 and 405 bodies the
+// stdlib mux writes for unknown routes and disallowed methods into
+// the one JSON error envelope every handler-level error already uses.
+// Handler responses pass through untouched: they set an
+// application/json content type before writing their status, which is
+// the discriminator.
+type envelopeWriter struct {
+	http.ResponseWriter
+	req         *http.Request
+	wroteHeader bool
+	intercepted bool
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	ct := w.Header().Get("Content-Type")
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(ct, "application/json") {
+		w.intercepted = true
+		body, _ := json.MarshalIndent(errEnvelope{
+			Error: fmt.Sprintf("%s %s: %s", w.req.Method, w.req.URL.Path,
+				strings.ToLower(http.StatusText(code))),
+			Class: errClass(code),
+		}, "", "  ")
+		w.Header().Del("X-Content-Type-Options")
+		w.Header().Del("Content-Length")
+		w.Header().Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(code)
+		w.ResponseWriter.Write(append(body, '\n'))
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercepted {
+		return len(p), nil // swallow the replaced plain-text body
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -308,8 +377,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(data, '\n'))
 }
 
+// errEnvelope is the one shape every error response takes (see the
+// package doc): a human-readable message, a machine-readable class
+// derived from the status code, and — on shed/draining responses —
+// the Retry-After hint mirrored into the body.
+type errEnvelope struct {
+	Error      string `json:"error"`
+	Class      string `json:"class"`
+	RetryAfter int    `json:"retry_after,omitempty"`
+}
+
+// errClass maps a status code onto the envelope's class vocabulary.
+func errClass(code int) string {
+	switch code {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusTooManyRequests:
+		return "shed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, code, errEnvelope{Error: fmt.Sprintf(format, args...), Class: errClass(code)})
 }
 
 // badRequest is the 400 path for client mistakes — malformed JSON,
@@ -328,12 +425,15 @@ func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
 // broken and is rejected before buffering more.
 const maxSpecBytes = 1 << 20
 
-// writeShed is the one shape every load-shedding response takes: a
-// Retry-After hint plus the usual error envelope, so clients (and the
-// CI smoke) can back off mechanically instead of hammering.
+// writeShed is the load-shedding variant of writeError: the same
+// envelope with a Retry-After hint in both the header and the body,
+// so clients (and the CI smoke) can back off mechanically instead of
+// hammering.
 func writeShed(w http.ResponseWriter, code, retryAfter int, format string, args ...any) {
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-	writeError(w, code, format, args...)
+	writeJSON(w, code, errEnvelope{
+		Error: fmt.Sprintf(format, args...), Class: errClass(code), RetryAfter: retryAfter,
+	})
 }
 
 // writeReject maps a submit error onto the unified shedding shape:
@@ -796,11 +896,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 		keys[i] = c.Key()
 	}
-	sum := sha256.New()
-	for _, k := range keys {
-		sum.Write([]byte(k))
-	}
-	id := hex.EncodeToString(sum.Sum(nil))
+	id := store.CampaignID(keys)
 	// Submit every cell before registering the campaign, so a GET for
 	// the id can never observe a partially-submitted grid.
 	for i, c := range cells {
@@ -818,6 +914,17 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		s.campaigns[id] = &camp{id: id, keys: keys}
 	}
 	s.mu.Unlock()
+	// Persist the manifest so summary/diff queries survive restarts
+	// and work offline (cccheck -mode query). Same breaker discipline
+	// as verdict writes: with the store down the in-memory record
+	// still serves this process.
+	if !existed && s.storeAvailable() {
+		if err := s.cfg.Store.PutCampaign(id, keys); err != nil {
+			s.storeFailed(err)
+		} else {
+			s.storeOK()
+		}
+	}
 	s.logf("campaign %s: %d cells", id[:12], len(cells))
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "cells": len(cells), "resubmitted": existed})
 }
@@ -837,16 +944,28 @@ type campaignView struct {
 	Results   []jobView `json:"results"`
 }
 
-func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// campaignKeys resolves a campaign id to its cell keys: the in-memory
+// record if this process accepted the submission, else the persisted
+// manifest (another process's campaign, or one from before a
+// restart).
+func (s *Server) campaignKeys(id string) ([]string, bool) {
 	s.mu.Lock()
 	c := s.campaigns[id]
-	if c == nil {
-		s.mu.Unlock()
+	s.mu.Unlock()
+	if c != nil {
+		return append([]string(nil), c.keys...), true
+	}
+	return s.cfg.Store.GetCampaign(id)
+}
+
+func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	keys, ok := s.campaignKeys(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
 		return
 	}
-	keys := append([]string(nil), c.keys...)
+	s.mu.Lock()
 	views := make([]jobView, len(keys))
 	missing := make([]bool, len(keys))
 	for i, k := range keys {
@@ -948,6 +1067,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	states, nanos := s.statesExplored, s.exploreNanos
 	ckpts, resumed, statesResumed := s.checkpointsWritten, s.jobsResumed, s.statesResumed
 	badReqs := s.badRequests
+	queries, compactions := s.queries, s.compactions
 	clOpens, clAdoptions := s.clusterOpens, s.clusterAdoptions
 	clFrames, clFrameBytes := s.clusterFramesIn, s.clusterFrameBytes
 	clErrors, clJobs := s.clusterErrors, int64(len(s.clusterJobs))
@@ -986,6 +1106,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ccserve_queue_depth %d\n", queued)
 	fmt.Fprintf(w, "ccserve_jobs_running %d\n", running)
 	fmt.Fprintf(w, "ccserve_bad_requests_total %d\n", badReqs)
+	fmt.Fprintf(w, "ccserve_queries_total %d\n", queries)
+	fmt.Fprintf(w, "ccserve_compactions_total %d\n", compactions)
 	fmt.Fprintf(w, "ccserve_cluster_jobs_open %d\n", clJobs)
 	fmt.Fprintf(w, "ccserve_cluster_opens_total %d\n", clOpens)
 	fmt.Fprintf(w, "ccserve_cluster_frames_in_total %d\n", clFrames)

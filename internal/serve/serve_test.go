@@ -578,11 +578,12 @@ func TestDrainShedding(t *testing.T) {
 		t.Fatal("drain of an idle server did not complete")
 	}
 
-	resp, v, _ := postResp(t, ts.URL+"/v1/jobs", jobSpec("cc1", "central"))
+	resp, v, raw := postResp(t, ts.URL+"/v1/jobs", jobSpec("cc1", "central"))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submission while draining: %d %v, want 503", resp.StatusCode, v)
 	}
 	wantRetryAfter(t, resp)
+	wantEnvelope(t, "drain shed", raw, "unavailable")
 
 	rresp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
@@ -643,11 +644,12 @@ func TestInFlightShedding(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 
-	resp, v, _ := postResp(t, ts.URL+"/v1/jobs", jobSpec("cc1", "central"))
+	resp, v, raw := postResp(t, ts.URL+"/v1/jobs", jobSpec("cc1", "central"))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-cap request: %d %v, want 429", resp.StatusCode, v)
 	}
 	wantRetryAfter(t, resp)
+	wantEnvelope(t, "in-flight shed", raw, "shed")
 	if metric(t, ts, "ccserve_requests_shed_total") != 1 {
 		t.Fatal("shed request not counted")
 	}
@@ -801,20 +803,21 @@ func TestHTTPErrorSurface(t *testing.T) {
 		if resp.StatusCode != tc.want {
 			t.Fatalf("%s: got %d (%s), want %d", tc.name, resp.StatusCode, raw, tc.want)
 		}
-		var v map[string]any
-		if json.Unmarshal(raw, &v) != nil || v["error"] == "" {
-			t.Fatalf("%s: refusal carries no error envelope: %s", tc.name, raw)
-		}
+		wantEnvelope(t, tc.name, raw, "bad_request")
 	}
 
 	// Ill-shaped ids (not hex, traversal attempts) must be clean 404s,
-	// never 500s or path escapes.
+	// never 500s or path escapes — each carrying the envelope, whether
+	// it came from a handler or from the mux via the envelope writer.
 	for _, path := range []string{
 		"/v1/jobs/not-a-key", "/v1/jobs/..%2f..%2fetc/result", "/v1/campaigns/%00",
+		"/v1/nope", "/totally/unrouted",
 	} {
-		if code, _ := get(t, ts.URL+path); code != http.StatusNotFound {
+		code, raw := get(t, ts.URL+path)
+		if code != http.StatusNotFound {
 			t.Fatalf("GET %s: got %d, want 404", path, code)
 		}
+		wantEnvelope(t, "GET "+path, raw, "not_found")
 	}
 
 	// The wrong method on every route is a 405 from the mux, not a
@@ -826,6 +829,10 @@ func TestHTTPErrorSurface(t *testing.T) {
 		{http.MethodPost, "/v1/jobs/deadbeef/result"},
 		{http.MethodGet, "/v1/campaigns"},
 		{http.MethodPost, "/v1/campaigns/deadbeef"},
+		{http.MethodPost, "/v1/campaigns/diff"},
+		{http.MethodPost, "/v1/verdicts"},
+		{http.MethodPost, "/v1/store/stats"},
+		{http.MethodGet, "/v1/store/compact"},
 		{http.MethodPost, "/healthz"},
 		{http.MethodPost, "/readyz"},
 		{http.MethodPost, "/metrics"},
@@ -838,10 +845,12 @@ func TestHTTPErrorSurface(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Fatalf("%s %s: got %d, want 405", m.method, m.path, resp.StatusCode)
 		}
+		wantEnvelope(t, m.method+" "+m.path, raw, "method_not_allowed")
 	}
 
 	if after := metric(t, ts, "ccserve_bad_requests_total"); after <= badBefore {

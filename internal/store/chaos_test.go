@@ -13,7 +13,7 @@ import (
 )
 
 // quarantineCount counts files parked under DIR/quarantine.
-func quarantineCount(t *testing.T, st *store.Store) int {
+func quarantineCount(t *testing.T, st store.Interface) int {
 	t.Helper()
 	entries, err := os.ReadDir(filepath.Join(st.Dir(), store.QuarantineDir))
 	if os.IsNotExist(err) {

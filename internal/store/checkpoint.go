@@ -5,9 +5,7 @@ import (
 	"errors"
 	"io"
 	"io/fs"
-	"os"
 	"path/filepath"
-	"strings"
 
 	"repro/internal/chaos"
 )
@@ -18,29 +16,32 @@ import (
 // (DIR/checkpoints/<kk>/<key>.ckpt, atomic temp-file+rename like
 // verdict entries); a rerun of the same spec finds it and resumes
 // instead of restarting, and the final verdict is byte-identical to an
-// uninterrupted run. A checkpoint is scratch, not truth: once the
-// job's verdict entry exists the checkpoint is dead weight, deleted on
-// completion, garbage-collected (GCCheckpoints) if a crash orphaned
-// it, and quarantined (Quarantine) if the explorer rejects its bytes.
+// uninterrupted run. Checkpoints are plain file blobs in both store
+// engines — they are scratch with exactly one live version per key,
+// so the log engine's append-and-supersede machinery would buy them
+// nothing. A checkpoint is not truth: once the job's verdict entry
+// exists the checkpoint is dead weight, deleted on completion,
+// garbage-collected (GCCheckpoints) if a crash orphaned it, and
+// quarantined (Quarantine) if the explorer rejects its bytes.
 //
 // Checkpoint implements explore.Checkpointer (Load/Save) plus Delete
-// and Quarantine; obtain it from Store.Checkpoint.
+// and Quarantine; obtain it from Interface.Checkpoint.
 type Checkpoint struct {
-	st   *Store
+	b    *base
 	path string
 }
 
 // Checkpoint returns the checkpoint handle for a content key.
-func (st *Store) Checkpoint(key string) *Checkpoint {
-	return &Checkpoint{st: st, path: st.checkpointPath(key)}
+func (b *base) Checkpoint(key string) *Checkpoint {
+	return &Checkpoint{b: b, path: b.checkpointPath(key)}
 }
 
-func (st *Store) checkpointPath(key string) string {
+func (b *base) checkpointPath(key string) string {
 	kk := "xx"
 	if len(key) >= 2 {
 		kk = key[:2]
 	}
-	return filepath.Join(st.dir, "checkpoints", kk, key+".ckpt")
+	return filepath.Join(b.dir, "checkpoints", kk, key+".ckpt")
 }
 
 // Load opens the stored snapshot; (nil, nil) when none exists.
@@ -49,9 +50,9 @@ func (st *Store) checkpointPath(key string) string {
 // calls Quarantine and restarts from scratch.
 func (c *Checkpoint) Load() (io.ReadCloser, error) {
 	var f chaos.File
-	err := chaos.Retry(context.Background(), c.st.Retry, func() error {
+	err := chaos.Retry(context.Background(), c.b.Retry, func() error {
 		var oerr error
-		f, oerr = c.st.fs.Open(c.path)
+		f, oerr = c.b.fs.Open(c.path)
 		if oerr != nil && errors.Is(oerr, fs.ErrNotExist) {
 			f = nil
 			return nil
@@ -75,35 +76,35 @@ func (c *Checkpoint) Load() (io.ReadCloser, error) {
 // write (the write callback must be restartable, which snapshot
 // serialization is: it reads current explorer state).
 func (c *Checkpoint) Save(write func(w io.Writer) error) error {
-	return chaos.Retry(context.Background(), c.st.Retry, func() error {
+	return chaos.Retry(context.Background(), c.b.Retry, func() error {
 		return c.saveOnce(write)
 	})
 }
 
 func (c *Checkpoint) saveOnce(write func(w io.Writer) error) error {
-	if err := c.st.fs.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
+	if err := c.b.fs.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := c.st.fs.CreateTemp(filepath.Dir(c.path), ".ckpt-*")
+	tmp, err := c.b.fs.CreateTemp(filepath.Dir(c.path), ".ckpt-*")
 	if err != nil {
 		return err
 	}
 	if err := write(tmp); err != nil {
 		tmp.Close()
-		c.st.fs.Remove(tmp.Name())
+		c.b.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		c.st.fs.Remove(tmp.Name())
+		c.b.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		c.st.fs.Remove(tmp.Name())
+		c.b.fs.Remove(tmp.Name())
 		return err
 	}
-	if err := c.st.fs.Rename(tmp.Name(), c.path); err != nil {
-		c.st.fs.Remove(tmp.Name())
+	if err := c.b.fs.Rename(tmp.Name(), c.path); err != nil {
+		c.b.fs.Remove(tmp.Name())
 		return err
 	}
 	return nil
@@ -112,7 +113,7 @@ func (c *Checkpoint) saveOnce(write func(w io.Writer) error) error {
 // Delete removes the checkpoint (idempotent; called when the job's
 // verdict is persisted).
 func (c *Checkpoint) Delete() error {
-	err := c.st.fs.Remove(c.path)
+	err := c.b.fs.Remove(c.path)
 	if err != nil && errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
@@ -123,43 +124,9 @@ func (c *Checkpoint) Delete() error {
 // the store's quarantine directory; the next run starts from scratch
 // and converges to the same verdict. Idempotent and best-effort.
 func (c *Checkpoint) Quarantine() error {
-	if _, err := c.st.fs.Stat(c.path); err != nil {
+	if _, err := c.b.fs.Stat(c.path); err != nil {
 		return nil // already gone
 	}
-	c.st.quarantine(c.path, "checkpoint rejected by explorer")
+	c.b.quarantine(c.path, "checkpoint rejected by explorer")
 	return nil
-}
-
-// GCCheckpoints removes orphaned checkpoint blobs: snapshots whose
-// job already has a verdict entry (the completion-time Delete crashed
-// or another process finished the job), plus abandoned temp files.
-// Returns the number of files removed. Safe to run concurrently with
-// live jobs: only keys with a persisted verdict are touched.
-func (st *Store) GCCheckpoints() int {
-	removed := 0
-	root := filepath.Join(st.dir, "checkpoints")
-	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return nil
-		}
-		base := filepath.Base(path)
-		if strings.HasPrefix(base, ".ckpt-") {
-			// Abandoned temp file from a crashed Save.
-			if st.fs.Remove(path) == nil {
-				removed++
-			}
-			return nil
-		}
-		key, ok := strings.CutSuffix(base, ".ckpt")
-		if !ok {
-			return nil
-		}
-		if _, err := os.Stat(st.path(key)); err == nil {
-			if st.fs.Remove(path) == nil {
-				removed++
-			}
-		}
-		return nil
-	})
-	return removed
 }

@@ -1,0 +1,202 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/store"
+)
+
+// Query-plane tests: the filter grammar, and golden-pinned JSON for
+// list/filter/summary/diff over a fixture warehouse — asserted
+// byte-identical across both store engines and across campaign worker
+// counts, the property that makes query output reproducible evidence
+// rather than a function of scheduling.
+
+func TestParseFilter(t *testing.T) {
+	good := map[string]store.Filter{
+		"":                                {},
+		"  ":                              {},
+		"alg=cc2":                         {Alg: "cc2"},
+		"alg=CC2, topo=ring:3":            {Alg: "cc2", Topo: "ring:3"},
+		"verdict=violated":                {Verdict: "violated"},
+		"daemon=sync,init=legit":          {Daemon: "sync", Init: "legit"},
+		"mutation=leave-early,alg=cc2":    {Mutation: "leave-early", Alg: "cc2"},
+		"topo=ring:3,verdict=verified":    {Topo: "ring:3", Verdict: "verified"},
+		" alg = cc1 , verdict = bounded ": {Alg: "cc1", Verdict: "bounded"},
+	}
+	for in, want := range good {
+		got, err := store.ParseFilter(in)
+		if err != nil {
+			t.Errorf("ParseFilter(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseFilter(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, bad := range []string{
+		"alg",             // no value
+		"alg=",            // empty value
+		"color=red",       // unknown key
+		"verdict=maybe",   // unknown verdict class
+		"alg=cc2,,",       // empty element
+		"alg=cc2,verdict", // trailing bad element
+	} {
+		if _, err := store.ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) accepted", bad)
+		}
+	}
+	// Aliases canonicalize before matching: daemon=sync matches entries
+	// stored under "synchronous".
+	f := store.Filter{Daemon: "sync"}
+	spec := store.JobSpec{Alg: "cc2", Topo: "ring:3", Daemon: "synchronous", Init: "legit"}.Canonical()
+	if !f.Match(spec, "verified") {
+		t.Error("daemon alias did not canonicalize in Match")
+	}
+}
+
+// queryCells is the fixture grid: two verified cells, one bounded
+// (tiny state cap), one violated (mutated guard).
+func queryCells(t *testing.T) []store.JobSpec {
+	t.Helper()
+	cells := []store.JobSpec{
+		{Alg: "cc2", Topo: "ring:3", Daemon: "central", Init: "legit"},
+		{Alg: "cc1", Topo: "ring:3", Daemon: "central", Init: "legit"},
+		{Alg: "cc2", Topo: "ring:3", Daemon: "central", Init: "cc", MaxStates: 5},
+		{Alg: "cc2", Topo: "ring:3", Daemon: "central", Init: "legit", Mutation: "leave-early", MaxViolations: 1},
+	}
+	for i, c := range cells {
+		cells[i] = c.Canonical()
+	}
+	return cells
+}
+
+// buildWarehouse runs the fixture grid into a fresh store of the
+// given engine at the given worker count and persists two campaign
+// manifests: A = the first three cells, B = cells 1,2,4 plus one key
+// with no stored verdict (a still-running cell).
+func buildWarehouse(t *testing.T, engine string, workers int) (store.Interface, string, string) {
+	t.Helper()
+	st := openEngine(t, engine, nil)
+	cells := queryCells(t)
+	rep := campaign.Run(context.Background(), st, cells, campaign.RunOptions{Workers: workers})
+	if !rep.Complete() {
+		t.Fatalf("fixture campaign incomplete:\n%s", rep.JSON())
+	}
+	key := func(i int) string { return cells[i].Key() }
+	keysA := []string{key(0), key(1), key(2)}
+	keysB := []string{key(0), key(1), key(3), "0000000000000000000000000000000000000000000000000000000000000000"}
+	idA, idB := store.CampaignID(keysA), store.CampaignID(keysB)
+	if err := st.PutCampaign(idA, keysA); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutCampaign(idB, keysB); err != nil {
+		t.Fatal(err)
+	}
+	return st, idA, idB
+}
+
+// goldenCompare marshals the document exactly like the ccserve
+// endpoints and cccheck -mode query do and compares it to the pinned
+// file; UPDATE_QUERY_GOLDEN=1 rewrites the pins.
+func goldenCompare(t *testing.T, name string, doc any) {
+	t.Helper()
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "query", name)
+	if os.Getenv("UPDATE_QUERY_GOLDEN") == "1" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_QUERY_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("%s drifted from the pinned golden:\n--- got ---\n%s--- want ---\n%s", name, data, want)
+	}
+}
+
+// TestQueryGolden pins the full query surface over the fixture
+// warehouse and proves it byte-identical across engine × worker-count
+// combinations.
+func TestQueryGolden(t *testing.T) {
+	for _, engine := range []string{store.EngineDir, store.EngineLog} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/j%d", engine, workers), func(t *testing.T) {
+				st, idA, idB := buildWarehouse(t, engine, workers)
+
+				list, err := store.List(st, store.Filter{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				goldenCompare(t, "list_all.json", map[string]any{"count": len(list), "verdicts": list})
+
+				f, err := store.ParseFilter("alg=cc2,verdict=violated")
+				if err != nil {
+					t.Fatal(err)
+				}
+				filtered, err := store.List(st, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(filtered) != 1 || filtered[0].Verdict != "violated" {
+					t.Fatalf("filter returned %d rows, want the 1 violated cell", len(filtered))
+				}
+				goldenCompare(t, "list_filtered.json", map[string]any{"count": len(filtered), "verdicts": filtered})
+
+				sumA, err := store.CampaignSummary(st, idA)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sumA.Campaign = "A" // golden stability: pin a label, not the hash
+				goldenCompare(t, "summary_a.json", sumA)
+				if sumA.Verified != 2 || sumA.Bounded != 1 || sumA.Violated != 0 || sumA.Missing != 0 || sumA.PassRate != 1 {
+					t.Fatalf("campaign A summary wrong: %+v", sumA)
+				}
+
+				sumB, err := store.CampaignSummary(st, idB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sumB.Campaign = "B"
+				goldenCompare(t, "summary_b.json", sumB)
+				if sumB.Violated != 1 || sumB.Missing != 1 || sumB.Present != 3 {
+					t.Fatalf("campaign B summary wrong: %+v", sumB)
+				}
+
+				d, err := store.DiffCampaigns(st, idA, idB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d.A, d.B = "A", "B"
+				goldenCompare(t, "diff_ab.json", d)
+				if d.Cells != 4 || d.Equal != 2 || d.Differing != 2 {
+					t.Fatalf("diff shape wrong: %+v", d)
+				}
+
+				if _, err := store.CampaignSummary(st, "nope"); err == nil {
+					t.Fatal("unknown campaign summarized")
+				}
+				if _, err := store.DiffCampaigns(st, idA, "nope"); err == nil {
+					t.Fatal("diff against an unknown campaign succeeded")
+				}
+			})
+		}
+	}
+}

@@ -1,45 +1,56 @@
-// Package store is the content-addressed verdict cache shared by the
-// CLIs (cccheck -cache, ccbench -cache) and the ccserve HTTP service:
-// one exhaustive-verification job — an (algorithm, topology, daemon
-// branching, init family, bounds, symmetry, mutation) tuple — is
-// canonicalized into a stable hash key, and its explore.Result
+// Package store is the content-addressed verdict warehouse shared by
+// the CLIs (cccheck -cache, ccbench -cache) and the ccserve HTTP
+// service: one exhaustive-verification job — an (algorithm, topology,
+// daemon branching, init family, bounds, symmetry, mutation) tuple —
+// is canonicalized into a stable hash key, and its explore.Result
 // (verdict, counts, counterexample traces) is persisted as JSON under
 // that key. Re-running the same job anywhere — another CLI invocation,
 // another process, the server — returns the stored verdict byte for
 // byte instead of recomputing it, which is what makes huge campaign
 // grids resumable and the service's repeated queries O(1).
 //
-// Layout: DIR/<kk>/<key>.json where kk is the first two hex digits of
-// the key (fan-out so directories stay small). Each entry embeds the
-// format version, the canonical spec it answers and an FNV-64a
-// checksum over spec+result; Get treats a version mismatch, a spec
-// mismatch (hash collision or format drift) or a corrupted file as a
-// miss, never an error — the cache is an accelerator, not a source of
-// truth. A corrupted entry (bad JSON, checksum mismatch) is
-// additionally moved to DIR/quarantine/ so it is preserved for
-// diagnosis but never consulted again. Writes are atomic
-// (temp file + fsync + rename in the same directory) and transient
-// write failures (ENOSPC, EIO) are retried under a bounded
-// exponential-backoff policy, so a killed or fault-ridden campaign
-// leaves only complete entries behind and a concurrent reader never
-// observes a torn file. All file I/O goes through a chaos.FS, which
-// is how the chaos battery drives this package through injected
-// faults (see docs/robustness.md).
+// Two engines implement the same narrow Interface and persist the
+// same entry bytes, selected by -store-engine {dir,log}:
+//
+//   - DirStore (the original, and the differential oracle): one file
+//     per verdict at DIR/<kk>/<key>.json where kk is the first two hex
+//     digits of the key (fan-out so directories stay small).
+//   - LogStore: append-only segment files under DIR/segments/ holding
+//     checksummed records, a sparse in-memory index rebuilt from a
+//     segment scan on open, and compaction (explicit or background)
+//     that drops superseded and corrupted records. Built for campaign
+//     fleets that produce millions of small verdicts: a Put is one
+//     appended record, not one file.
+//
+// Each entry embeds the format version, the canonical spec it answers
+// and an FNV-64a checksum over spec+result; Get treats a version
+// mismatch, a spec mismatch (hash collision or format drift) or a
+// corrupted artifact as a miss, never an error — the cache is an
+// accelerator, not a source of truth. A corrupted artifact (bad JSON,
+// checksum mismatch) is additionally preserved under DIR/quarantine/
+// for diagnosis but never consulted again. Writes are atomic or
+// append-then-fsync, and transient failures (ENOSPC, EIO) are retried
+// under a bounded exponential-backoff policy, so a killed or
+// fault-ridden campaign leaves only complete entries behind and a
+// concurrent reader never observes a torn verdict. All file I/O goes
+// through a chaos.FS, which is how the chaos battery drives this
+// package through injected faults (see docs/robustness.md).
+//
+// On top of the engines sits the query plane (Filter, List, Summarize,
+// DiffCampaigns): campaign manifests persisted by PutCampaign make
+// pass-rate aggregation and campaign diffing work offline and across
+// restarts, exposed through ccserve's /v1/verdicts and /v1/campaigns
+// endpoints and cccheck -mode query (see docs/api.md).
 package store
 
 import (
-	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"os"
-	"path/filepath"
 	"strings"
-	"sync/atomic"
 
-	"repro/internal/chaos"
 	"repro/internal/explore"
 )
 
@@ -229,7 +240,22 @@ func (s JobSpec) String() string {
 	return b.String()
 }
 
-// entry is the on-disk schema.
+// CampaignID is the content address of a campaign: the hex SHA-256
+// over its cell keys in expansion order. ccserve and cccheck campaign
+// mode compute the same id for the same grid, so manifests persisted
+// by either are queryable by both.
+func CampaignID(keys []string) string {
+	sum := sha256.New()
+	for _, k := range keys {
+		sum.Write([]byte(k))
+	}
+	return hex.EncodeToString(sum.Sum(nil))
+}
+
+// entry is the persisted verdict schema — identical bytes in both
+// engines (a DirStore file body and a LogStore record payload), which
+// is what makes the engines differentially testable and their Get
+// results byte-interchangeable.
 type entry struct {
 	Version int             `json:"version"`
 	Spec    JobSpec         `json:"spec"`
@@ -249,140 +275,63 @@ func entrySum(specJSON, result []byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Store is a content-addressed verdict cache rooted at a directory.
-// All methods are safe for concurrent use from multiple goroutines and
-// multiple processes (atomicity comes from same-directory rename).
-type Store struct {
-	dir string
-	fs  chaos.FS
-	// Retry bounds the transient-failure retry loop around durable
-	// writes and reads. Defaults to chaos.DefaultPolicy.
-	Retry chaos.Policy
-	// Log, when set, receives one line per quarantined artifact and
-	// per exhausted retry (printf-style).
-	Log func(format string, args ...any)
-
-	quarantined atomic.Int64
-}
-
-// Open creates (if needed) and returns the store rooted at dir, doing
-// I/O directly against the host filesystem.
-func Open(dir string) (*Store, error) { return OpenFS(dir, nil) }
-
-// OpenFS is Open with an explicit filesystem (nil = the host
-// filesystem); the chaos battery passes a chaos.FaultFS here.
-func OpenFS(dir string, fsys chaos.FS) (*Store, error) {
-	if dir == "" {
-		return nil, fmt.Errorf("store: empty cache directory")
-	}
-	if fsys == nil {
-		fsys = chaos.OS
-	}
-	st := &Store{dir: dir, fs: fsys, Retry: chaos.DefaultPolicy}
-	if err := chaos.Retry(context.Background(), st.Retry, func() error {
-		return fsys.MkdirAll(dir, 0o755)
-	}); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	return st, nil
-}
-
-// Dir returns the cache root.
-func (st *Store) Dir() string { return st.dir }
-
-// FS returns the filesystem the store does its I/O through.
-func (st *Store) FS() chaos.FS { return st.fs }
-
-// Quarantined returns the number of corrupted artifacts this handle
-// has moved to the quarantine directory.
-func (st *Store) Quarantined() int64 { return st.quarantined.Load() }
-
-func (st *Store) logf(format string, args ...any) {
-	if st.Log != nil {
-		st.Log(format, args...)
-	}
-}
-
-func (st *Store) path(key string) string {
-	return filepath.Join(st.dir, key[:2], key+".json")
-}
-
-// quarantine moves a corrupted artifact out of the live tree into
-// DIR/quarantine/ (falling back to deletion if even that fails), so it
-// is preserved for diagnosis but never read again. Best-effort: the
-// caller has already decided the artifact is a miss.
-func (st *Store) quarantine(path, detail string) {
-	dst := filepath.Join(st.dir, QuarantineDir, filepath.Base(path))
-	// Don't clobber earlier evidence: the same key can be corrupted,
-	// repaired and corrupted again, and each specimen matters.
-	for i := 1; ; i++ {
-		if _, err := st.fs.Stat(dst); err != nil {
-			break
-		}
-		dst = filepath.Join(st.dir, QuarantineDir, fmt.Sprintf("%s.%d", filepath.Base(path), i))
-	}
-	// Quarantine must work on the degraded disk that corrupted the
-	// artifact in the first place, so tolerate transient failures.
-	err := chaos.Retry(context.Background(), st.Retry, func() error {
-		if err := st.fs.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-			return err
-		}
-		return st.fs.Rename(path, dst)
-	})
+// encodeEntry marshals the canonical spec and its result into the
+// exact entry line both engines persist (compact deterministic JSON
+// plus a trailing newline — compact so the raw result passes through
+// the entry wrapper verbatim) and the raw result bytes every later
+// Get returns.
+func encodeEntry(c JobSpec, res *explore.Result) (line, raw []byte, err error) {
+	raw, err = json.Marshal(res)
 	if err != nil {
-		st.fs.Remove(path)
+		return nil, nil, fmt.Errorf("store: marshal result: %v", err)
 	}
-	st.quarantined.Add(1)
-	st.logf("store: quarantined %s (%s)", path, detail)
+	specJSON, err := json.Marshal(c)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: marshal spec: %v", err)
+	}
+	line, err = json.Marshal(entry{Version: Version, Spec: c, Sum: entrySum(specJSON, raw), Result: raw})
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: marshal entry: %v", err)
+	}
+	return append(line, '\n'), raw, nil
 }
 
-// readEntry reads and structurally validates the entry file for a
-// key: JSON must parse, the version must match and the checksum must
-// cover spec+result. A missing file is (zero, false) with corrupt ==
-// false; a present-but-damaged file is quarantined and reported with
-// corrupt == true. A version mismatch is a legitimate miss (format
-// drift), never quarantined.
-func (st *Store) readEntry(key string) (e entry, ok, corrupt bool) {
-	path := st.path(key)
-	var data []byte
-	err := chaos.Retry(context.Background(), st.Retry, func() error {
-		var rerr error
-		data, rerr = st.fs.ReadFile(path)
-		return rerr
-	})
-	if err != nil {
-		return entry{}, false, false
-	}
+// entryIssue classifies what checkEntry found.
+type entryIssue int
+
+const (
+	entryOK      entryIssue = iota
+	entryDrift              // older/newer format version: a legitimate miss, never quarantined
+	entryCorrupt            // undecodable bytes or checksum mismatch: quarantine material
+)
+
+// checkEntry structurally validates entry bytes: JSON must parse, the
+// version must match and the checksum must cover spec+result. The
+// engines share it so a damaged artifact is classified identically
+// whether it sits in its own file or inside a segment record.
+func checkEntry(data []byte) (entry, entryIssue, string) {
+	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		st.quarantine(path, "undecodable entry: "+err.Error())
-		return entry{}, false, true
+		return entry{}, entryCorrupt, "undecodable entry: " + err.Error()
 	}
 	if e.Version != Version {
-		return entry{}, false, false // format drift: invalidated, not corrupt
+		return entry{}, entryDrift, ""
 	}
 	specJSON, _ := json.Marshal(e.Spec)
 	if entrySum(specJSON, e.Result) != e.Sum {
-		st.quarantine(path, "checksum mismatch")
-		return entry{}, false, true
+		return entry{}, entryCorrupt, "checksum mismatch"
 	}
-	return e, true, false
+	return e, entryOK, ""
 }
 
-// Get looks the spec's verdict up. On a hit it returns the decoded
-// result plus the exact stored result bytes (so cached verdicts can be
-// served byte-identically to freshly computed ones). Version
-// mismatches, spec mismatches and unreadable or corrupted entries are
-// misses, not errors; corrupted entries are additionally quarantined.
-func (st *Store) Get(spec JobSpec) (*explore.Result, []byte, bool) {
-	c := spec.Canonical()
-	e, ok, _ := st.readEntry(c.Key())
-	if !ok {
-		return nil, nil, false
-	}
+// matchSpec is the Get tail shared by both engines: the embedded spec
+// must canonicalize to exactly the requested spec (anything else is a
+// hash collision or stale canonicalization, served as a miss).
+func matchSpec(e entry, c JobSpec) (*explore.Result, []byte, bool) {
 	want, _ := json.Marshal(c)
 	got, _ := json.Marshal(e.Spec.Canonical())
 	if string(want) != string(got) {
-		return nil, nil, false // hash collision or stale canonicalization
+		return nil, nil, false
 	}
 	var res explore.Result
 	if err := json.Unmarshal(e.Result, &res); err != nil {
@@ -391,87 +340,9 @@ func (st *Store) Get(spec JobSpec) (*explore.Result, []byte, bool) {
 	return &res, []byte(e.Result), true
 }
 
-// Put persists the result under the spec's key, atomically, and
-// returns the exact result bytes written (the same bytes every later
-// Get returns). Result and entry are stored as compact deterministic
-// JSON — compact so the raw result passes through the entry wrapper
-// verbatim (an indented wrapper would re-indent it) — so identical
-// results, e.g. the same job explored at different worker counts,
-// round-trip byte-identically. Transient write failures are retried
-// under st.Retry; the returned error, if any, is classifiable with
-// chaos.Classify.
-func (st *Store) Put(spec JobSpec, res *explore.Result) ([]byte, error) {
-	c := spec.Canonical()
-	raw, err := json.Marshal(res)
-	if err != nil {
-		return nil, fmt.Errorf("store: marshal result: %v", err)
-	}
-	specJSON, err := json.Marshal(c)
-	if err != nil {
-		return nil, fmt.Errorf("store: marshal spec: %v", err)
-	}
-	data, err := json.Marshal(entry{Version: Version, Spec: c, Sum: entrySum(specJSON, raw), Result: raw})
-	if err != nil {
-		return nil, fmt.Errorf("store: marshal entry: %v", err)
-	}
-	path := st.path(c.Key())
-	err = chaos.Retry(context.Background(), st.Retry, func() error {
-		return st.writeAtomic(path, append(data, '\n'))
-	})
-	if err != nil {
-		st.logf("store: put %s failed: %s", c.Key()[:12], chaos.Describe(err))
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	return raw, nil
-}
-
-// writeAtomic lands data at path via temp file + fsync + rename in the
-// same directory: a crash or injected fault at any point leaves either
-// the previous content or the new content, never a torn file.
-func (st *Store) writeAtomic(path string, data []byte) error {
-	if err := st.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp, err := st.fs.CreateTemp(filepath.Dir(path), ".put-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		st.fs.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		// Failed fsync means the bytes may not be durable: the temp file
-		// is poison, not a candidate for rename.
-		tmp.Close()
-		st.fs.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		st.fs.Remove(tmp.Name())
-		return err
-	}
-	if err := st.fs.Rename(tmp.Name(), path); err != nil {
-		st.fs.Remove(tmp.Name())
-		return err
-	}
-	return nil
-}
-
-// GetByKey reads the entry stored under a content key directly —
-// the serving layer evicts completed in-memory jobs and re-hydrates
-// them from the store by their job id, which IS the key. The embedded
-// spec must canonicalize back to the key (and the version and checksum
-// must match); anything else reads as a miss.
-func (st *Store) GetByKey(key string) (JobSpec, *explore.Result, []byte, bool) {
-	if len(key) < 3 {
-		return JobSpec{}, nil, nil, false
-	}
-	e, ok, _ := st.readEntry(key)
-	if !ok {
-		return JobSpec{}, nil, nil, false
-	}
+// matchKey is the GetByKey tail shared by both engines: the embedded
+// spec must hash back to the key it was found under.
+func matchKey(e entry, key string) (JobSpec, *explore.Result, []byte, bool) {
 	c := e.Spec.Canonical()
 	if c.Key() != key {
 		return JobSpec{}, nil, nil, false
@@ -481,52 +352,4 @@ func (st *Store) GetByKey(key string) (JobSpec, *explore.Result, []byte, bool) {
 		return JobSpec{}, nil, nil, false
 	}
 	return c, &res, []byte(e.Result), true
-}
-
-// Len counts the complete entries currently in the store (a
-// diagnostic; it does not validate them). Quarantined artifacts are
-// not entries and are excluded.
-func (st *Store) Len() int {
-	n := 0
-	quarantine := filepath.Join(st.dir, QuarantineDir)
-	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && d.IsDir() && path == quarantine {
-			return filepath.SkipDir
-		}
-		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasPrefix(filepath.Base(path), ".") {
-			n++
-		}
-		return nil
-	})
-	return n
-}
-
-// GCTemp removes abandoned temp files left anywhere under the cache
-// root by a killed process — .put-* (verdict writes), .ckpt-*
-// (checkpoint writes) and *.tmp — and returns the number removed.
-// Temp files are invisible to every read path, so this is pure
-// hygiene and safe to run concurrently with live jobs only at
-// startup (a live Put's in-flight temp file could be swept).
-func (st *Store) GCTemp() int {
-	removed := 0
-	quarantine := filepath.Join(st.dir, QuarantineDir)
-	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return nil
-		}
-		if d.IsDir() {
-			if path == quarantine {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		base := filepath.Base(path)
-		if strings.HasPrefix(base, ".put-") || strings.HasPrefix(base, ".ckpt-") || strings.HasSuffix(base, ".tmp") {
-			if st.fs.Remove(path) == nil {
-				removed++
-			}
-		}
-		return nil
-	})
-	return removed
 }

@@ -14,7 +14,7 @@ import (
 	"repro/internal/store"
 )
 
-func open(t *testing.T) *store.Store {
+func open(t *testing.T) *store.DirStore {
 	t.Helper()
 	st, err := store.Open(t.TempDir())
 	if err != nil {
@@ -187,7 +187,7 @@ func TestGetByKey(t *testing.T) {
 	}
 }
 
-func entryPath(t *testing.T, st *store.Store, spec store.JobSpec) string {
+func entryPath(t *testing.T, st store.Interface, spec store.JobSpec) string {
 	t.Helper()
 	key := spec.Key()
 	return filepath.Join(st.Dir(), key[:2], key+".json")
