@@ -1,0 +1,137 @@
+// Command ccload drives mixed load — job submissions, SSE watches and
+// status queries — against a ccserve fleet and writes a JSON report
+// (the BENCH_serve.json schema): throughput, a client-side latency
+// histogram aligned with the server's ccserve_http_request_seconds
+// buckets, shed and error counts, and the push plane's acceptance
+// invariant: terminal watch events delivered vs dropped.
+//
+//	ccload -targets http://a:8344,http://b:8344,http://c:8344 \
+//	       -clients 10000 -duration 30s -out BENCH_serve.json
+//
+// Every client goroutine aims each operation at a uniformly random
+// target, so a gossiping fleet is exercised cross-peer: watches and
+// queries routinely land on a peer that never ran the job and are
+// satisfied only once the verdict gossips over.
+//
+// The submission mix is -distinct specs (small ring verifications with
+// staggered -max-states, so each has its own content key); repeats are
+// intentional — they exercise in-flight dedup and store hits, which is
+// what a saturated fleet mostly serves.
+//
+// A watch scores a dropped terminal only after the full client
+// contract fails: the stream ended without a terminal event and
+// resuming with the Last-Event-ID watermark (bounded retries) still
+// never produced one. Slow-consumer eviction alone is not a drop.
+//
+// Exit status: 0 on a clean run, 1 when any terminal event was
+// dropped or any non-shed error occurred (the CI gate), 2 on usage
+// errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/loadgen"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		targets  = flag.String("targets", "", "comma-separated ccserve base URLs (required)")
+		clients  = cliutil.Workers(flag.CommandLine, "clients", 256, "concurrent load clients")
+		duration = flag.Duration("duration", 10*time.Second, "wall-clock run length")
+		distinct = flag.Int("distinct", 8, "distinct job specs in the submission mix (each its own content key)")
+		maxSt    = flag.Int("max-states", 5_000, "state bound of the smallest spec in the mix (staggered upward per spec)")
+		wSubmit  = flag.Int("submit-weight", 1, "relative weight of submit operations")
+		wWatch   = flag.Int("watch-weight", 2, "relative weight of watch operations")
+		wQuery   = flag.Int("query-weight", 1, "relative weight of status-query operations")
+		seed     = flag.Int64("seed", 1, "operation-schedule seed (client i uses seed+i)")
+		out      = flag.String("out", "", "write the JSON report here (empty = stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %v", flag.Args())
+	}
+	nClients, err := clients.Value()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *targets == "" {
+		fatalf("-targets is required (comma-separated ccserve base URLs)")
+	}
+	var urls []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			urls = append(urls, t)
+		}
+	}
+	if len(urls) == 0 {
+		fatalf("-targets is required (comma-separated ccserve base URLs)")
+	}
+	if nClients < 1 {
+		fatalf("-clients must be >= 1, got %d", nClients)
+	}
+	if *distinct < 1 {
+		fatalf("-distinct must be >= 1, got %d", *distinct)
+	}
+
+	// The mix: small ring verifications over both algorithms and two
+	// branching modes, staggered state bounds so every spec is a
+	// distinct store key.
+	algs := []string{"cc1", "cc2"}
+	daemons := []string{"central", "synchronous"}
+	specs := make([]store.JobSpec, *distinct)
+	for i := range specs {
+		specs[i] = store.JobSpec{
+			Alg: algs[i%len(algs)], Topo: "ring:3",
+			Daemon: daemons[(i/len(algs))%len(daemons)], Init: "legit",
+			MaxStates: *maxSt + i,
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "ccload: %d clients against %d target(s) for %v\n", nClients, len(urls), *duration)
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Targets: urls, Clients: nClients, Duration: *duration, Specs: specs,
+		SubmitWeight: *wSubmit, WatchWeight: *wWatch, QueryWeight: *wQuery,
+		Seed: *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"ccload: %d ops (%.0f/s), %d submits (%d cached), %d watches, %d queries, %d shed, %d errors, terminals %d delivered / %d dropped, p50 %.1fms p99 %.1fms\n",
+		rep.Ops, rep.OpsPerSec, rep.Submits, rep.CacheHits, rep.Watches, rep.Queries,
+		rep.Shed, rep.Errors, rep.Terminals, rep.DroppedTerminals,
+		rep.Latency.P50ms, rep.Latency.P99ms)
+	if rep.DroppedTerminals > 0 || rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "ccload: FAIL: %d dropped terminal(s), %d error(s)\n", rep.DroppedTerminals, rep.Errors)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ccload: "+format+"\n", args...)
+	os.Exit(2)
+}

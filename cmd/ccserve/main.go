@@ -11,8 +11,10 @@
 //	curl -s -X POST localhost:8344/v1/jobs -d '{"alg":"cc2","topo":"ring:3","daemon":"central","init":"cc-full"}'
 //	curl -s localhost:8344/v1/jobs/<id>
 //	curl -s localhost:8344/v1/jobs/<id>/result
+//	curl -sN localhost:8344/v1/jobs/<id>/watch
 //	curl -s -X POST localhost:8344/v1/campaigns -d '{"algs":["cc1","cc2"],"topos":["ring:3"],"inits":["cc"]}'
 //	curl -s localhost:8344/v1/campaigns/<id>
+//	curl -sN localhost:8344/v1/campaigns/<id>/watch
 //	curl -s 'localhost:8344/v1/verdicts?filter=alg%3Dcc2,verdict%3Dviolated'
 //	curl -s localhost:8344/v1/campaigns/<id>/summary
 //	curl -s 'localhost:8344/v1/campaigns/diff?a=<id>&b=<id>'
@@ -29,6 +31,14 @@
 // surface, the error envelope {"error","class","retry_after"} every
 // non-2xx response carries, and the filter grammar are specified in
 // docs/api.md.
+//
+// The watch endpoints stream text/event-stream: progress events while
+// a job runs, exactly one terminal verdict/failed event (per-cell and
+// done events for campaigns), with Last-Event-ID (or ?after=N) resume.
+// With -gossip-peers each node announces newly committed verdict keys
+// to its peers and fetches the ones it lacks over /v1/gossip/*, so a
+// job completed on any node is a store hit fleet-wide; ingested
+// entries are checksum-reverified and corrupt ones quarantined.
 //
 // -store-engine selects the verdict-store backend for -cache: dir (one
 // file per verdict, the default) or log (append-only checksummed
@@ -65,6 +75,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -72,6 +83,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cliutil"
 	"repro/internal/explore"
+	"repro/internal/gossip"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -92,6 +104,9 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", time.Hour, "per-job wall-clock budget: a job past it fails (checkpoint saved; resubmit to resume); 0 = no timeout")
 		maxInFl    = flag.Int("max-inflight", 512, "concurrently-handled API requests before shedding with 429 + Retry-After (negative = unlimited; /healthz, /readyz, /metrics are exempt)")
 		peersFlag  = flag.String("peers", "", "comma-separated base URLs of this checker cluster's peers, this server among them (e.g. http://a:8344,http://b:8344); recorded in /v1/cluster/status — a cccheck -peers coordinator distributes jobs across them, one visited-set shard per peer, and all peers must share one -cache directory so shard snapshots can migrate on node loss")
+		gossipSelf = flag.String("gossip-self", "", "this node's advertised base URL for verdict gossip (required with -gossip-peers; e.g. http://a:8344)")
+		gossipPeer = flag.String("gossip-peers", "", "comma-separated base URLs of peers to gossip committed verdicts with (own -cache per peer, unlike -peers): a job completed anywhere becomes a store hit fleet-wide; every ingested entry is checksum-verified and corrupt ones are quarantined, never served")
+		gossipInt  = flag.Duration("gossip-interval", 5*time.Second, "anti-entropy cadence: how often to pull each gossip peer's commit log and retry failed fetches")
 		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
@@ -147,15 +162,43 @@ func main() {
 			}
 		}
 	}
+	// The gossip node must exist before the server (serve mounts its
+	// endpoints and announces committed keys to it), but its OnIngest
+	// hook needs the server — hence the pointer indirection.
+	var gnode *gossip.Node
+	var srvPtr atomic.Pointer[serve.Server]
+	if *gossipPeer != "" {
+		if *gossipSelf == "" {
+			fatalf("-gossip-peers requires -gossip-self (this node's advertised base URL)")
+		}
+		self := strings.TrimRight(*gossipSelf, "/")
+		var neighbors []string
+		for _, p := range strings.Split(*gossipPeer, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" && p != self {
+				neighbors = append(neighbors, p)
+			}
+		}
+		gnode = gossip.New(gossip.Config{
+			Self: self, Neighbors: neighbors, Store: st, Interval: *gossipInt,
+			OnIngest: func(key string) {
+				if sv := srvPtr.Load(); sv != nil {
+					sv.GossipIngested(key)
+				}
+			},
+			Log: logf,
+		})
+	}
 	srv, err := serve.New(serve.Config{
 		Store: st, Jobs: *jobs, JobWorkers: workers,
 		MaxStatesCap: *maxStates, RetainJobs: *retain, MaxQueue: *maxQueue,
 		CheckpointEvery: *ckptEvery, MemBudget: budget, SpillDir: *spillDir,
-		JobTimeout: *jobTimeout, MaxInFlight: *maxInFl, Peers: peers, Log: logf,
+		JobTimeout: *jobTimeout, MaxInFlight: *maxInFl, Peers: peers,
+		Gossip: gnode, Log: logf,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
+	srvPtr.Store(srv)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -189,6 +232,9 @@ func main() {
 		if !srv.Drain(10 * time.Second) {
 			log.Printf("ccserve: drain timed out; some jobs may restart from an older checkpoint")
 		}
+	}
+	if gnode != nil {
+		gnode.Close()
 	}
 }
 

@@ -211,6 +211,11 @@ type ExecOptions struct {
 	// contract; differential drills use it to pit the two paths
 	// against each other on cached cells.
 	Scalar bool
+	// Progress, if non-nil, receives the explorer's chunk-boundary
+	// counter snapshots (see explore.Options.Progress) — the feed the
+	// serving tier publishes to /v1/jobs/{id}/watch subscribers.
+	// Result-irrelevant like everything else here.
+	Progress func(explore.Progress)
 }
 
 // ErrInterrupted reports that a job was cancelled mid-exploration; if
@@ -243,6 +248,7 @@ func jobOptions(c store.JobSpec, o ExecOptions) explore.Options {
 		CheckpointEvery: o.CheckpointEvery,
 		Stats:           o.Stats,
 		DisableBatch:    o.Scalar,
+		Progress:        o.Progress,
 	}
 	if o.Workers <= 0 {
 		opts.Workers = 1

@@ -193,6 +193,24 @@ type Options struct {
 	// Stats, if non-nil, receives resume/spill bookkeeping that is
 	// deliberately excluded from Result (see RunStats).
 	Stats *RunStats
+	// Progress, if non-nil, receives a counter snapshot at every
+	// expansion-chunk boundary (exploreChunk expanded states) and is the
+	// feed behind live job watching. Purely observational and
+	// result-irrelevant like Stats: it runs on the driver goroutine
+	// between chunks, so it must return quickly — publish into a
+	// non-blocking queue, never do I/O inline.
+	Progress func(Progress)
+}
+
+// Progress is the observational snapshot handed to Options.Progress:
+// where the exploration is right now, not what it concluded. All
+// counts are promoted-state accurate as of the last completed chunk.
+type Progress struct {
+	States      int   // distinct configurations promoted so far
+	Expanded    int   // configurations expanded in the current layer
+	Frontier    int   // open-queue entries remaining in the current layer
+	Depth       int   // BFS layer currently expanding
+	Transitions int64 // transitions enumerated so far
 }
 
 // TraceStep is one configuration on a counterexample trace.
@@ -1097,6 +1115,18 @@ func ExploreCtx[S sim.Cloneable[S]](ctx context.Context, newModel func() *Model[
 					layerAccum.maxEnabled = a.maxEnabled
 				}
 				layerAccum.viols = append(layerAccum.viols, a.viols...)
+			}
+			if opts.Progress != nil {
+				// Between chunks the workers are quiesced (ForEachWorker is
+				// a barrier), so the promoted count and frontier length are
+				// stable to read here.
+				opts.Progress(Progress{
+					States:      vs.States(),
+					Expanded:    itemBase,
+					Frontier:    front.Len(),
+					Depth:       depth,
+					Transitions: res.Transitions + layerAccum.transitions,
+				})
 			}
 		}
 		// Phase B (serial): promote the fresh states in deterministic

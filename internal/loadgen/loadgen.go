@@ -1,0 +1,515 @@
+// Package loadgen drives mixed load — job submissions, SSE watches,
+// status queries — against one or more ccserve base URLs and reports
+// what the fleet actually delivered: throughput, a latency histogram,
+// shed counts, and the invariant the push plane is sold on, terminal
+// events delivered vs dropped.
+//
+// A watch "drop" is scored only after the full client contract fails:
+// the stream ended without a terminal event AND reconnecting with the
+// Last-Event-ID watermark (the documented resume path, bounded
+// retries) still never produced one. Slow-consumer eviction alone is
+// not a drop — eviction plus resume is how the broker sheds load
+// without blocking publishers.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pubsub"
+	"repro/internal/store"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Targets are the ccserve base URLs (required). Each operation
+	// picks one uniformly, so a gossiping fleet is exercised cross-peer
+	// by construction.
+	Targets []string
+	// Clients is the number of concurrent client goroutines
+	// (default 64).
+	Clients int
+	// Duration is the wall-clock run length (default 10s). Clients
+	// finish their in-flight operation after it elapses.
+	Duration time.Duration
+	// Specs is the submission mix (required non-empty). Repeats are
+	// intentional: they exercise in-flight dedup and store hits.
+	Specs []store.JobSpec
+	// SubmitWeight, WatchWeight and QueryWeight set the operation mix
+	// (defaults 1, 2, 1). A client's first operation is always a
+	// submission, so watches and queries have ids to aim at.
+	SubmitWeight, WatchWeight, QueryWeight int
+	// Seed makes the operation schedule reproducible (client i derives
+	// its RNG from Seed+i).
+	Seed int64
+	// Client overrides the HTTP client (nil = a pooled transport sized
+	// for Clients concurrent connections).
+	Client *http.Client
+}
+
+// Report is the aggregate outcome of a run; it marshals to the
+// BENCH_serve.json schema.
+type Report struct {
+	Targets   int     `json:"targets"`
+	Clients   int     `json:"clients"`
+	Seconds   float64 `json:"seconds"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	Submits   int64 `json:"submits"`
+	CacheHits int64 `json:"cache_hits"`
+	Watches   int64 `json:"watches"`
+	Queries   int64 `json:"queries"`
+
+	// Shed counts 429 responses — backpressure working as designed,
+	// scored separately from Errors (transport failures, 5xx, bad
+	// bodies).
+	Shed   int64 `json:"shed"`
+	Errors int64 `json:"errors"`
+
+	// Terminals counts watch streams that delivered a terminal event;
+	// DroppedTerminals counts streams that never did, resume included.
+	// The acceptance gate is DroppedTerminals == 0.
+	Terminals        int64 `json:"terminals"`
+	DroppedTerminals int64 `json:"dropped_terminals"`
+	WatchReconnects  int64 `json:"watch_reconnects"`
+
+	Latency LatencySummary `json:"latency"`
+
+	// Fleet is each target's own /metrics view scraped after the run:
+	// the server-side request histogram and push/gossip counters,
+	// pinned next to the client-side numbers they must explain.
+	Fleet []TargetMetrics `json:"fleet,omitempty"`
+}
+
+// TargetMetrics is the slice of one ccserve /metrics scrape the
+// report cares about.
+type TargetMetrics struct {
+	Target            string           `json:"target"`
+	HTTPRequestCount  int64            `json:"http_request_count"`
+	HTTPRequestSumSec float64          `json:"http_request_sum_seconds"`
+	HTTPBuckets       map[string]int64 `json:"http_request_buckets,omitempty"`
+	EventsPublished   int64            `json:"events_published"`
+	WatchEvictions    int64            `json:"watch_evictions"`
+	GossipIngested    int64            `json:"gossip_ingested"`
+	GossipLogSeq      int64            `json:"gossip_log_seq"`
+}
+
+// LatencySummary is the client-side per-operation latency histogram
+// (watch latency = time to terminal event).
+type LatencySummary struct {
+	Count   int64            `json:"count"`
+	P50ms   float64          `json:"p50_ms"`
+	P90ms   float64          `json:"p90_ms"`
+	P99ms   float64          `json:"p99_ms"`
+	MaxMs   float64          `json:"max_ms"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, matched
+// to the server's ccserve_http_request_seconds buckets so the two
+// sides of a run line up.
+const latencyBucketCount = 13
+
+var latencyBuckets = [latencyBucketCount]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type hist struct {
+	counts [latencyBucketCount + 1]atomic.Int64
+	count  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+func (h *hist) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		cur := h.maxNs.Load()
+		if d.Nanoseconds() <= cur || h.maxNs.CompareAndSwap(cur, d.Nanoseconds()) {
+			return
+		}
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// sample — a conservative (over-)estimate, the standard histogram
+// quantile.
+func (h *hist) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			if i < len(latencyBuckets) {
+				return latencyBuckets[i]
+			}
+			return float64(h.maxNs.Load()) / 1e9
+		}
+	}
+	return float64(h.maxNs.Load()) / 1e9
+}
+
+func (h *hist) summary() LatencySummary {
+	s := LatencySummary{
+		Count:   h.count.Load(),
+		P50ms:   h.quantile(0.50) * 1000,
+		P90ms:   h.quantile(0.90) * 1000,
+		P99ms:   h.quantile(0.99) * 1000,
+		MaxMs:   float64(h.maxNs.Load()) / 1e6,
+		Buckets: map[string]int64{},
+	}
+	for i, le := range latencyBuckets {
+		s.Buckets[fmt.Sprintf("%g", le)] = h.counts[i].Load()
+	}
+	s.Buckets["+Inf"] = h.counts[len(latencyBuckets)].Load()
+	return s
+}
+
+// watchRetries bounds resume attempts after a stream ends without a
+// terminal (eviction, transient transport error) before scoring a
+// dropped terminal.
+const watchRetries = 5
+
+type runner struct {
+	cfg    Config
+	client *http.Client
+	hist   hist
+
+	ops, submits, cacheHits, watches, queries int64
+	shed, errors                              int64
+	terminals, dropped, reconnects            int64
+
+	mu  sync.Mutex
+	ids []string // submitted job ids, the watch/query target pool
+}
+
+// Run executes the configured load against the targets and aggregates
+// the report. It returns an error only for a bad Config — operation
+// failures are counted, not fatal.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("loadgen: no specs")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 64
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.SubmitWeight <= 0 && cfg.WatchWeight <= 0 && cfg.QueryWeight <= 0 {
+		cfg.SubmitWeight, cfg.WatchWeight, cfg.QueryWeight = 1, 2, 1
+	}
+	r := &runner{cfg: cfg, client: cfg.Client}
+	if r.client == nil {
+		r.client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Clients,
+				MaxIdleConnsPerHost: cfg.Clients,
+			},
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.clientLoop(ctx, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := &Report{
+		Targets: len(cfg.Targets), Clients: cfg.Clients, Seconds: elapsed,
+		Ops: r.ops, Submits: r.submits, CacheHits: r.cacheHits,
+		Watches: r.watches, Queries: r.queries,
+		Shed: r.shed, Errors: r.errors,
+		Terminals: r.terminals, DroppedTerminals: r.dropped,
+		WatchReconnects: r.reconnects,
+		Latency:         r.hist.summary(),
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(r.ops) / elapsed
+	}
+	for _, target := range cfg.Targets {
+		if tm, err := scrapeMetrics(r.client, target); err == nil {
+			rep.Fleet = append(rep.Fleet, tm)
+		}
+	}
+	return rep, nil
+}
+
+// scrapeMetrics pulls one target's /metrics and extracts the
+// server-side request histogram and push/gossip counters.
+func scrapeMetrics(client *http.Client, target string) (TargetMetrics, error) {
+	tm := TargetMetrics{Target: target}
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return tm, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return tm, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if le, found := strings.CutPrefix(name, `ccserve_http_request_seconds_bucket{le="`); found {
+			le, _ = strings.CutSuffix(le, `"}`)
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				if tm.HTTPBuckets == nil {
+					tm.HTTPBuckets = map[string]int64{}
+				}
+				tm.HTTPBuckets[le] = n
+			}
+			continue
+		}
+		f, ferr := strconv.ParseFloat(val, 64)
+		if ferr != nil {
+			continue
+		}
+		switch name {
+		case "ccserve_http_request_seconds_count":
+			tm.HTTPRequestCount = int64(f)
+		case "ccserve_http_request_seconds_sum":
+			tm.HTTPRequestSumSec = f
+		case "ccserve_events_published_total":
+			tm.EventsPublished = int64(f)
+		case "ccserve_watch_evictions_total":
+			tm.WatchEvictions = int64(f)
+		case "ccserve_gossip_ingested_total":
+			tm.GossipIngested = int64(f)
+		case "ccserve_gossip_log_seq":
+			tm.GossipLogSeq = int64(f)
+		}
+	}
+	return tm, nil
+}
+
+func (r *runner) clientLoop(ctx context.Context, rng *rand.Rand) {
+	total := r.cfg.SubmitWeight + r.cfg.WatchWeight + r.cfg.QueryWeight
+	first := true
+	for ctx.Err() == nil {
+		target := r.cfg.Targets[rng.Intn(len(r.cfg.Targets))]
+		op := rng.Intn(total)
+		switch {
+		case first || op < r.cfg.SubmitWeight:
+			first = false
+			r.submit(ctx, target, rng)
+		case op < r.cfg.SubmitWeight+r.cfg.WatchWeight:
+			r.watch(ctx, target, rng)
+		default:
+			r.query(ctx, target, rng)
+		}
+	}
+}
+
+func (r *runner) pickID(rng *rand.Rand) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ids) == 0 {
+		return ""
+	}
+	return r.ids[rng.Intn(len(r.ids))]
+}
+
+func (r *runner) addID(id string) {
+	r.mu.Lock()
+	r.ids = append(r.ids, id)
+	r.mu.Unlock()
+}
+
+// classify scores one finished HTTP operation.
+func (r *runner) classify(resp *http.Response, err error, ctx context.Context) bool {
+	atomic.AddInt64(&r.ops, 1)
+	if err != nil {
+		if ctx.Err() == nil {
+			atomic.AddInt64(&r.errors, 1)
+		}
+		return false
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		atomic.AddInt64(&r.shed, 1)
+		return false
+	}
+	if resp.StatusCode >= 500 {
+		atomic.AddInt64(&r.errors, 1)
+		return false
+	}
+	return true
+}
+
+func (r *runner) submit(ctx context.Context, target string, rng *rand.Rand) {
+	spec := r.cfg.Specs[rng.Intn(len(r.cfg.Specs))]
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		atomic.AddInt64(&r.errors, 1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	d := time.Since(start)
+	if !r.classify(resp, err, ctx) {
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return
+	}
+	defer resp.Body.Close()
+	r.hist.observe(d)
+	atomic.AddInt64(&r.submits, 1)
+	var v struct {
+		ID     string `json:"id"`
+		Cached bool   `json:"cached"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&v) == nil && v.ID != "" {
+		if v.Cached {
+			atomic.AddInt64(&r.cacheHits, 1)
+		}
+		r.addID(v.ID)
+	}
+}
+
+func (r *runner) query(ctx context.Context, target string, rng *rand.Rand) {
+	id := r.pickID(rng)
+	if id == "" {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/jobs/"+id, nil)
+	if err != nil {
+		atomic.AddInt64(&r.errors, 1)
+		return
+	}
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	d := time.Since(start)
+	ok := r.classify(resp, err, ctx)
+	if resp != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if ok {
+		// 404 is a legal answer on a gossiping fleet: the id was
+		// submitted to another peer and the verdict has not gossiped
+		// over yet.
+		r.hist.observe(d)
+		atomic.AddInt64(&r.queries, 1)
+	}
+}
+
+// watch runs one full watch contract against a job id: stream until a
+// terminal event, resuming with the watermark after stream-ends, and
+// score a terminal or — only once the retries are spent — a drop.
+func (r *runner) watch(ctx context.Context, target string, rng *rand.Rand) {
+	id := r.pickID(rng)
+	if id == "" {
+		return
+	}
+	atomic.AddInt64(&r.ops, 1)
+	atomic.AddInt64(&r.watches, 1)
+	start := time.Now()
+	var after uint64
+	known := true
+	for attempt := 0; attempt <= watchRetries; attempt++ {
+		if attempt > 0 {
+			atomic.AddInt64(&r.reconnects, 1)
+		}
+		term, seen, ok := r.watchOnce(ctx, target, id, &after)
+		if term {
+			r.hist.observe(time.Since(start))
+			atomic.AddInt64(&r.terminals, 1)
+			return
+		}
+		known = seen
+		if !ok || ctx.Err() != nil {
+			break
+		}
+	}
+	if ctx.Err() != nil || !known {
+		// The run ended mid-watch, or the peer never knew the id (it
+		// was submitted elsewhere and has not gossiped over): not a
+		// delivery failure of the push plane.
+		return
+	}
+	atomic.AddInt64(&r.dropped, 1)
+}
+
+// watchOnce opens one SSE stream. It reports (terminal seen, id known
+// to this peer, retry worthwhile) and advances the resume watermark.
+func (r *runner) watchOnce(ctx context.Context, target, id string, after *uint64) (term, known, retry bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/jobs/"+id+"/watch", nil)
+	if err != nil {
+		atomic.AddInt64(&r.errors, 1)
+		return false, true, false
+	}
+	if *after > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(*after))
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			atomic.AddInt64(&r.errors, 1)
+		}
+		return false, true, true
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return false, false, false
+	case resp.StatusCode == http.StatusTooManyRequests:
+		atomic.AddInt64(&r.shed, 1)
+		return false, true, true
+	case resp.StatusCode != http.StatusOK:
+		atomic.AddInt64(&r.errors, 1)
+		return false, true, true
+	}
+	dec := pubsub.NewDecoder(resp.Body)
+	for {
+		ev, err := dec.Next()
+		if err != nil {
+			return false, true, true // stream ended (eviction or hangup): resume
+		}
+		if ev.Seq > *after {
+			*after = ev.Seq
+		}
+		if pubsub.IsTerminal(ev.Type) {
+			return true, true, false
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gossip"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// newFleet builds n gossiping in-process ccserve peers (full mesh,
+// background anti-entropy on a tight cadence) and returns their base
+// URLs.
+func newFleet(t *testing.T, n int) []string {
+	t.Helper()
+	type peer struct {
+		sv atomic.Pointer[serve.Server]
+	}
+	urls := make([]string, n)
+	peers := make([]*peer, n)
+	stores := make([]store.Interface, n)
+	for i := range urls {
+		p := &peer{}
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sv := p.sv.Load()
+			if sv == nil {
+				http.Error(w, "starting", http.StatusServiceUnavailable)
+				return
+			}
+			sv.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		st, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		urls[i], peers[i], stores[i] = ts.URL, p, st
+	}
+	for i := range urls {
+		var neighbors []string
+		for j, u := range urls {
+			if j != i {
+				neighbors = append(neighbors, u)
+			}
+		}
+		p := peers[i]
+		node := gossip.New(gossip.Config{
+			Self: urls[i], Neighbors: neighbors, Store: stores[i],
+			Interval: 100 * time.Millisecond,
+			OnIngest: func(key string) {
+				if sv := p.sv.Load(); sv != nil {
+					sv.GossipIngested(key)
+				}
+			},
+		})
+		t.Cleanup(node.Close)
+		sv, err := serve.New(serve.Config{
+			Store: stores[i], Jobs: 2, JobWorkers: 1, Gossip: node,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.sv.Store(sv)
+	}
+	return urls
+}
+
+// TestLoadBattery is the in-process slice of the 10k acceptance run: a
+// 3-peer gossiping fleet under about a thousand mixed clients, with
+// the push plane's invariant enforced — every watch that reached a
+// peer knowing the job received a terminal event; none were dropped.
+func TestLoadBattery(t *testing.T) {
+	clients := 1000
+	dur := 4 * time.Second
+	if testing.Short() {
+		clients, dur = 128, 2*time.Second
+	}
+	urls := newFleet(t, 3)
+	specs := make([]store.JobSpec, 6)
+	for i := range specs {
+		alg := "cc1"
+		if i%2 == 1 {
+			alg = "cc2"
+		}
+		specs[i] = store.JobSpec{
+			Alg: alg, Topo: "ring:3", Daemon: "central", Init: "legit",
+			MaxStates: 5_000 + i,
+		}
+	}
+
+	rep, err := Run(context.Background(), Config{
+		Targets: urls, Clients: clients, Duration: dur, Specs: specs, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("battery: %d ops (%.0f/s), %d submits (%d cached), %d watches, %d queries, %d shed, %d errors, %d terminals, %d reconnects",
+		rep.Ops, rep.OpsPerSec, rep.Submits, rep.CacheHits, rep.Watches, rep.Queries,
+		rep.Shed, rep.Errors, rep.Terminals, rep.WatchReconnects)
+
+	if rep.DroppedTerminals != 0 {
+		t.Fatalf("%d terminal events dropped", rep.DroppedTerminals)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d hard errors under load", rep.Errors)
+	}
+	if rep.Terminals == 0 {
+		t.Fatal("no watch ever delivered a terminal event")
+	}
+	if rep.Submits == 0 || rep.CacheHits == 0 {
+		t.Fatalf("mix did not exercise dedup: %d submits, %d cache hits", rep.Submits, rep.CacheHits)
+	}
+	if rep.Latency.Count == 0 || rep.Latency.MaxMs <= 0 {
+		t.Fatalf("empty latency histogram: %+v", rep.Latency)
+	}
+	if len(rep.Fleet) != 3 {
+		t.Fatalf("scraped %d fleet metric sets, want 3", len(rep.Fleet))
+	}
+	for _, tm := range rep.Fleet {
+		if tm.HTTPRequestCount == 0 || len(tm.HTTPBuckets) == 0 {
+			t.Fatalf("empty server-side histogram for %s: %+v", tm.Target, tm)
+		}
+	}
+}
+
+// TestRunRejectsBadConfig pins the usage errors.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Specs: []store.JobSpec{{}}}); err == nil {
+		t.Fatal("no targets accepted")
+	}
+	if _, err := Run(context.Background(), Config{Targets: []string{"http://x"}}); err == nil {
+		t.Fatal("no specs accepted")
+	}
+}
+
+// TestHistQuantiles pins the histogram math the report is built on:
+// bucketed counts, conservative quantiles, exact max.
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	for i := 0; i < 95; i++ {
+		h.observe(2 * time.Millisecond) // le=0.0025 bucket
+	}
+	for i := 0; i < 5; i++ {
+		h.observe(400 * time.Millisecond) // le=0.5 bucket
+	}
+	s := h.summary()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.P50ms != 2.5 || s.P90ms != 2.5 {
+		t.Fatalf("p50 %g p90 %g, want 2.5 (bucket upper bound)", s.P50ms, s.P90ms)
+	}
+	if s.P99ms != 500 {
+		t.Fatalf("p99 %g, want 500", s.P99ms)
+	}
+	if s.MaxMs != 400 {
+		t.Fatalf("max %g, want 400", s.MaxMs)
+	}
+	if s.Buckets["0.0025"] != 95 || s.Buckets["0.5"] != 5 {
+		t.Fatalf("buckets: %v", s.Buckets)
+	}
+}

@@ -1,0 +1,87 @@
+package pubsub_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/pubsub"
+)
+
+// FuzzEventDecode drives the SSE/gossip wire decoder with arbitrary
+// bytes — seeded with real frames, truncations and near-miss mutations
+// — and enforces the hardening contract the checkpoint-decoder fuzz
+// target established for binary snapshots:
+//
+//   - no panic, no hang, no allocation proportional to a claimed
+//     (rather than actually read) length;
+//   - every accepted event satisfies the semantic ranges: a non-zero
+//     decoded Seq only from an id: line, a type that passes the token
+//     grammar, data that is valid JSON within MaxEventData;
+//   - accepted events re-encode and re-decode to themselves (the codec
+//     is a retraction: decode ∘ encode = id on its image).
+func FuzzEventDecode(f *testing.F) {
+	seed := func(ev pubsub.Event) { f.Add(pubsub.AppendSSE(nil, ev)) }
+	seed(pubsub.Event{Seq: 1, Type: "progress", Data: json.RawMessage(`{"states":10,"frontier":3,"depth":2}`)})
+	seed(pubsub.Event{Seq: 2, Type: "verdict", Data: json.RawMessage(`{"verdict":"verified","states":128}`)})
+	seed(pubsub.Event{Seq: 0, Type: "cell", Data: json.RawMessage(`"synth"`)})
+	seed(pubsub.Event{Seq: 7, Type: "announce", Data: json.RawMessage(`{"from":"http://a","seq":4,"keys":["ab","cd"]}`)})
+	// Multi-frame stream.
+	two := pubsub.AppendSSE(nil, pubsub.Event{Seq: 1, Type: "progress", Data: json.RawMessage(`1`)})
+	f.Add(pubsub.AppendSSE(two, pubsub.Event{Seq: 2, Type: "done", Data: json.RawMessage(`2`)}))
+	// Hostile shapes.
+	f.Add([]byte("id: 1\nevent: x\ndata: {}"))                 // torn
+	f.Add([]byte(": comment\nretry: 9\nid: 0\ndata: {}\n\n"))  // zero id
+	f.Add([]byte("id: 18446744073709551616\nevent: x\n\n"))    // uint64 overflow
+	f.Add([]byte("event: " + strings.Repeat("z", 100) + "\n")) // long type
+	f.Add([]byte("data: \n\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("id: 3\r\nevent: ok\r\ndata: [1,2,\r\ndata: 3]\r\n\r\n"))
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		d := pubsub.NewDecoder(bytes.NewReader(wire))
+		for i := 0; i < 64; i++ { // bounded frames per input
+			ev, err := d.Next()
+			if err != nil {
+				return // rejection is always an acceptable outcome
+			}
+			// Semantic ranges on every accepted event.
+			if ev.Type == "" || len(ev.Type) > 64 {
+				t.Fatalf("accepted event with bad type %q", ev.Type)
+			}
+			for j := 0; j < len(ev.Type); j++ {
+				c := ev.Type[j]
+				ok := c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_'
+				if !ok || (j == 0 && !(c >= 'a' && c <= 'z')) {
+					t.Fatalf("accepted event type %q violates the token grammar", ev.Type)
+				}
+			}
+			if len(ev.Data) > pubsub.MaxEventData {
+				t.Fatalf("accepted %d-byte data past the bound", len(ev.Data))
+			}
+			if !json.Valid(ev.Data) {
+				t.Fatalf("accepted non-JSON data %q", ev.Data)
+			}
+			// Round-trip: what we accepted must survive our own encoder.
+			back, err := pubsub.NewDecoder(bytes.NewReader(pubsub.AppendSSE(nil, ev))).Next()
+			if err != nil {
+				t.Fatalf("re-decode of accepted event failed: %v", err)
+			}
+			// A multi-line data payload is rejoined with \n; everything
+			// else must be byte-identical.
+			if back.Seq != ev.Seq || back.Type != ev.Type || !bytes.Equal(back.Data, ev.Data) {
+				t.Fatalf("round-trip drift: %+v vs %+v", back, ev)
+			}
+		}
+		// Drain the rest so a pathological input cannot claim success by
+		// parking frames; errors (including EOF) just end the stream.
+		for {
+			if _, err := d.Next(); err != nil {
+				_ = err == io.EOF
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package pubsub_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/pubsub"
+)
+
+func publish(t *testing.T, b *pubsub.Broker, topic, typ string, data any) pubsub.Event {
+	t.Helper()
+	ev, err := b.Publish(topic, typ, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// drain reads everything currently queued on the subscription without
+// blocking.
+func drain(s *pubsub.Sub) []pubsub.Event {
+	var out []pubsub.Event
+	for {
+		select {
+		case ev, ok := <-s.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func TestPublishSubscribeOrder(t *testing.T) {
+	b := pubsub.New(pubsub.Options{})
+	s := b.Subscribe("job/x", 0)
+	defer s.Close()
+	for i := 1; i <= 5; i++ {
+		publish(t, b, "job/x", pubsub.TypeProgress, map[string]int{"states": i})
+	}
+	publish(t, b, "job/x", pubsub.TypeVerdict, map[string]string{"verdict": "verified"})
+	evs := drain(s)
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if evs[5].Type != pubsub.TypeVerdict {
+		t.Fatalf("last event type %q, want verdict", evs[5].Type)
+	}
+}
+
+func TestLastEventIDResume(t *testing.T) {
+	b := pubsub.New(pubsub.Options{RingSize: 8})
+	for i := 1; i <= 5; i++ {
+		publish(t, b, "job/x", pubsub.TypeProgress, i)
+	}
+	// Resume after seq 3: only 4 and 5 replay.
+	s := b.Subscribe("job/x", 3)
+	defer s.Close()
+	evs := drain(s)
+	if len(evs) != 2 || evs[0].Seq != 4 || evs[1].Seq != 5 {
+		t.Fatalf("resume after 3 replayed %+v, want seqs 4,5", evs)
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	b := pubsub.New(pubsub.Options{RingSize: 4})
+	for i := 1; i <= 10; i++ {
+		publish(t, b, "job/x", pubsub.TypeProgress, i)
+	}
+	publish(t, b, "job/x", pubsub.TypeVerdict, "ok") // seq 11
+	s := b.Subscribe("job/x", 0)
+	defer s.Close()
+	evs := drain(s)
+	// Ring depth 4: the oldest replayable is seq 8, and the terminal
+	// event is always within the newest ring entries.
+	if len(evs) != 4 || evs[0].Seq != 8 || evs[3].Type != pubsub.TypeVerdict {
+		t.Fatalf("overflowed ring replayed %+v, want seqs 8..11 ending in verdict", evs)
+	}
+}
+
+func TestSlowConsumerEvicted(t *testing.T) {
+	b := pubsub.New(pubsub.Options{RingSize: 2, QueueSize: 4})
+	s := b.Subscribe("job/x", 0)
+	// Publish past the queue depth without reading: the subscriber must
+	// be evicted and every publish must return instantly.
+	for i := 0; i < 10; i++ {
+		publish(t, b, "job/x", pubsub.TypeProgress, i)
+	}
+	// The channel closes after eviction; drain what was queued.
+	var got int
+	for range s.Events() {
+		got++
+	}
+	if !s.Evicted() {
+		t.Fatal("slow subscriber not evicted")
+	}
+	if got != 4 {
+		t.Fatalf("evicted subscriber drained %d events, want the 4 queued", got)
+	}
+	if b.Evictions() != 1 {
+		t.Fatalf("evictions counter %d, want 1", b.Evictions())
+	}
+	// A fresh subscriber still works: eviction is per-subscription.
+	s2 := b.Subscribe("job/x", 0)
+	defer s2.Close()
+	if evs := drain(s2); len(evs) != 2 {
+		t.Fatalf("fresh subscriber replayed %d events, want ring depth 2", len(evs))
+	}
+}
+
+func TestTopicRetiresAfterTerminalAndLastClose(t *testing.T) {
+	b := pubsub.New(pubsub.Options{})
+	s := b.Subscribe("job/x", 0)
+	publish(t, b, "job/x", pubsub.TypeVerdict, "ok")
+	if n := b.Topics(); n != 1 {
+		t.Fatalf("topics %d, want 1", n)
+	}
+	s.Close()
+	if n := b.Topics(); n != 0 {
+		t.Fatalf("topics after terminal close %d, want 0 (retired)", n)
+	}
+	// A live (non-done) topic survives its subscribers detaching.
+	s2 := b.Subscribe("job/y", 0)
+	publish(t, b, "job/y", pubsub.TypeProgress, 1)
+	s2.Close()
+	if n := b.Topics(); n != 1 {
+		t.Fatalf("live topic retired early: topics %d, want 1", n)
+	}
+}
+
+func TestMaxTopicsEvictsSubscriberless(t *testing.T) {
+	b := pubsub.New(pubsub.Options{MaxTopics: 4})
+	held := b.Subscribe("keep", 0)
+	defer held.Close()
+	for i := 0; i < 20; i++ {
+		publish(t, b, fmt.Sprintf("t%d", i), pubsub.TypeProgress, i)
+	}
+	if n := b.Topics(); n > 5 {
+		t.Fatalf("topics %d, want <= MaxTopics+held", n)
+	}
+	// The subscribed topic must never be the eviction victim.
+	publish(t, b, "keep", pubsub.TypeProgress, 1)
+	if evs := drain(held); len(evs) != 1 {
+		t.Fatalf("held subscription lost its topic: %d events", len(evs))
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := pubsub.New(pubsub.Options{QueueSize: 4096})
+	const pubs, events = 4, 200
+	var wg sync.WaitGroup
+	s := b.Subscribe("job/x", 0)
+	defer s.Close()
+	for p := 0; p < pubs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				publish(t, b, "job/x", pubsub.TypeProgress, i)
+			}
+		}()
+	}
+	wg.Wait()
+	evs := drain(s)
+	if len(evs) != pubs*events {
+		t.Fatalf("got %d events, want %d", len(evs), pubs*events)
+	}
+	// Seqs are the contiguous 1..N range in delivery order.
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d: delivery order diverged from publish order", i, ev.Seq)
+		}
+	}
+}
+
+func TestSSERoundTrip(t *testing.T) {
+	events := []pubsub.Event{
+		{Seq: 1, Type: "progress", Data: json.RawMessage(`{"states":42,"depth":3}`)},
+		{Seq: 2, Type: "verdict", Data: json.RawMessage(`{"verdict":"verified"}`)},
+		{Seq: 0, Type: "cell", Data: json.RawMessage(`"synthesized"`)}, // no id line
+		{Seq: 9, Type: "failed", Data: json.RawMessage(`{"error":"line1\nline2"}`)},
+	}
+	var wire []byte
+	for _, ev := range events {
+		wire = pubsub.AppendSSE(wire, ev)
+	}
+	d := pubsub.NewDecoder(bytes.NewReader(wire))
+	for i, want := range events {
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got.Seq != want.Seq || got.Type != want.Type || string(got.Data) != string(want.Data) {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("trailing read err %v, want EOF", err)
+	}
+}
+
+func TestSSEDecoderTolerance(t *testing.T) {
+	// Comments, \r\n endings, unknown fields and stray blank lines are
+	// all legal SSE the decoder must skip.
+	wire := ": keepalive\r\n\r\nretry: 100\r\nid: 3\r\nevent: progress\r\ndata: {}\r\n\r\n"
+	d := pubsub.NewDecoder(strings.NewReader(wire))
+	ev, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 3 || ev.Type != "progress" || string(ev.Data) != "{}" {
+		t.Fatalf("decoded %+v", ev)
+	}
+}
+
+func TestSSEDecoderRejects(t *testing.T) {
+	for name, wire := range map[string]string{
+		"no type":        "id: 1\ndata: {}\n\n",
+		"no data":        "id: 1\nevent: x\n\n",
+		"bad id":         "id: -4\nevent: x\ndata: {}\n\n",
+		"zero id":        "id: 0\nevent: x\ndata: {}\n\n",
+		"huge id":        "id: 99999999999999999999\nevent: x\ndata: {}\n\n",
+		"bad type chars": "id: 1\nevent: X;rm -rf\ndata: {}\n\n",
+		"digit-led type": "id: 1\nevent: 9x\ndata: {}\n\n",
+		"long type":      "id: 1\nevent: " + strings.Repeat("a", 65) + "\ndata: {}\n\n",
+		"non-json data":  "id: 1\nevent: x\ndata: {not json\n\n",
+		"torn frame":     "id: 1\nevent: x\ndata: {}",
+		"oversized line": "id: " + strings.Repeat("7", 5000) + "\nevent: x\ndata: {}\n\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := pubsub.NewDecoder(strings.NewReader(wire))
+			if ev, err := d.Next(); err == nil {
+				t.Fatalf("decoded %+v, want error", ev)
+			}
+		})
+	}
+}
+
+// TestSSELargeData pins the big-payload path: a single-line JSON data
+// value larger than the decoder's internal buffer (a verdict result
+// with traces) must round-trip, while one past MaxEventData must be
+// rejected.
+func TestSSELargeData(t *testing.T) {
+	big := `{"blob":"` + strings.Repeat("x", 64<<10) + `"}`
+	wire := pubsub.AppendSSE(nil, pubsub.Event{Seq: 1, Type: "verdict", Data: json.RawMessage(big)})
+	ev, err := pubsub.NewDecoder(bytes.NewReader(wire)).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ev.Data) != big {
+		t.Fatal("large data did not round-trip")
+	}
+
+	over := "id: 1\nevent: x\ndata: " + strings.Repeat("y", pubsub.MaxEventData+2) + "\n\n"
+	if _, err := pubsub.NewDecoder(strings.NewReader(over)).Next(); err == nil {
+		t.Fatal("oversized data accepted")
+	}
+}

@@ -1,0 +1,205 @@
+// SSE wire codec: the framing every pubsub event travels in, whether
+// down a /v1/jobs/{id}/watch response or inside a gossip announce
+// body. One encoder, one decoder, both bounded — the decoder is the
+// fuzzed attack surface (FuzzEventDecode), so it allocates
+// proportionally to what it has actually read and validates every
+// semantic range before returning an event.
+package pubsub
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Decoder bounds. A verdict event carries a full explore.Result —
+// counterexample traces included — so data is megabytes at most;
+// anything past these bounds is hostile or broken framing.
+const (
+	// MaxEventData caps one event's accumulated data bytes.
+	MaxEventData = 8 << 20
+	// maxTypeLen caps the event-type token.
+	maxTypeLen = 64
+	// maxFieldLine caps any single non-data line (id:, event:,
+	// comments, unknown fields).
+	maxFieldLine = 4096
+)
+
+// AppendSSE renders one event as an SSE frame:
+//
+//	id: <seq>
+//	event: <type>
+//	data: <json>
+//	<blank>
+//
+// The id line is omitted for Seq 0 (synthesized events must not move
+// the client's Last-Event-ID watermark). Multi-line data is split on
+// newlines into consecutive data: lines per the SSE grammar; the
+// decoder rejoins them.
+func AppendSSE(dst []byte, ev Event) []byte {
+	if ev.Seq > 0 {
+		dst = append(dst, "id: "...)
+		dst = strconv.AppendUint(dst, ev.Seq, 10)
+		dst = append(dst, '\n')
+	}
+	dst = append(dst, "event: "...)
+	dst = append(dst, ev.Type...)
+	dst = append(dst, '\n')
+	for _, line := range bytes.Split(ev.Data, []byte{'\n'}) {
+		dst = append(dst, "data: "...)
+		dst = append(dst, line...)
+		dst = append(dst, '\n')
+	}
+	return append(dst, '\n')
+}
+
+// validType enforces the event-type token grammar: a short
+// lower-case identifier, nothing an attacker can smuggle framing or
+// terminal escapes through.
+func validType(t string) bool {
+	if len(t) == 0 || len(t) > maxTypeLen {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-' || c == '_':
+		default:
+			return false
+		}
+		if i == 0 && !(c >= 'a' && c <= 'z') {
+			return false
+		}
+	}
+	return true
+}
+
+// Decoder reads SSE frames back into events. It tolerates the parts
+// of the SSE grammar we do not emit (comment lines, retry:, unknown
+// fields, \r\n endings) and rejects — with an error, never a panic or
+// an unbounded allocation — torn framing, oversized lines, invalid
+// sequence ids, malformed type tokens and non-JSON data.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder wraps r. The internal buffer is fixed-size; lines longer
+// than the per-field bounds error out rather than growing it.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 16<<10)}
+}
+
+// readLine returns the next line (without the terminator), enforcing
+// limit. Long lines are accumulated a buffer-full at a time, so the
+// allocation grows with bytes actually read and stops at the limit —
+// a claimed gigabyte line costs at most limit bytes, never a
+// speculative gigabyte.
+func (d *Decoder) readLine(limit int) ([]byte, error) {
+	var out []byte
+	for {
+		frag, err := d.r.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			if len(out)+len(frag) > limit {
+				return nil, fmt.Errorf("pubsub: SSE line exceeds %d bytes", limit)
+			}
+			out = append(out, frag...)
+			continue
+		}
+		if err != nil {
+			if err == io.EOF && (len(out) > 0 || len(frag) > 0) {
+				return nil, io.ErrUnexpectedEOF // torn frame at EOF
+			}
+			return nil, err
+		}
+		line := frag
+		if out != nil {
+			line = append(out, frag...)
+		}
+		line = line[:len(line)-1]
+		if len(line) > limit {
+			return nil, fmt.Errorf("pubsub: SSE line exceeds %d bytes", limit)
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		return line, nil
+	}
+}
+
+// Next decodes the next event. io.EOF at a frame boundary means the
+// stream ended cleanly; any other error is a framing or semantic
+// violation.
+func (d *Decoder) Next() (Event, error) {
+	var (
+		ev      Event
+		data    []byte
+		sawAny  bool
+		sawData bool
+	)
+	for {
+		limit := maxFieldLine
+		if peek, _ := d.r.Peek(5); bytes.HasPrefix(peek, []byte("data:")) {
+			limit = MaxEventData
+		}
+		line, err := d.readLine(limit)
+		if err != nil {
+			if err == io.EOF && sawAny {
+				return Event{}, io.ErrUnexpectedEOF // fields but no blank-line dispatch
+			}
+			return Event{}, err
+		}
+		if len(line) == 0 {
+			if !sawAny {
+				continue // stray blank line between frames
+			}
+			break // frame complete
+		}
+		if line[0] == ':' {
+			continue // comment / keepalive
+		}
+		sawAny = true
+		field, value, _ := bytes.Cut(line, []byte{':'})
+		value = bytes.TrimPrefix(value, []byte{' '})
+		switch string(field) {
+		case "id":
+			seq, err := strconv.ParseUint(string(value), 10, 64)
+			if err != nil || seq == 0 {
+				return Event{}, fmt.Errorf("pubsub: bad SSE id %q", value)
+			}
+			ev.Seq = seq
+		case "event":
+			if !validType(string(value)) {
+				return Event{}, fmt.Errorf("pubsub: bad SSE event type %q", value)
+			}
+			ev.Type = string(value)
+		case "data":
+			if sawData {
+				data = append(data, '\n')
+			}
+			if len(data)+len(value) > MaxEventData {
+				return Event{}, fmt.Errorf("pubsub: SSE data exceeds %d bytes", MaxEventData)
+			}
+			data = append(data, value...)
+			sawData = true
+		default:
+			// Unknown fields (retry:, future extensions) are skipped per
+			// the SSE grammar.
+		}
+	}
+	if ev.Type == "" {
+		return Event{}, fmt.Errorf("pubsub: SSE frame without an event type")
+	}
+	if !sawData {
+		return Event{}, fmt.Errorf("pubsub: SSE frame without data")
+	}
+	if !json.Valid(data) {
+		return Event{}, fmt.Errorf("pubsub: SSE data is not valid JSON")
+	}
+	ev.Data = json.RawMessage(data)
+	return ev, nil
+}

@@ -1,0 +1,221 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/gossip"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// fleetPeer is one ccserve node in a gossiping fleet: its own store,
+// its own gossip node, wired through an atomic pointer because the
+// httptest listener must exist (to know the URL) before the server
+// that handles its requests does.
+type fleetPeer struct {
+	ts   *httptest.Server
+	st   store.Interface
+	node *gossip.Node
+	sv   atomic.Pointer[serve.Server]
+}
+
+// newFleet builds n full-mesh gossiping serve peers, each with an
+// empty store. The gossip loop is disabled (Interval -1); tests drive
+// convergence with syncFleet.
+func newFleet(t *testing.T, n int) []*fleetPeer {
+	t.Helper()
+	peers := make([]*fleetPeer, n)
+	urls := make([]string, n)
+	for i := range peers {
+		p := &fleetPeer{}
+		p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sv := p.sv.Load()
+			if sv == nil {
+				http.Error(w, "peer not wired yet", http.StatusServiceUnavailable)
+				return
+			}
+			sv.ServeHTTP(w, r)
+		}))
+		t.Cleanup(p.ts.Close)
+		st, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.st = st
+		peers[i] = p
+		urls[i] = p.ts.URL
+	}
+	for i, p := range peers {
+		var neighbors []string
+		for j, u := range urls {
+			if j != i {
+				neighbors = append(neighbors, u)
+			}
+		}
+		pp := p
+		p.node = gossip.New(gossip.Config{
+			Self: urls[i], Neighbors: neighbors, Store: p.st, Interval: -1,
+			OnIngest: func(key string) {
+				if sv := pp.sv.Load(); sv != nil {
+					sv.GossipIngested(key)
+				}
+			},
+		})
+		t.Cleanup(p.node.Close)
+		sv, err := serve.New(serve.Config{Store: p.st, Jobs: 2, JobWorkers: 1, Gossip: p.node})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.sv.Store(sv)
+	}
+	return peers
+}
+
+// syncFleet drives gossip rounds until every peer's store holds at
+// least want entries (fetches are asynchronous behind Sync).
+func syncFleet(t *testing.T, peers []*fleetPeer, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		full := true
+		for _, p := range peers {
+			p.node.Sync()
+			if p.st.Len() < want {
+				full = false
+			}
+		}
+		if full {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, p := range peers {
+				t.Logf("peer %d: %d/%d entries", i, p.st.Len(), want)
+			}
+			t.Fatal("fleet did not converge")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestFleetGossipDifferential is the distributed-identity battery for
+// the push plane: a 3-peer fleet connected only by verdict gossip runs
+// the CC grid on one peer, and after convergence every peer serves
+// byte-identical result bytes — equal to a single-node run of the same
+// cells — and repeat submissions are store hits fleet-wide, with zero
+// quarantined entries.
+func TestFleetGossipDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet battery")
+	}
+	peers := newFleet(t, 3)
+
+	grid := map[string]any{
+		"algs": []string{"cc1", "cc2"}, "topos": []string{"ring:3"},
+		"daemons": []string{"central", "synchronous"}, "inits": []string{"legit"},
+	}
+	_, v, _ := postJSON(t, peers[0].ts.URL+"/v1/campaigns", grid)
+	cid, _ := v["id"].(string)
+	if cid == "" {
+		t.Fatalf("no campaign id: %v", v)
+	}
+
+	// Run the whole grid to completion on peer 0.
+	var cv campaignView
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		_, raw := get(t, peers[0].ts.URL+"/v1/campaigns/"+cid)
+		cv = campaignView{}
+		if err := json.Unmarshal(raw, &cv); err != nil {
+			t.Fatal(err)
+		}
+		if cv.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never finished: %s", raw)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if cv.Failed != 0 || len(cv.Results) != 4 {
+		t.Fatalf("grid on peer 0: %+v", cv)
+	}
+
+	// Gossip the verdicts across the fleet.
+	syncFleet(t, peers, len(cv.Results))
+
+	// Every cell: byte-identical /result on all three peers, equal to
+	// the single-node oracle's canonical encoding.
+	for _, cell := range cv.Results {
+		want, err := campaign.ExecuteOpts(context.Background(), cell.Spec, campaign.ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range peers {
+			code, raw := get(t, p.ts.URL+"/v1/jobs/"+cell.ID+"/result")
+			if code != http.StatusOK {
+				t.Fatalf("peer %d cell %s: result status %d", i, cell.ID[:12], code)
+			}
+			if !bytes.Equal(raw, wantJSON) {
+				t.Fatalf("peer %d cell %s diverges from single-node:\n%s\nvs\n%s", i, cell.ID[:12], raw, wantJSON)
+			}
+		}
+	}
+
+	// A completed job on one peer is a store hit fleet-wide: repeats on
+	// peers that never ran anything come back cached and done.
+	for _, p := range peers[1:] {
+		for _, cell := range cv.Results {
+			_, rv, raw := postJSON(t, p.ts.URL+"/v1/jobs", cell.Spec)
+			if rv["cached"] != true || rv["status"] != serve.StatusDone {
+				t.Fatalf("gossiped verdict not a store hit: %s", raw)
+			}
+		}
+	}
+
+	// Ingest integrity: everything arrived verified, nothing quarantined.
+	for i, p := range peers {
+		if n := p.st.Quarantined(); n != 0 {
+			t.Fatalf("peer %d quarantined %d entries on a clean fleet", i, n)
+		}
+		if i > 0 {
+			if n := p.node.Ingested(); n < int64(len(cv.Results)) {
+				t.Fatalf("peer %d ingested %d, want >= %d", i, n, len(cv.Results))
+			}
+			if m := metric(t, p.ts, "ccserve_gossip_ingested_total"); m < float64(len(cv.Results)) {
+				t.Fatalf("peer %d ccserve_gossip_ingested_total = %g", i, m)
+			}
+		}
+		if p.node.Corrupt() != 0 {
+			t.Fatalf("peer %d counted corrupt entries on a clean fleet", i)
+		}
+	}
+}
+
+// campaignView mirrors the serve campaign aggregate for decoding in
+// fleet tests (the production type is unexported).
+type campaignView struct {
+	ID      string    `json:"id"`
+	Status  string    `json:"status"`
+	Cells   int       `json:"cells"`
+	Done    int       `json:"done"`
+	Failed  int       `json:"failed"`
+	Results []cellRes `json:"results"`
+}
+
+type cellRes struct {
+	ID      string        `json:"id"`
+	Spec    store.JobSpec `json:"spec"`
+	Status  string        `json:"status"`
+	Verdict string        `json:"verdict"`
+}

@@ -56,6 +56,8 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/chaos"
 	"repro/internal/explore"
+	"repro/internal/gossip"
+	"repro/internal/pubsub"
 	"repro/internal/store"
 )
 
@@ -130,6 +132,15 @@ type Config struct {
 	// is driving — so this is operator-facing configuration, not a
 	// gate.
 	Peers []string
+	// Gossip, when non-nil, mounts the verdict gossip plane under
+	// /v1/gossip/ (exempt from load shedding, like the cluster tier)
+	// and announces every locally committed verdict to the node's
+	// neighbors. Wire the node's OnIngest to GossipIngested so
+	// gossiped verdicts resolve local watchers.
+	Gossip *gossip.Node
+	// Watch parameterizes the pubsub broker behind the SSE watch
+	// endpoints (zero values = defaults).
+	Watch pubsub.Options
 	// Log, if non-nil, receives one line per job state change.
 	Log func(format string, args ...any)
 }
@@ -151,13 +162,23 @@ type job struct {
 	status string
 	cached bool
 	errMsg string
-	result []byte // raw explore.Result JSON, exactly as stored
-	res    *explore.Result
+	// errClass is the chaos classification of a failed job's error
+	// (transient | permanent | corrupt), empty when the failure is not
+	// a classifiable I/O fault — surfaced as error_class in the status
+	// envelope so clients can tell a retryable infrastructure failure
+	// from a broken spec without parsing the message.
+	errClass string
+	result   []byte // raw explore.Result JSON, exactly as stored
+	res      *explore.Result
 }
 
 type camp struct {
 	id   string
 	keys []string // cell keys in expansion order
+	// terminal marks cells whose cell event has been published on the
+	// campaign topic; doneSent latches the campaign's terminal event.
+	terminal map[string]bool
+	doneSent bool
 }
 
 // Server implements the HTTP API. Create with New; it is an
@@ -178,12 +199,22 @@ type Server struct {
 	// inFlight counts requests currently inside ServeHTTP (atomic: the
 	// shedding check must not contend on mu).
 	inFlight atomic.Int64
+	// watchConns counts open SSE watch streams (atomic: incremented on
+	// the streaming path, read by /metrics).
+	watchConns atomic.Int64
+	// broker fans progress and terminal events out to the watch
+	// streams; hist is the API request-latency histogram.
+	broker *pubsub.Broker
+	hist   latencyHist
 
-	mu          sync.Mutex
-	jobs        map[string]*job
-	doneOrder   []string // finished job keys in completion order (FIFO eviction)
-	campaigns   map[string]*camp
-	clusterJobs map[string]*clusterPeer
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string // finished job keys in completion order (FIFO eviction)
+	campaigns map[string]*camp
+	// cellCampaigns maps a cell's job key to the campaigns it belongs
+	// to, so a finishing job can fan its cell event out.
+	cellCampaigns map[string][]string
+	clusterJobs   map[string]*clusterPeer
 
 	// Store circuit breaker (under mu). breakerUntil zero = closed;
 	// in the future = open (compute-only); in the past = half-open
@@ -203,6 +234,7 @@ type Server struct {
 	clusterFramesIn, clusterFrameBytes     int64
 	clusterErrors                          int64
 	cacheHits, cacheMisses                 int64
+	gossipIngests                          int64
 	queued, running                        int64
 	statesExplored                         int64
 	exploreNanos                           int64
@@ -248,19 +280,23 @@ func New(cfg Config) (*Server, error) {
 	}
 	baseCtx, stopJobs := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:         cfg,
-		mux:         http.NewServeMux(),
-		sem:         make(chan struct{}, cfg.Jobs),
-		start:       time.Now(),
-		baseCtx:     baseCtx,
-		stopJobs:    stopJobs,
-		jobs:        map[string]*job{},
-		campaigns:   map[string]*camp{},
-		clusterJobs: map[string]*clusterPeer{},
+		cfg:           cfg,
+		mux:           http.NewServeMux(),
+		sem:           make(chan struct{}, cfg.Jobs),
+		start:         time.Now(),
+		baseCtx:       baseCtx,
+		stopJobs:      stopJobs,
+		broker:        pubsub.New(cfg.Watch),
+		jobs:          map[string]*job{},
+		campaigns:     map[string]*camp{},
+		cellCampaigns: map[string][]string{},
+		clusterJobs:   map[string]*clusterPeer{},
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatchJob)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/watch", s.handleWatchCampaign)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns/diff", s.handleDiffCampaigns)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
@@ -298,6 +334,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mux.ServeHTTP(ew, r)
 		return
 	}
+	if strings.HasPrefix(r.URL.Path, "/v1/gossip/") {
+		// The gossip plane is peer traffic, exempt like the cluster
+		// tier; without a node configured it falls through to the mux
+		// for the enveloped 404.
+		if s.cfg.Gossip != nil {
+			s.cfg.Gossip.ServeHTTP(ew, r)
+			return
+		}
+		s.mux.ServeHTTP(ew, r)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/") && strings.HasSuffix(r.URL.Path, "/watch") {
+		// Watch streams are held open for a job's lifetime: counting
+		// them against the in-flight cap would let 512 idle dashboards
+		// starve the API, and their duration would swamp the latency
+		// histogram. Their cost is bounded elsewhere — per-subscriber
+		// queues with slow-consumer eviction, and the OS fd limit.
+		s.mux.ServeHTTP(ew, r)
+		return
+	}
+	start := time.Now()
+	defer func() { s.hist.observe(time.Since(start)) }()
 	if max := s.cfg.MaxInFlight; max > 0 {
 		n := s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
@@ -358,6 +416,14 @@ func (w *envelopeWriter) Write(p []byte) (int, error) {
 		return len(p), nil // swallow the replaced plain-text body
 	}
 	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so SSE watch streams can
+// push events through the envelope interceptor.
+func (w *envelopeWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -465,6 +531,7 @@ type jobView struct {
 	Status      string        `json:"status"`
 	Cached      bool          `json:"cached"`
 	Error       string        `json:"error,omitempty"`
+	ErrorClass  string        `json:"error_class,omitempty"`
 	Verdict     string        `json:"verdict,omitempty"`
 	Inits       int           `json:"inits,omitempty"`
 	States      int           `json:"states,omitempty"`
@@ -473,7 +540,7 @@ type jobView struct {
 }
 
 func (s *Server) view(j *job) jobView {
-	v := jobView{ID: j.key, Spec: j.spec, Status: j.status, Cached: j.cached, Error: j.errMsg}
+	v := jobView{ID: j.key, Spec: j.spec, Status: j.status, Cached: j.cached, Error: j.errMsg, ErrorClass: j.errClass}
 	if j.res != nil {
 		v.Verdict = j.res.Verdict()
 		v.Inits = j.res.Inits
@@ -590,6 +657,7 @@ func (s *Server) submit(spec store.JobSpec) (*job, bool, error) {
 		s.cacheHits++
 		j.status, j.cached, j.res, j.result = StatusDone, true, res, raw
 		s.finishLocked(key)
+		s.publishJobTerminalLocked(j)
 		return j, true, nil
 	}
 	if s.cfg.MaxQueue >= 0 && s.queued >= int64(s.cfg.MaxQueue) {
@@ -601,6 +669,7 @@ func (s *Server) submit(spec store.JobSpec) (*job, bool, error) {
 		s.rejected++
 		j.status, j.errMsg = StatusFailed, errQueueFull.Error()
 		s.finishLocked(key)
+		s.publishJobTerminalLocked(j)
 		return nil, false, errQueueFull
 	}
 	if s.baseCtx.Err() != nil {
@@ -611,6 +680,7 @@ func (s *Server) submit(spec store.JobSpec) (*job, bool, error) {
 		s.rejected++
 		j.status, j.errMsg = StatusFailed, errShuttingDown.Error()
 		s.finishLocked(key)
+		s.publishJobTerminalLocked(j)
 		return nil, false, errShuttingDown
 	}
 	s.cacheMisses++
@@ -697,6 +767,7 @@ func (s *Server) run(j *job) {
 		SpillDir:  s.cfg.SpillDir,
 		FS:        s.cfg.FS,
 		Stats:     &explore.RunStats{},
+		Progress:  s.progressFunc(j.key),
 	}
 	if s.cfg.CheckpointEvery > 0 && useStore {
 		// Compute-only mode skips checkpointing too: snapshots live in
@@ -728,6 +799,12 @@ func (s *Server) run(j *job) {
 				s.storeFailed(perr)
 			} else {
 				s.storeOK()
+				if s.cfg.Gossip != nil {
+					// Announce the fresh verdict to the fleet: the peers'
+					// next identical submission is a store hit, not a
+					// recomputation.
+					s.cfg.Gossip.Committed(j.key)
+				}
 			}
 		}
 		if raw == nil {
@@ -758,6 +835,13 @@ func (s *Server) run(j *job) {
 	case err != nil:
 		s.failures++
 		j.status, j.errMsg = StatusFailed, err.Error()
+		// A classifiable I/O fault (spill write, checkpoint read)
+		// surfaces its class in the envelope, mirroring the CLIs'
+		// exit-code-4 discipline; validation and logic errors stay
+		// unclassified.
+		if cl := chaos.Classify(err); cl != chaos.Unknown {
+			j.errClass = cl.String()
+		}
 	default:
 		s.executed++
 		s.statesExplored += int64(res.States)
@@ -765,6 +849,7 @@ func (s *Server) run(j *job) {
 		j.status, j.res, j.result = StatusDone, res, raw
 	}
 	s.finishLocked(j.key)
+	s.publishJobTerminalLocked(j)
 	s.mu.Unlock()
 	switch {
 	case timedOut:
@@ -909,9 +994,23 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Lock()
-	_, existed := s.campaigns[id]
+	c, existed := s.campaigns[id]
 	if !existed {
-		s.campaigns[id] = &camp{id: id, keys: keys}
+		c = &camp{id: id, keys: keys, terminal: map[string]bool{}}
+		s.campaigns[id] = c
+		for _, k := range keys {
+			s.cellCampaigns[k] = append(s.cellCampaigns[k], id)
+		}
+	}
+	// Cells that finished before the registration above — store hits
+	// served synchronously inside submit, or fast jobs — publish their
+	// cell events now, so a watcher subscribing off this response's id
+	// replays a complete picture (including the campaign's done event
+	// when every cell was already cached).
+	for _, k := range keys {
+		if j := s.jobs[k]; j != nil && (j.status == StatusDone || j.status == StatusFailed) {
+			s.publishCellLocked(c, j)
+		}
 	}
 	s.mu.Unlock()
 	// Persist the manifest so summary/diff queries survive restarts
@@ -965,55 +1064,7 @@ func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
 		return
 	}
-	s.mu.Lock()
-	views := make([]jobView, len(keys))
-	missing := make([]bool, len(keys))
-	for i, k := range keys {
-		if j := s.jobs[k]; j != nil {
-			views[i] = s.view(j)
-		} else {
-			missing[i] = true
-		}
-	}
-	s.mu.Unlock()
-	for i := range keys {
-		if !missing[i] {
-			continue
-		}
-		// Evicted cell: re-hydrate its verdict from the store (disk
-		// I/O, hence outside the lock).
-		if j := s.hydrate(keys[i]); j != nil {
-			views[i] = s.view(j)
-		} else {
-			views[i] = jobView{ID: keys[i], Status: StatusUnknown}
-		}
-	}
-
-	v := campaignView{ID: id, Cells: len(keys), Results: views}
-	for _, jv := range views {
-		if jv.Status == StatusDone || jv.Status == StatusFailed {
-			v.Done++
-		}
-		if jv.Cached {
-			v.CacheHits++
-		}
-		switch jv.Verdict {
-		case "verified":
-			v.Verified++
-		case "bounded":
-			v.Bounded++
-		case "violated":
-			v.Violated++
-		}
-		if jv.Status == StatusFailed {
-			v.Failed++
-		}
-	}
-	v.Status = "running"
-	if v.Done == v.Cells {
-		v.Status = "done"
-	}
-	writeJSON(w, http.StatusOK, v)
+	writeJSON(w, http.StatusOK, s.campaignStatus(id, keys))
 }
 
 // handleHealthz is liveness only: the process is up and serving. It
@@ -1063,6 +1114,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	storeFailures, breakerTrips := s.storeFailures, s.breakerTrips
 	ckptErrs := s.checkpointErrors
 	hits, misses := s.cacheHits, s.cacheMisses
+	gossipIngests := s.gossipIngests
 	queued, running := s.queued, s.running
 	states, nanos := s.statesExplored, s.exploreNanos
 	ckpts, resumed, statesResumed := s.checkpointsWritten, s.jobsResumed, s.statesResumed
@@ -1116,5 +1168,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ccserve_cluster_errors_total %d\n", clErrors)
 	fmt.Fprintf(w, "ccserve_worker_slots %d\n", cap(s.sem))
 	fmt.Fprintf(w, "ccserve_job_workers %d\n", s.cfg.JobWorkers)
+	// The push plane: watch streams, broker fan-out, verdict gossip.
+	fmt.Fprintf(w, "ccserve_watch_streams %d\n", s.watchConns.Load())
+	fmt.Fprintf(w, "ccserve_watch_topics %d\n", s.broker.Topics())
+	fmt.Fprintf(w, "ccserve_events_published_total %d\n", s.broker.Published())
+	fmt.Fprintf(w, "ccserve_watch_evictions_total %d\n", s.broker.Evictions())
+	fmt.Fprintf(w, "ccserve_gossip_ingested_total %d\n", gossipIngests)
+	if g := s.cfg.Gossip; g != nil {
+		fmt.Fprintf(w, "ccserve_gossip_log_seq %d\n", g.Seq())
+		fmt.Fprintf(w, "ccserve_gossip_corrupt_total %d\n", g.Corrupt())
+	}
+	s.hist.render(w, "ccserve_http_request_seconds")
 	fmt.Fprintf(w, "ccserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
 }

@@ -93,6 +93,16 @@ func (b *base) quarantine(path, detail string) {
 	b.logf("store: quarantined %s (%s)", path, detail)
 }
 
+// QuarantineBytes preserves corrupted bytes that arrived without a
+// file of their own — a damaged gossip transfer — as a named specimen
+// under DIR/quarantine/ and counts it, exactly like engine-internal
+// corruption. The serving tier's gossip ingest calls this for
+// transfers that fail DecodeEntry, so wire damage leaves the same
+// audit trail disk damage does.
+func (b *base) QuarantineBytes(name string, data []byte, detail string) {
+	b.quarantineBytes(name, data, detail)
+}
+
 // quarantineBytes preserves a corrupted artifact that has no file of
 // its own — a damaged record inside a log segment — by writing the
 // raw bytes as a specimen into DIR/quarantine/. Best-effort like

@@ -70,6 +70,11 @@ type Interface interface {
 	// Quarantined returns the number of corrupted artifacts this
 	// handle has preserved in the quarantine directory.
 	Quarantined() int64
+	// QuarantineBytes preserves corrupted bytes that have no file of
+	// their own — a damaged gossip transfer — as a specimen under the
+	// quarantine directory, counted like any other quarantined
+	// artifact.
+	QuarantineBytes(name string, data []byte, detail string)
 
 	// Checkpoint returns the checkpoint-blob handle for a content key
 	// (the resumable-exploration side of the store).

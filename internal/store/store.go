@@ -51,6 +51,7 @@ import (
 	"hash/fnv"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/explore"
 )
 
@@ -294,6 +295,46 @@ func encodeEntry(c JobSpec, res *explore.Result) (line, raw []byte, err error) {
 		return nil, nil, fmt.Errorf("store: marshal entry: %v", err)
 	}
 	return append(line, '\n'), raw, nil
+}
+
+// EncodeEntry renders the exact entry line both engines persist for
+// (spec, result): compact deterministic JSON carrying the format
+// version, the canonical spec, the FNV-64a integrity sum and the raw
+// result bytes. Any two stores holding the same verdict hold these
+// bytes identically, which is what lets the gossip plane put a
+// checksummed, self-validating entry on the wire.
+func EncodeEntry(spec JobSpec, res *explore.Result) ([]byte, error) {
+	line, _, err := encodeEntry(spec.Canonical(), res)
+	return line, err
+}
+
+// ErrEntryDrift reports entry bytes written under a different format
+// version — a legitimate peer on an older or newer build, not
+// corruption. Callers skip such entries without quarantining them.
+var ErrEntryDrift = fmt.Errorf("store: entry format version drift")
+
+// DecodeEntry validates entry bytes received over an untrusted
+// channel (a gossip transfer) against the content key they claim to
+// answer: the JSON must parse, the format version must match, the
+// FNV-64a checksum must cover spec+result, and the embedded spec must
+// canonicalize back to exactly key. On success it returns the
+// canonical spec and decoded result, ready for a local Put (which
+// re-encodes the identical bytes). Damage returns a *chaos.CorruptError
+// — quarantine material, never ingestible; version drift returns
+// ErrEntryDrift.
+func DecodeEntry(key string, data []byte) (JobSpec, *explore.Result, error) {
+	e, issue, detail := checkEntry(data)
+	switch issue {
+	case entryDrift:
+		return JobSpec{}, nil, ErrEntryDrift
+	case entryCorrupt:
+		return JobSpec{}, nil, &chaos.CorruptError{Path: "entry " + key, Detail: detail}
+	}
+	spec, res, _, ok := matchKey(e, key)
+	if !ok {
+		return JobSpec{}, nil, &chaos.CorruptError{Path: "entry " + key, Detail: "embedded spec does not hash to the claimed key"}
+	}
+	return spec, res, nil
 }
 
 // entryIssue classifies what checkEntry found.
